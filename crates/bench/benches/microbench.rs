@@ -1,0 +1,172 @@
+//! Micro-benchmarks of the kernels behind every figure: crack-in-two /
+//! crack-in-three, AVL index operations, bit-vector filtering, the three
+//! positional-reconstruction access patterns, and ripple updates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use crackdb_columnstore::radix::radix_cluster;
+use crackdb_columnstore::types::{RangePred, RowId, Val};
+use crackdb_core::BitVec;
+use crackdb_cracking::crack::{crack_in_three, crack_in_two, BoundKind};
+use crackdb_cracking::{CrackedArray, CrackerIndex};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const N: usize = 1 << 20;
+
+fn data(seed: u64) -> (Vec<Val>, Vec<RowId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let head: Vec<Val> = (0..N).map(|_| rng.gen_range(0..N as Val)).collect();
+    let tail: Vec<RowId> = (0..N as RowId).collect();
+    (head, tail)
+}
+
+fn bench_crack_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crack_kernels");
+    g.sample_size(10);
+    let (head, tail) = data(1);
+    g.bench_function("crack_in_two_1M", |b| {
+        b.iter_batched(
+            || (head.clone(), tail.clone()),
+            |(mut h, mut t)| {
+                black_box(crack_in_two(&mut h, &mut t, 0, N, N as Val / 2, BoundKind::Lt))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("crack_in_three_1M", |b| {
+        b.iter_batched(
+            || (head.clone(), tail.clone()),
+            |(mut h, mut t)| {
+                black_box(crack_in_three(
+                    &mut h,
+                    &mut t,
+                    0,
+                    N,
+                    (N as Val / 4, BoundKind::Le),
+                    (3 * N as Val / 4, BoundKind::Lt),
+                ))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("two_crack_in_twos_1M", |b| {
+        b.iter_batched(
+            || (head.clone(), tail.clone()),
+            |(mut h, mut t)| {
+                let a = crack_in_two(&mut h, &mut t, 0, N, N as Val / 4, BoundKind::Le);
+                black_box(crack_in_two(&mut h, &mut t, a, N, 3 * N as Val / 4, BoundKind::Lt))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cracker_index");
+    let mut idx = CrackerIndex::new();
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..10_000 {
+        idx.record((rng.gen_range(0..1_000_000), BoundKind::Lt), rng.gen_range(0..N));
+    }
+    g.bench_function("enclosing_piece_10k_boundaries", |b| {
+        b.iter(|| {
+            let k = (rng.gen_range(0..1_000_000), BoundKind::Lt);
+            black_box(idx.enclosing_piece(k, N))
+        })
+    });
+    g.bench_function("estimate_size", |b| {
+        b.iter(|| {
+            let lo = rng.gen_range(0..900_000);
+            black_box(idx.estimate_size(&RangePred::open(lo, lo + 50_000), N, (0, 1_000_000)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_bitvec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitvec");
+    let vals: Vec<Val> = {
+        let mut rng = StdRng::seed_from_u64(3);
+        (0..N).map(|_| rng.gen_range(0..1000)).collect()
+    };
+    g.bench_function("create_bv_1M", |b| {
+        b.iter(|| black_box(BitVec::from_fn(N, |i| vals[i] < 500)))
+    });
+    let bv = BitVec::from_fn(N, |i| vals[i] < 500);
+    g.bench_function("refine_bv_1M", |b| {
+        b.iter_batched(
+            || bv.clone(),
+            |mut bv| {
+                bv.refine(|i| vals[i] > 250);
+                black_box(bv)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("iter_ones_1M", |b| {
+        b.iter(|| black_box(bv.iter_ones().count()))
+    });
+    g.finish();
+}
+
+fn bench_reconstruction_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reconstruction");
+    g.sample_size(10);
+    let (col, _) = data(4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut keys: Vec<RowId> = (0..N as RowId).collect();
+    keys.shuffle(&mut rng);
+    keys.truncate(N / 5);
+    let sorted = {
+        let mut k = keys.clone();
+        k.sort_unstable();
+        k
+    };
+    let fetch = |keys: &[RowId]| -> Val {
+        let mut acc = 0;
+        for &k in keys {
+            acc ^= col[k as usize];
+        }
+        acc
+    };
+    g.bench_function("sequential_200k_of_1M", |b| b.iter(|| black_box(fetch(&sorted))));
+    g.bench_function("random_200k_of_1M", |b| b.iter(|| black_box(fetch(&keys))));
+    g.bench_function("radix_clustered_200k_of_1M", |b| {
+        b.iter(|| {
+            let clustered = radix_cluster(&keys, N, 4);
+            black_box(fetch(&clustered))
+        })
+    });
+    g.finish();
+}
+
+fn bench_ripple(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ripple_updates");
+    g.sample_size(10);
+    let (head, tail) = data(6);
+    let mut arr = CrackedArray::new(head, tail);
+    // Crack into ~32 pieces first.
+    for i in 1..32 {
+        arr.crack_range(&RangePred::open((i * N / 32) as Val, (i * N / 32 + 1) as Val));
+    }
+    let mut rng = StdRng::seed_from_u64(7);
+    g.bench_function("ripple_insert_32_pieces", |b| {
+        b.iter(|| {
+            arr.ripple_insert(rng.gen_range(0..N as Val), 0);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_crack_kernels,
+    bench_index,
+    bench_bitvec,
+    bench_reconstruction_patterns,
+    bench_ripple
+);
+criterion_main!(benches);

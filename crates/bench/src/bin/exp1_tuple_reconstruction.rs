@@ -1,0 +1,70 @@
+//! Exp1 (§3.6, Figure 4(a) + cost-breakdown table): q1 with one
+//! selection and 2/4/8 tuple reconstructions, 100 random 20% ranges;
+//! report the 100th query's response time per system and the Sel/TR
+//! breakdown for the 8-reconstruction case.
+
+use crackdb_bench::{header, time_ms, Args};
+use crackdb_columnstore::types::{AggFunc, Val};
+use crackdb_engine::{
+    Engine, PlainEngine, PresortedEngine, SelCrackEngine, SelectQuery, SidewaysEngine,
+};
+use crackdb_workloads::{random_table, RangeGen};
+
+fn q1(gen: &mut RangeGen, k: usize) -> SelectQuery {
+    let pred = gen.next();
+    SelectQuery::aggregate(
+        vec![(0, pred)],
+        (1..=k).map(|a| (a, AggFunc::Max)).collect(),
+    )
+}
+
+fn main() {
+    let args = Args::parse(1_000_000, 100);
+    let n = args.n;
+    let domain = n as Val;
+    let table = random_table(9, n, domain, args.seed);
+    println!("# Exp1: varying tuple reconstructions (N={n}, {} queries, 20% selectivity)", args.queries);
+    println!("# Paper: Figure 4(a) — response time of the 100th query");
+    header(&["k_reconstructions", "system", "ms_last_query", "ms_sel", "ms_tr"]);
+
+    let mut breakdown: Vec<(String, f64, f64, f64)> = Vec::new();
+    for &k in &[2usize, 4, 8] {
+        let systems: Vec<Box<dyn Engine>> = vec![
+            Box::new(PresortedEngine::new(table.clone(), &[0])),
+            Box::new(SidewaysEngine::new(table.clone(), (0, domain))),
+            Box::new(SelCrackEngine::new(table.clone(), (0, domain))),
+            Box::new(PlainEngine::new(table.clone())),
+        ];
+        for mut sys in systems {
+            let mut gen = RangeGen::with_selectivity(domain, 0.2, args.seed + k as u64);
+            let mut last = (0.0, 0.0, 0.0);
+            for _ in 0..args.queries {
+                let q = q1(&mut gen, k);
+                let (ms, out) = time_ms(|| sys.select(&q));
+                last = (
+                    ms,
+                    out.timings.select.as_secs_f64() * 1e3,
+                    out.timings.reconstruct.as_secs_f64() * 1e3,
+                );
+            }
+            println!(
+                "{k}\t{}\t{:.3}\t{:.3}\t{:.3}",
+                sys.name(),
+                last.0,
+                last.1,
+                last.2
+            );
+            if k == 8 {
+                breakdown.push((sys.name().to_string(), last.0, last.1, last.2));
+            }
+        }
+    }
+
+    println!("\n# Cost breakdown at 8 tuple reconstructions (paper's inline table):");
+    header(&["system", "Tot_ms", "TR_ms", "Sel_ms"]);
+    for (name, tot, sel, tr) in &breakdown {
+        println!("{name}\t{tot:.3}\t{tr:.3}\t{sel:.3}");
+    }
+    println!("\n# Expected shape: Presorted ≈ Sideways ≪ Selection Cracking, MonetDB;");
+    println!("# Selection Cracking dominated by TR, MonetDB split between Sel and TR.");
+}

@@ -1,0 +1,49 @@
+//! Exp2 (§3.6, Figure 4(b)): q1 with 2 tuple reconstructions under
+//! varying selectivity (point queries up to 90%); response time of
+//! sideways cracking relative to plain MonetDB along the query sequence.
+
+use crackdb_bench::{header, log_sample, time_ms, Args};
+use crackdb_columnstore::types::{AggFunc, Val};
+use crackdb_engine::{Engine, PlainEngine, SelectQuery, SidewaysEngine};
+use crackdb_workloads::{random_table, RangeGen};
+
+fn main() {
+    let args = Args::parse(1_000_000, 200);
+    let n = args.n;
+    let domain = n as Val;
+    let table = random_table(3, n, domain, args.seed);
+    println!(
+        "# Exp2: varying selectivity (N={n}, {} queries, 2 tuple reconstructions)",
+        args.queries
+    );
+    println!("# Paper: Figure 4(b) — response time relative to plain MonetDB (<1 = faster)");
+    header(&["selectivity", "query_seq", "sideways_ms", "monetdb_ms", "relative"]);
+
+    let selectivities: [(&str, f64); 6] =
+        [("point", 0.0), ("10%", 0.1), ("30%", 0.3), ("50%", 0.5), ("70%", 0.7), ("90%", 0.9)];
+    for (label, sel) in selectivities {
+        let mut plain = PlainEngine::new(table.clone());
+        let mut sideways = SidewaysEngine::new(table.clone(), (0, domain));
+        let mut gen = if sel == 0.0 {
+            RangeGen::with_width(domain, 0, args.seed)
+        } else {
+            RangeGen::with_selectivity(domain, sel, args.seed)
+        };
+        for i in 0..args.queries {
+            let pred = gen.next();
+            let q = SelectQuery::aggregate(
+                vec![(0, pred)],
+                vec![(1, AggFunc::Max), (2, AggFunc::Max)],
+            );
+            let (ms_p, out_p) = time_ms(|| plain.select(&q));
+            let (ms_s, out_s) = time_ms(|| sideways.select(&q));
+            assert_eq!(out_p.aggs, out_s.aggs, "engines disagree");
+            if log_sample(i, args.queries) {
+                let rel = if ms_p > 0.0 { ms_s / ms_p } else { 1.0 };
+                println!("{label}\t{}\t{:.3}\t{:.3}\t{:.3}", i + 1, ms_s, ms_p, rel);
+            }
+        }
+    }
+    println!("\n# Expected shape: first query slightly above 1.0 (map creation), then");
+    println!("# dropping well below 1.0; less selective queries cross below 1.0 sooner.");
+}

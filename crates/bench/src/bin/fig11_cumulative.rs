@@ -1,0 +1,40 @@
+//! Figure 11 (§4.2): "no overhead" — total cumulative cost of the
+//! 1000-query workload while varying result size S and storage
+//! threshold T; partial maps must match or beat full maps everywhere.
+
+use crackdb_bench::qi::{compare, schedule, total_secs};
+use crackdb_bench::{header, Args};
+use crackdb_columnstore::types::Val;
+use crackdb_workloads::random_table;
+use crackdb_workloads::synthetic::QiGen;
+
+fn main() {
+    let args = Args::parse(200_000, 1000);
+    let n = args.n;
+    let domain = n as Val;
+    let table = random_table(QiGen::attrs_needed(5), n, domain, args.seed);
+
+    println!("# Fig 11: total cumulative cost of {} queries (N={n})", args.queries);
+    header(&["S_result_size", "T_budget", "full_secs", "partial_secs"]);
+    let s_values = [n / 1000, n / 100, n / 10, 3 * n / 10];
+    let budgets: [(&str, Option<usize>); 3] = [
+        ("none", None),
+        ("6.5maps", Some(n * 13 / 2)),
+        ("2maps", Some(n * 2)),
+    ];
+    for &s_size in &s_values {
+        for (blabel, budget) in budgets {
+            let mut gen = QiGen::new(domain, n, s_size.max(1), 5, args.seed + 1);
+            let sched = schedule(&mut gen, args.queries, 100, false);
+            let (full, partial) = compare(&table, domain, &sched, budget, false);
+            println!(
+                "{s_size}\t{blabel}\t{:.3}\t{:.3}",
+                total_secs(&full),
+                total_secs(&partial)
+            );
+        }
+    }
+    println!("\n# Expected shape: at low selectivity (large S) both approaches cost about");
+    println!("# the same; at high selectivity (small S) partial maps win clearly, and the");
+    println!("# advantage grows as the budget tightens.");
+}

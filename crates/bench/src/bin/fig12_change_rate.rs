@@ -1,0 +1,34 @@
+//! Figure 12 (§4.2): total cost versus workload change rate — full maps
+//! degrade as batches shrink (more drops + recreations), partial maps
+//! stay nearly flat.
+
+use crackdb_bench::qi::{compare, schedule, total_secs};
+use crackdb_bench::{header, Args};
+use crackdb_columnstore::types::Val;
+use crackdb_workloads::random_table;
+use crackdb_workloads::synthetic::QiGen;
+
+fn main() {
+    let args = Args::parse(200_000, 1000);
+    let n = args.n;
+    let domain = n as Val;
+    let table = random_table(QiGen::attrs_needed(5), n, domain, args.seed);
+    let budget = Some(n * 6); // the paper's T = 6M for N = 1M
+    let s_size = n / 100;
+
+    println!("# Fig 12: varying workload change rate (N={n}, S={s_size}, T=6 maps, {} queries)", args.queries);
+    header(&["changes_per_1000", "batch_len", "full_secs", "partial_secs"]);
+    for batch in [200usize, 100, 20, 10, 2, 1] {
+        let changes = args.queries / batch;
+        let mut gen = QiGen::new(domain, n, s_size.max(1), 5, args.seed + 1);
+        let sched = schedule(&mut gen, args.queries, batch, false);
+        let (full, partial) = compare(&table, domain, &sched, budget, false);
+        println!(
+            "{changes}\t{batch}\t{:.3}\t{:.3}",
+            total_secs(&full),
+            total_secs(&partial)
+        );
+    }
+    println!("\n# Expected shape: full maps degrade sharply with more frequent changes");
+    println!("# (maps dropped and recreated more often); partial maps barely move.");
+}

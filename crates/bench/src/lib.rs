@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+//! # crackdb-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper (see
+//! DESIGN.md's experiment index) plus Criterion micro-benchmarks of the
+//! underlying kernels.
+//!
+//! Every binary prints the series the corresponding figure plots. Scales
+//! default to laptop-friendly sizes; pass `--n=`, `--queries=`, `--sf=`
+//! to approach paper scale (10^7 rows, 10^3 queries, SF 1).
+
+pub mod qi;
+
+use std::time::Instant;
+
+/// Simple `--key=value` argument parsing with defaults.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Table cardinality.
+    pub n: usize,
+    /// Number of queries per sequence.
+    pub queries: usize,
+    /// TPC-H scale factor.
+    pub sf: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parse from `std::env::args` with the given defaults.
+    pub fn parse(default_n: usize, default_queries: usize) -> Self {
+        let mut a = Args { n: default_n, queries: default_queries, sf: 0.01, seed: 42 };
+        for arg in std::env::args().skip(1) {
+            if let Some(v) = arg.strip_prefix("--n=") {
+                a.n = v.parse().expect("--n takes an integer");
+            } else if let Some(v) = arg.strip_prefix("--queries=") {
+                a.queries = v.parse().expect("--queries takes an integer");
+            } else if let Some(v) = arg.strip_prefix("--sf=") {
+                a.sf = v.parse().expect("--sf takes a float");
+            } else if let Some(v) = arg.strip_prefix("--seed=") {
+                a.seed = v.parse().expect("--seed takes an integer");
+            } else {
+                eprintln!("ignoring unknown argument {arg}");
+            }
+        }
+        a
+    }
+}
+
+/// Milliseconds elapsed while running `f`; returns `(ms, result)`.
+pub fn time_ms<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64() * 1e3, r)
+}
+
+/// Microseconds elapsed while running `f`; returns `(us, result)`.
+pub fn time_us<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64() * 1e6, r)
+}
+
+/// Should this query index be printed in a log-style sampled series?
+/// (Mirrors the paper's log-scale query-sequence plots.)
+pub fn log_sample(i: usize, total: usize) -> bool {
+    if i + 1 == total || i == 0 {
+        return true;
+    }
+    let i = i + 1;
+    let mag = 10usize.pow((i as f64).log10().floor() as u32);
+    i.is_multiple_of(mag)
+}
+
+/// Print a header line for a series table.
+pub fn header(cols: &[&str]) {
+    println!("{}", cols.join("\t"));
+}
+
+/// Format ms with 3 decimals.
+pub fn fmt_ms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sampling_hits_decades() {
+        let picks: Vec<usize> =
+            (0..1000).filter(|&i| log_sample(i, 1000)).map(|i| i + 1).collect();
+        assert!(picks.contains(&1));
+        assert!(picks.contains(&10));
+        assert!(picks.contains(&100));
+        assert!(picks.contains(&1000));
+        assert!(picks.len() < 300);
+    }
+
+    #[test]
+    fn timing_measures_something() {
+        let (ms, x) = time_ms(|| (0..100_000).sum::<u64>());
+        assert!(ms >= 0.0);
+        assert_eq!(x, 4999950000);
+    }
+}

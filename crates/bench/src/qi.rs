@@ -1,0 +1,106 @@
+//! Shared runner for the §4.2 `Qi` batch workloads (Figures 9–13): the
+//! same query schedule driven through full-map sideways cracking and
+//! partial sideways cracking, recording per-query cost and storage usage.
+
+use crackdb_columnstore::column::Table;
+use crackdb_columnstore::types::Val;
+use crackdb_engine::{Engine, PartialEngine, SelectQuery, SidewaysEngine};
+use crackdb_workloads::synthetic::{QiGen, QiQuery};
+
+/// One recorded query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Query index (0-based).
+    pub seq: usize,
+    /// Wall time in microseconds.
+    pub us: f64,
+    /// Auxiliary storage (tuples) after the query.
+    pub storage: usize,
+}
+
+/// Build the batched schedule: `queries` queries cycling through `types`
+/// query types in batches of `batch` (the paper's "100 Q1, then 100 Q2,
+/// …" pattern). `skewed` selects the hot-zone variant.
+pub fn schedule(
+    gen: &mut QiGen,
+    queries: usize,
+    batch: usize,
+    skewed: bool,
+) -> Vec<QiQuery> {
+    (0..queries)
+        .map(|i| {
+            let ty = (i / batch) % gen.types;
+            if skewed {
+                gen.query_skewed(ty)
+            } else {
+                gen.query(ty)
+            }
+        })
+        .collect()
+}
+
+fn to_select(q: &QiQuery) -> SelectQuery {
+    SelectQuery::project(vec![(0, q.a_pred), q.b], vec![q.c])
+}
+
+/// Run the schedule through an engine, returning per-query samples. Also
+/// cross-checks result sizes against `expected` when provided.
+pub fn run_engine(
+    engine: &mut dyn Engine,
+    sched: &[QiQuery],
+    expected: Option<&[usize]>,
+) -> Vec<Sample> {
+    let mut out = Vec::with_capacity(sched.len());
+    for (i, q) in sched.iter().enumerate() {
+        let sq = to_select(q);
+        let t0 = std::time::Instant::now();
+        let res = engine.select(&sq);
+        let us = t0.elapsed().as_secs_f64() * 1e6;
+        if let Some(exp) = expected {
+            assert_eq!(res.rows, exp[i], "query {i}: row count mismatch");
+        }
+        out.push(Sample { seq: i, us, storage: engine.aux_tuples() });
+    }
+    out
+}
+
+/// Result sizes from a reference scan (used to validate both engines).
+pub fn reference_sizes(table: &Table, sched: &[QiQuery]) -> Vec<usize> {
+    sched
+        .iter()
+        .map(|q| {
+            let a = table.column(0);
+            let b = table.column(q.b.0);
+            (0..table.num_rows() as u32)
+                .filter(|&k| q.a_pred.matches(a.get(k)) && q.b.1.matches(b.get(k)))
+                .count()
+        })
+        .collect()
+}
+
+/// Run one full-vs-partial comparison for a given budget; returns
+/// `(full samples, partial samples)`.
+pub fn compare(
+    table: &Table,
+    domain: Val,
+    sched: &[QiQuery],
+    budget: Option<usize>,
+    validate: bool,
+) -> (Vec<Sample>, Vec<Sample>) {
+    let expected = if validate {
+        Some(reference_sizes(table, sched))
+    } else {
+        None
+    };
+    let mut full = SidewaysEngine::new(table.clone(), (0, domain));
+    full.set_budget(budget);
+    let full_samples = run_engine(&mut full, sched, expected.as_deref());
+    let mut partial = PartialEngine::new(table.clone(), (0, domain), budget);
+    let partial_samples = run_engine(&mut partial, sched, expected.as_deref());
+    (full_samples, partial_samples)
+}
+
+/// Total seconds across samples.
+pub fn total_secs(samples: &[Sample]) -> f64 {
+    samples.iter().map(|s| s.us).sum::<f64>() / 1e6
+}

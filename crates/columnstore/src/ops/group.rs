@@ -1,0 +1,123 @@
+//! `groupby` / aggregation operators. Like their MonetDB counterparts,
+//! these do **not** preserve tuple order — results come out in group-hash
+//! order — which is why queries with group-bys force subsequent tuple
+//! reconstructions onto random access paths (paper §2.1, §5).
+
+use crate::types::{aggregate, AggFunc, AggResult, RowId, Val};
+use std::collections::HashMap;
+
+/// Group `rows` by the values in `group_vals` (parallel slices) and
+/// aggregate `agg_vals` within each group.
+///
+/// Returns `(group_value, agg_result, member_keys)` triples in hash order.
+pub fn group_aggregate(
+    keys: &[RowId],
+    group_vals: &[Val],
+    agg_vals: &[Val],
+    func: AggFunc,
+) -> Vec<(Val, AggResult, Vec<RowId>)> {
+    assert_eq!(keys.len(), group_vals.len());
+    assert_eq!(keys.len(), agg_vals.len());
+    let mut groups: HashMap<Val, (Vec<Val>, Vec<RowId>)> = HashMap::new();
+    for i in 0..keys.len() {
+        let e = groups.entry(group_vals[i]).or_default();
+        e.0.push(agg_vals[i]);
+        e.1.push(keys[i]);
+    }
+    groups
+        .into_iter()
+        .map(|(g, (vals, ks))| (g, aggregate(func, vals), ks))
+        .collect()
+}
+
+/// Multi-column grouping: group identity is the tuple of values across
+/// `group_cols` (each a parallel slice). Aggregates each column in
+/// `agg_cols` with its paired function.
+pub fn group_aggregate_multi(
+    group_cols: &[&[Val]],
+    agg_cols: &[(&[Val], AggFunc)],
+) -> Vec<(Vec<Val>, Vec<AggResult>)> {
+    let n = group_cols.first().map_or_else(
+        || agg_cols.first().map_or(0, |(c, _)| c.len()),
+        |c| c.len(),
+    );
+    for c in group_cols {
+        assert_eq!(c.len(), n, "group column length mismatch");
+    }
+    for (c, _) in agg_cols {
+        assert_eq!(c.len(), n, "aggregate column length mismatch");
+    }
+    let mut groups: HashMap<Vec<Val>, Vec<Vec<Val>>> = HashMap::new();
+    for i in 0..n {
+        let key: Vec<Val> = group_cols.iter().map(|c| c[i]).collect();
+        let slot = groups
+            .entry(key)
+            .or_insert_with(|| vec![Vec::new(); agg_cols.len()]);
+        for (j, (c, _)) in agg_cols.iter().enumerate() {
+            slot[j].push(c[i]);
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(k, cols)| {
+            let aggs = cols
+                .into_iter()
+                .zip(agg_cols.iter())
+                .map(|(vals, (_, f))| aggregate(*f, vals))
+                .collect();
+            (k, aggs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_column_grouping() {
+        let keys = [0, 1, 2, 3];
+        let groups = [1, 2, 1, 2];
+        let vals = [10, 20, 30, 40];
+        let mut out = group_aggregate(&keys, &groups, &vals, AggFunc::Sum);
+        out.sort_by_key(|g| g.0);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, 1);
+        assert_eq!(out[0].1.as_int(), Some(40));
+        assert_eq!(out[0].2, vec![0, 2]);
+        assert_eq!(out[1].1.as_int(), Some(60));
+    }
+
+    #[test]
+    fn multi_column_grouping() {
+        let g1 = [1, 1, 2, 2];
+        let g2 = [5, 6, 5, 5];
+        let v = [1, 1, 1, 1];
+        let mut out =
+            group_aggregate_multi(&[&g1, &g2], &[(&v, AggFunc::Count)]);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[2].0, vec![2, 5]);
+        assert_eq!(out[2].1[0].as_int(), Some(2));
+    }
+
+    #[test]
+    fn empty_grouping() {
+        let out = group_aggregate(&[], &[], &[], AggFunc::Max);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multiple_aggregates() {
+        let g = [1, 1];
+        let a = [3, 5];
+        let b = [10, 2];
+        let out = group_aggregate_multi(
+            &[&g],
+            &[(&a, AggFunc::Max), (&b, AggFunc::Min)],
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1[0].as_int(), Some(5));
+        assert_eq!(out[0].1[1].as_int(), Some(2));
+    }
+}

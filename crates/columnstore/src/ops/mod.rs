@@ -1,0 +1,7 @@
+//! MonetDB-style two-column physical algebra operators.
+
+pub mod group;
+pub mod join;
+pub mod reconstruct;
+pub mod select;
+pub mod sort;

@@ -1,0 +1,187 @@
+//! Piece-aware aggregation (§3.4): "many operators can exploit the
+//! clustering information in the maps, e.g., a max can consider only the
+//! last piece of a map". The paper leaves this as future work; this
+//! module implements it for min/max/count over the head attribute of any
+//! cracked array.
+//!
+//! The idea: the cracker index bounds the values of every piece, so a
+//! `max` only needs to scan the highest non-empty piece (then lower ones
+//! only if that piece turns out empty), and a `count` over a range whose
+//! bounds match existing cracks is pure index arithmetic.
+
+use crackdb_columnstore::types::{RangePred, Val};
+use crackdb_cracking::index::pred_keys;
+use crackdb_cracking::CrackedArray;
+
+/// Maximum head value, scanning pieces from the top until one is
+/// non-empty. On a well-cracked array this touches a tiny suffix.
+pub fn head_max<T: Copy>(arr: &CrackedArray<T>) -> Option<Val> {
+    let bs = arr.index().boundaries();
+    let n = arr.len();
+    let mut end = n;
+    // Piece starts in descending order: boundary positions + position 0.
+    for start in bs.iter().rev().map(|&(_, p)| p).chain([0]) {
+        if start < end {
+            if let Some(m) = arr.head()[start..end].iter().copied().max() {
+                return Some(m);
+            }
+        }
+        end = end.min(start);
+        if end == 0 {
+            break;
+        }
+    }
+    None
+}
+
+/// Minimum head value, scanning pieces from the bottom.
+pub fn head_min<T: Copy>(arr: &CrackedArray<T>) -> Option<Val> {
+    let bs = arr.index().boundaries();
+    let n = arr.len();
+    let mut start = 0;
+    for end in bs.iter().map(|&(_, p)| p).chain([n]) {
+        if start < end {
+            if let Some(m) = arr.head()[start..end].iter().copied().min() {
+                return Some(m);
+            }
+        }
+        start = start.max(end);
+        if start >= n {
+            break;
+        }
+    }
+    None
+}
+
+/// Count of tuples qualifying `pred` — pure index arithmetic when both
+/// bounds match existing cracks, otherwise an exact count that scans only
+/// the (at most two) boundary pieces.
+pub fn head_count<T: Copy>(arr: &CrackedArray<T>, pred: &RangePred) -> usize {
+    if pred.is_empty_range() {
+        return 0;
+    }
+    let n = arr.len();
+    let (lo_k, hi_k) = pred_keys(pred);
+    let index = arr.index();
+    // Resolve each bound either exactly or to its enclosing piece, then
+    // count false hits only inside the boundary pieces.
+    let (lo_exact, lo_piece) = match lo_k {
+        None => (Some(0), None),
+        Some(k) => match index.position_of(k) {
+            Some(p) => (Some(p), None),
+            None => (None, Some(index.enclosing_piece(k, n))),
+        },
+    };
+    let (hi_exact, hi_piece) = match hi_k {
+        None => (Some(n), None),
+        Some(k) => match index.position_of(k) {
+            Some(p) => (Some(p), None),
+            None => (None, Some(index.enclosing_piece(k, n))),
+        },
+    };
+    let head = arr.head();
+    let count_in = |range: (usize, usize)| {
+        head[range.0..range.1].iter().filter(|&&v| pred.matches(v)).count()
+    };
+    match (lo_exact, hi_exact, lo_piece, hi_piece) {
+        (Some(a), Some(b), _, _) => b.saturating_sub(a),
+        (Some(a), None, _, Some(hp)) => {
+            // Fully-qualifying middle + scan of the upper boundary piece.
+            hp.0.saturating_sub(a) + count_in(hp)
+        }
+        (None, Some(b), Some(lp), _) => b.saturating_sub(lp.1) + count_in((lp.0, lp.1.min(b))),
+        (None, None, Some(lp), Some(hp)) => {
+            if lp == hp {
+                count_in(lp)
+            } else {
+                count_in(lp) + hp.0.saturating_sub(lp.1) + count_in(hp)
+            }
+        }
+        _ => unreachable!("bound is either exact or has an enclosing piece"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crackdb_columnstore::types::RangePred;
+
+    fn arr() -> CrackedArray<u32> {
+        let head = vec![12, 3, 5, 9, 15, 22, 7, 26, 4, 2, 24, 11, 16];
+        let tail: Vec<u32> = (0..13).collect();
+        CrackedArray::new(head, tail)
+    }
+
+    #[test]
+    fn max_min_on_uncracked() {
+        let a = arr();
+        assert_eq!(head_max(&a), Some(26));
+        assert_eq!(head_min(&a), Some(2));
+    }
+
+    #[test]
+    fn max_min_after_cracks_touch_few_pieces() {
+        let mut a = arr();
+        a.crack_range(&RangePred::open(10, 15));
+        a.crack_range(&RangePred::open(4, 22));
+        assert_eq!(head_max(&a), Some(26));
+        assert_eq!(head_min(&a), Some(2));
+    }
+
+    #[test]
+    fn max_with_empty_top_piece() {
+        let mut a = arr();
+        // Crack at a value above everything: the top piece is empty.
+        a.crack_range(&RangePred::open(100, 200));
+        assert_eq!(head_max(&a), Some(26));
+    }
+
+    #[test]
+    fn count_exact_when_cracked() {
+        let mut a = arr();
+        let (s, e) = a.crack_range(&RangePred::open(10, 15));
+        assert_eq!(head_count(&a, &RangePred::open(10, 15)), e - s);
+    }
+
+    #[test]
+    fn count_scans_only_boundary_pieces() {
+        let mut a = arr();
+        a.crack_range(&RangePred::open(10, 15));
+        // Uncracked predicate: still exact.
+        for pred in [
+            RangePred::open(5, 20),
+            RangePred::open(0, 100),
+            RangePred::closed(2, 2),
+            RangePred::open(11, 12),
+        ] {
+            let expected = a.head().iter().filter(|&&v| pred.matches(v)).count();
+            assert_eq!(head_count(&a, &pred), expected, "{pred:?}");
+        }
+    }
+
+    #[test]
+    fn count_empty_pred() {
+        let a = arr();
+        assert_eq!(head_count(&a, &RangePred::open(5, 5)), 0);
+    }
+
+    #[test]
+    fn randomized_counts_match_scans() {
+        let head: Vec<i64> = (0..500).map(|i| (i * 97) % 500).collect();
+        let tail: Vec<u32> = (0..500).collect();
+        let mut a = CrackedArray::new(head, tail);
+        let mut state = 17u64;
+        let mut next = move |m: i64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            ((state >> 33) as i64).rem_euclid(m)
+        };
+        for _ in 0..30 {
+            let lo = next(500);
+            let pred = RangePred::open(lo, lo + 1 + next(100));
+            a.crack_range(&pred);
+            let probe = RangePred::open(next(500), next(500) + 50);
+            let expected = a.head().iter().filter(|&&v| probe.matches(v)).count();
+            assert_eq!(head_count(&a, &probe), expected);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Bit vector used for multi-predicate filtering (§3.3).
+//!
+//! Conjunctive plans allocate one bit per tuple of the cracked result area
+//! `w`; disjunctive plans allocate one bit per tuple of the whole map.
+//! Only sequential patterns are used: create, refine (and/or), iterate.
+
+/// A fixed-length bit vector backed by `u64` blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// All-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { blocks: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// All-one bit vector of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut bv = BitVec { blocks: vec![u64::MAX; len.div_ceil(64)], len };
+        bv.clear_tail();
+        bv
+    }
+
+    /// Build from a predicate over indices.
+    pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> Self {
+        let mut bv = Self::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                bv.set(i);
+            }
+        }
+        bv
+    }
+
+    fn clear_tail(&mut self) {
+        let extra = self.len % 64;
+        if extra != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << extra) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline(always)]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.blocks[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i`.
+    #[inline(always)]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.blocks[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// In-place AND with another vector of equal length (conjunctive
+    /// refinement).
+    pub fn and_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// In-place OR with another vector of equal length (disjunctive
+    /// refinement).
+    pub fn or_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bitvec length mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// Refine in place: keep bit `i` only if `f(i)` holds (applied only to
+    /// currently set bits — a sequential pass, as in
+    /// `sideways.select_refine_bv`).
+    pub fn refine<F: FnMut(usize) -> bool>(&mut self, mut f: F) {
+        for i in 0..self.len {
+            if self.get(i) && !f(i) {
+                self.clear(i);
+            }
+        }
+    }
+
+    /// Iterate indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let tz = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(bi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bv = BitVec::zeros(130);
+        assert!(!bv.get(0) && !bv.get(129));
+        bv.set(0);
+        bv.set(64);
+        bv.set(129);
+        assert!(bv.get(0) && bv.get(64) && bv.get(129));
+        assert_eq!(bv.count_ones(), 3);
+        bv.clear(64);
+        assert!(!bv.get(64));
+        assert_eq!(bv.count_ones(), 2);
+    }
+
+    #[test]
+    fn ones_respects_length() {
+        let bv = BitVec::ones(70);
+        assert_eq!(bv.count_ones(), 70);
+    }
+
+    #[test]
+    fn and_or() {
+        let mut a = BitVec::from_fn(10, |i| i % 2 == 0);
+        let b = BitVec::from_fn(10, |i| i % 3 == 0);
+        let mut c = a.clone();
+        a.and_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![0, 6]);
+        c.or_with(&b);
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![0, 2, 3, 4, 6, 8, 9]);
+    }
+
+    #[test]
+    fn refine_only_clears() {
+        let mut bv = BitVec::ones(8);
+        bv.refine(|i| i >= 4);
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn iter_ones_across_blocks() {
+        let mut bv = BitVec::zeros(200);
+        for i in [0, 63, 64, 127, 128, 199] {
+            bv.set(i);
+        }
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let bv = BitVec::zeros(0);
+        assert!(bv.is_empty());
+        assert_eq!(bv.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The partitioned cracker-join (§3.4 future work): "a join can be
+//! performed in a partitioned-like way exploiting disjoint ranges in the
+//! input maps".
+//!
+//! Two cracked arrays whose heads are the join attribute already come
+//! range-partitioned by their cracker indices. Aligning the two piece
+//! sequences yields pairs of small, value-disjoint segments that can be
+//! joined independently with cache-resident hash tables — no global hash
+//! table over either input. The more cracked the inputs, the smaller the
+//! partitions, so the join gets faster as the system self-organizes.
+
+use crackdb_columnstore::types::Val;
+use crackdb_cracking::{BoundaryKey, CrackedArray};
+use std::collections::HashMap;
+
+/// Equi-join of two cracked arrays on their head values. Returns
+/// `(left_tail, right_tail)` pairs of matching tuples.
+///
+/// Partition pass: the union of both indices' boundary keys splits the
+/// value domain into segments; each input's tuples for a segment form a
+/// contiguous position range (pieces never straddle a boundary of their
+/// own index, and segments are refined by *both* indices, with piece
+/// ranges intersected on the fly). Each segment pair is hash-joined
+/// independently.
+pub fn cracker_join<T: Copy, U: Copy>(
+    left: &CrackedArray<T>,
+    right: &CrackedArray<U>,
+) -> Vec<(T, U)> {
+    let lb = left.index().boundaries();
+    let rb = right.index().boundaries();
+
+    // Merge the two boundary-key sequences into the segment cut list.
+    let mut cuts: Vec<BoundaryKey> = Vec::with_capacity(lb.len() + rb.len());
+    let (mut i, mut j) = (0, 0);
+    while i < lb.len() || j < rb.len() {
+        let next = match (lb.get(i), rb.get(j)) {
+            (Some(&(a, _)), Some(&(b, _))) => {
+                if a <= b {
+                    i += 1;
+                    if a == b {
+                        j += 1;
+                    }
+                    a
+                } else {
+                    j += 1;
+                    b
+                }
+            }
+            (Some(&(a, _)), None) => {
+                i += 1;
+                a
+            }
+            (None, Some(&(b, _))) => {
+                j += 1;
+                b
+            }
+            (None, None) => unreachable!(),
+        };
+        cuts.push(next);
+    }
+
+    // Walk segments. For each input, a cut key maps to a position: exact
+    // boundary position if present in that input's index, otherwise the
+    // segment continues inside one of its pieces and the tuples of the
+    // segment are *not* contiguous — in that case we fall back to
+    // filtering the enclosing piece by value. To keep partitions
+    // contiguous we conservatively extend the segment to the input's own
+    // next boundary and filter by the segment's value range during the
+    // hash build/probe.
+    let mut out = Vec::new();
+    let mut prev: Option<BoundaryKey> = None;
+    let mut table: HashMap<Val, Vec<T>> = HashMap::new();
+    for k in cuts.iter().copied().map(Some).chain([None]) {
+        let lseg = segment_range(left, prev, k);
+        let rseg = segment_range(right, prev, k);
+        if lseg.1 > lseg.0 && rseg.1 > rseg.0 {
+            // Build on the smaller side, filtered to the segment's value
+            // range; probe the other.
+            table.clear();
+            let in_segment = |v: Val| {
+                let above = prev.is_none_or(|(pv, pk)| !pk.belongs_left(v, pv));
+                let below = k.is_none_or(|(kv, kk)| kk.belongs_left(v, kv));
+                above && below
+            };
+            let (lh, lt) = left.view(lseg);
+            for (idx, &v) in lh.iter().enumerate() {
+                if in_segment(v) {
+                    table.entry(v).or_default().push(lt[idx]);
+                }
+            }
+            let (rh, rt) = right.view(rseg);
+            for (idx, &v) in rh.iter().enumerate() {
+                if in_segment(v) {
+                    if let Some(ls) = table.get(&v) {
+                        for &l in ls {
+                            out.push((l, rt[idx]));
+                        }
+                    }
+                }
+            }
+        }
+        prev = k;
+    }
+    out
+}
+
+/// Position range of `arr` covering the value segment `(lo, hi)`: exact
+/// boundary positions when the input has them, otherwise rounded outward
+/// to its own enclosing piece (the caller filters by value).
+fn segment_range<T: Copy>(
+    arr: &CrackedArray<T>,
+    lo: Option<BoundaryKey>,
+    hi: Option<BoundaryKey>,
+) -> (usize, usize) {
+    let n = arr.len();
+    let start = match lo {
+        None => 0,
+        Some(k) => arr
+            .index()
+            .position_of(k)
+            .unwrap_or_else(|| arr.index().enclosing_piece(k, n).0),
+    };
+    let end = match hi {
+        None => n,
+        Some(k) => arr
+            .index()
+            .position_of(k)
+            .unwrap_or_else(|| arr.index().enclosing_piece(k, n).1),
+    };
+    (start, end.max(start))
+}
+
+/// Reference nested hash join (used by tests and the ablation bench).
+pub fn flat_hash_join<T: Copy, U: Copy>(
+    left: &CrackedArray<T>,
+    right: &CrackedArray<U>,
+) -> Vec<(T, U)> {
+    let mut table: HashMap<Val, Vec<T>> = HashMap::with_capacity(left.len());
+    for (i, &v) in left.head().iter().enumerate() {
+        table.entry(v).or_default().push(left.tail()[i]);
+    }
+    let mut out = Vec::new();
+    for (i, &v) in right.head().iter().enumerate() {
+        if let Some(ls) = table.get(&v) {
+            for &l in ls {
+                out.push((l, right.tail()[i]));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crackdb_columnstore::types::RangePred;
+
+    fn arr(vals: Vec<Val>) -> CrackedArray<u32> {
+        let n = vals.len() as u32;
+        CrackedArray::new(vals, (0..n).collect())
+    }
+
+    fn normalize(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn join_uncracked_inputs() {
+        let l = arr(vec![1, 2, 3, 2]);
+        let r = arr(vec![2, 3, 4]);
+        let got = normalize(cracker_join(&l, &r));
+        let expected = normalize(flat_hash_join(&l, &r));
+        assert_eq!(got, expected);
+        assert_eq!(got.len(), 3); // 2 matches twice + 3 once
+    }
+
+    #[test]
+    fn join_with_cracked_inputs_matches_flat() {
+        let mut l = arr((0..200).map(|i| (i * 13) % 50).collect());
+        let mut r = arr((0..150).map(|i| (i * 7) % 50).collect());
+        l.crack_range(&RangePred::open(10, 30));
+        r.crack_range(&RangePred::open(5, 25));
+        r.crack_range(&RangePred::open(35, 45));
+        let got = normalize(cracker_join(&l, &r));
+        let expected = normalize(flat_hash_join(&l, &r));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_one_side_heavily_cracked() {
+        let mut l = arr((0..300).map(|i| (i * 31) % 100).collect());
+        let r = arr((0..100).map(|i| (i * 3) % 100).collect());
+        for lo in (0..90).step_by(10) {
+            l.crack_range(&RangePred::open(lo, lo + 10));
+        }
+        let got = normalize(cracker_join(&l, &r));
+        assert_eq!(got, normalize(flat_hash_join(&l, &r)));
+    }
+
+    #[test]
+    fn join_empty_sides() {
+        let l = arr(vec![]);
+        let r = arr(vec![1, 2]);
+        assert!(cracker_join(&l, &r).is_empty());
+        assert!(cracker_join(&r, &l).is_empty());
+    }
+
+    #[test]
+    fn join_disjoint_ranges_produces_nothing() {
+        let mut l = arr((0..100).collect());
+        let mut r = arr((200..300).collect());
+        l.crack_range(&RangePred::open(20, 60));
+        r.crack_range(&RangePred::open(220, 260));
+        assert!(cracker_join(&l, &r).is_empty());
+    }
+
+    #[test]
+    fn randomized_equivalence() {
+        let mut state = 3u64;
+        let mut next = move |m: i64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(12345);
+            ((state >> 33) as i64).rem_euclid(m)
+        };
+        for round in 0..10 {
+            let mut l = arr((0..120).map(|_| next(40)).collect());
+            let mut r = arr((0..80).map(|_| next(40)).collect());
+            for _ in 0..round {
+                let lo = next(40);
+                l.crack_range(&RangePred::open(lo, lo + 1 + next(10)));
+                let lo = next(40);
+                r.crack_range(&RangePred::open(lo, lo + 1 + next(10)));
+            }
+            assert_eq!(
+                normalize(cracker_join(&l, &r)),
+                normalize(flat_hash_join(&l, &r)),
+                "round {round}"
+            );
+        }
+    }
+}

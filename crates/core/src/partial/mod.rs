@@ -1,0 +1,509 @@
+//! Partial sideways cracking (§4): maps materialized chunk-by-chunk,
+//! driven by the workload, under a storage budget.
+//!
+//! A [`PartialSet`] owns:
+//!
+//! * the **chunk map** `H_A` — `(A, key)` pairs, cracked into *areas*;
+//!   unfetched areas may be cracked further; fetched areas are frozen so
+//!   that all chunks created from them stay alignment-compatible;
+//! * per-area metadata: fetched state, the *area tape* of chunk-level
+//!   cracks, the set of maps referencing the area, and lazily deleted
+//!   index shells of dropped chunks;
+//! * the partial maps themselves: one [`Chunk`] per (attribute, area)
+//!   pair, created on demand, dropped under storage pressure (LFU),
+//!   recreated when needed again.
+//!
+//! Queries proceed **chunk-wise** (§4.1): each operator loads, creates,
+//! aligns, cracks and scans one chunk at a time, and alignment is
+//! *partial* — a chunk not being cracked only needs to reach the maximum
+//! cursor of the chunks used together with it, and even a to-be-cracked
+//! chunk stops early when a tape entry already provides its boundary.
+
+pub mod chunk;
+
+pub use chunk::Chunk;
+
+use crate::bitvec::BitVec;
+use crackdb_columnstore::column::Table;
+use crackdb_columnstore::types::{RangePred, RowId, Val};
+use crackdb_cracking::index::pred_keys;
+use crackdb_cracking::{BoundaryKey, CrackedArray, CrackerIndex};
+use std::collections::{HashMap, HashSet};
+
+/// Identity of an area: its start boundary in the chunk map (`None` for
+/// the leftmost area). Stable while the area is fetched.
+pub type AreaId = Option<BoundaryKey>;
+
+/// Per-area metadata.
+#[derive(Debug, Clone, Default)]
+struct AreaInfo {
+    fetched: bool,
+    /// Chunk-level cracks logged for this area, replayed by sibling
+    /// chunks during (partial) alignment.
+    tape: Vec<RangePred>,
+    /// Tail attributes whose partial map currently holds a chunk of this
+    /// area.
+    refs: HashSet<usize>,
+    /// Lazily deleted cracker-index shells of dropped chunks, reusable at
+    /// recreation (§4.1 "lazy deletion").
+    shells: HashMap<usize, CrackerIndex>,
+}
+
+/// A partial map: the workload-selected subset of `M_AB`, one chunk per
+/// fetched area.
+#[derive(Debug, Clone, Default)]
+pub struct PartialMap {
+    /// Chunks keyed by area.
+    pub chunks: HashMap<AreaId, Chunk>,
+}
+
+/// Instrumentation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartialStats {
+    /// Chunks fetched (including recreations).
+    pub chunks_created: u64,
+    /// Chunks evicted by the storage manager.
+    pub chunks_dropped: u64,
+    /// Tuples materialized by fetches.
+    pub tuples_fetched: u64,
+    /// Area-tape entries replayed during alignment.
+    pub entries_replayed: u64,
+    /// Cracks performed directly by queries on chunks.
+    pub query_cracks: u64,
+    /// Cracks performed on the chunk map.
+    pub chunk_map_cracks: u64,
+    /// Head columns dropped.
+    pub heads_dropped: u64,
+    /// Head columns recovered (rebuilt) for further cracking.
+    pub heads_recovered: u64,
+}
+
+/// A reference to one area of the chunk map at query time.
+#[derive(Debug, Clone, Copy)]
+struct AreaRef {
+    id: AreaId,
+    start: usize,
+    end: usize,
+    end_key: Option<BoundaryKey>,
+}
+
+/// The partial map set `S_A` of one head attribute.
+#[derive(Debug, Clone)]
+pub struct PartialSet {
+    /// Head attribute of every map in the set.
+    pub head_attr: usize,
+    chunk_map: Option<CrackedArray<RowId>>,
+    areas: HashMap<AreaId, AreaInfo>,
+    maps: HashMap<usize, PartialMap>,
+    /// Storage budget in tuples across all chunks (`None` = unlimited).
+    pub budget: Option<usize>,
+    usage: usize,
+    clock: u64,
+    /// When set, chunks whose largest piece is at most this many tuples
+    /// drop their head column after use (§4.1 head dropping).
+    pub head_drop_threshold: Option<usize>,
+    /// Counters.
+    pub stats: PartialStats,
+}
+
+impl PartialSet {
+    /// Empty partial set for `head_attr`.
+    pub fn new(head_attr: usize) -> Self {
+        PartialSet {
+            head_attr,
+            chunk_map: None,
+            areas: HashMap::new(),
+            maps: HashMap::new(),
+            budget: None,
+            usage: 0,
+            clock: 0,
+            head_drop_threshold: None,
+            stats: PartialStats::default(),
+        }
+    }
+
+    /// Current chunk storage in tuples (the chunk map, like a cracker
+    /// column, is infrastructure and not counted against the budget).
+    pub fn usage(&self) -> usize {
+        self.usage
+    }
+
+    /// Number of materialized chunks across all maps.
+    pub fn chunk_count(&self) -> usize {
+        self.maps.values().map(|m| m.chunks.len()).sum()
+    }
+
+    /// Read access to a partial map.
+    pub fn map(&self, tail_attr: usize) -> Option<&PartialMap> {
+        self.maps.get(&tail_attr)
+    }
+
+    fn ensure_chunk_map(&mut self, base: &Table) {
+        if self.chunk_map.is_none() {
+            let col = base.column(self.head_attr);
+            let head = col.values().to_vec();
+            let keys: Vec<RowId> = (0..col.len() as RowId).collect();
+            self.chunk_map = Some(CrackedArray::new(head, keys));
+        }
+    }
+
+    fn area_info(&mut self, id: AreaId) -> &mut AreaInfo {
+        self.areas.entry(id).or_default()
+    }
+
+    /// Crack the chunk map at the predicate's cut points, but only inside
+    /// unfetched areas (fetched areas are frozen; their chunks get
+    /// cracked instead).
+    fn crack_chunk_map_for(&mut self, pred: &RangePred) {
+        let (lo_k, hi_k) = pred_keys(pred);
+        for key in [lo_k, hi_k].into_iter().flatten() {
+            let cm = self.chunk_map.as_ref().expect("chunk map ensured");
+            if cm.index().position_of(key).is_some() {
+                continue;
+            }
+            let id: AreaId = cm.index().boundaries().iter().rev()
+                .find(|(k, _)| *k < key)
+                .map(|(k, _)| *k);
+            let fetched = self.areas.get(&id).is_some_and(|a| a.fetched);
+            if !fetched {
+                self.chunk_map
+                    .as_mut()
+                    .expect("chunk map ensured")
+                    .ensure_boundary(key);
+                self.stats.chunk_map_cracks += 1;
+            }
+        }
+    }
+
+    /// Enumerate areas overlapping the predicate's qualifying region.
+    fn overlapping_areas(&self, pred: &RangePred) -> Vec<AreaRef> {
+        let cm = self.chunk_map.as_ref().expect("chunk map ensured");
+        let bs = cm.index().boundaries();
+        let n = cm.len();
+        let (lo_k, hi_k) = pred_keys(pred);
+        let mut out = Vec::new();
+        let mut start_key: AreaId = None;
+        let mut start_pos = 0usize;
+        for i in 0..=bs.len() {
+            let (end_key, end_pos) = if i < bs.len() {
+                (Some(bs[i].0), bs[i].1)
+            } else {
+                (None, n)
+            };
+            // Overlap test on cut-point order: area [start_key, end_key)
+            // vs region (lo_k, hi_k).
+            let below = match (end_key, lo_k) {
+                (Some(e), Some(l)) => e <= l,
+                _ => false,
+            };
+            let above = match (start_key, hi_k) {
+                (Some(s), Some(h)) => s >= h,
+                _ => false,
+            };
+            if !below && !above && end_pos > start_pos {
+                out.push(AreaRef { id: start_key, start: start_pos, end: end_pos, end_key });
+            }
+            start_key = end_key;
+            start_pos = end_pos;
+        }
+        out
+    }
+
+    /// Predicate boundaries falling strictly inside an area (those require
+    /// chunk-level cracks).
+    fn keys_inside(pred: &RangePred, area: &AreaRef) -> Vec<BoundaryKey> {
+        let (lo_k, hi_k) = pred_keys(pred);
+        [lo_k, hi_k]
+            .into_iter()
+            .flatten()
+            .filter(|k| {
+                let after_start = area.id.is_none_or(|s| *k > s);
+                let before_end = area.end_key.is_none_or(|e| *k < e);
+                after_start && before_end
+            })
+            .collect()
+    }
+
+    /// Fetch (materialize) the chunk of `tail_attr` for an area, reviving
+    /// a lazily deleted index shell when available.
+    fn fetch_chunk(&mut self, base: &Table, tail_attr: usize, area: &AreaRef) -> Chunk {
+        let cm = self.chunk_map.as_ref().expect("chunk map ensured");
+        let (heads, keys) = cm.view((area.start, area.end));
+        let tail_col = base.column(tail_attr);
+        let head: Vec<Val> = heads.to_vec();
+        let tail: Vec<Val> = keys.iter().map(|&k| tail_col.get(k)).collect();
+        let info = self.areas.entry(area.id).or_default();
+        info.fetched = true;
+        info.refs.insert(tail_attr);
+        let shell = info.shells.remove(&tail_attr);
+        self.usage += head.len();
+        self.stats.chunks_created += 1;
+        self.stats.tuples_fetched += head.len() as u64;
+        let mut chunk = Chunk::seed(head, tail, shell);
+        chunk.last_access = self.clock;
+        chunk
+    }
+
+    /// Evict cold chunks until `extra` more tuples fit in the budget.
+    /// Chunks in `pinned` are untouchable.
+    ///
+    /// Victim choice is least-recently-used with access frequency as the
+    /// tiebreak. Pure frequency (no aging) would always evict the chunks
+    /// a workload shift just created — the previous batch's chunks carry
+    /// large counts — and thrash; recency keeps the adaptation property
+    /// §4.1 asks of the storage manager ("the system always keeps the
+    /// chunks that are really necessary for the workload hot-set").
+    fn make_room(&mut self, extra: usize, pinned: &HashSet<(usize, AreaId)>) {
+        let Some(budget) = self.budget else { return };
+        while self.usage + extra > budget {
+            let victim = self
+                .maps
+                .iter()
+                .flat_map(|(&attr, m)| {
+                    m.chunks
+                        .iter()
+                        .map(move |(&aid, c)| ((attr, aid), (c.last_access, c.accesses)))
+                })
+                .filter(|(key, _)| !pinned.contains(key))
+                .min_by_key(|(_, score)| *score)
+                .map(|(key, _)| key);
+            let Some((attr, aid)) = victim else { break };
+            self.drop_chunk(attr, aid);
+        }
+    }
+
+    /// Drop one chunk, keeping its index as a lazily deleted shell; if it
+    /// was the area's last chunk, the area reverts to unfetched and its
+    /// tape is removed (§4.1).
+    pub fn drop_chunk(&mut self, tail_attr: usize, area_id: AreaId) {
+        let Some(map) = self.maps.get_mut(&tail_attr) else { return };
+        let Some(chunk) = map.chunks.remove(&area_id) else { return };
+        self.usage -= chunk.len();
+        self.stats.chunks_dropped += 1;
+        let info = self.areas.entry(area_id).or_default();
+        info.refs.remove(&tail_attr);
+        if info.refs.is_empty() {
+            info.fetched = false;
+            info.tape.clear();
+            info.shells.clear();
+        } else {
+            info.shells.insert(tail_attr, chunk.into_shell());
+        }
+    }
+
+    /// Deterministically rebuild the head column of a head-dropped chunk:
+    /// re-seed from the (frozen) chunk-map area and replay the area tape
+    /// up to the chunk's cursor.
+    fn rebuild_head(
+        &mut self,
+        base: &Table,
+        tail_attr: usize,
+        area: &AreaRef,
+        cursor: usize,
+    ) -> Vec<Val> {
+        let cm = self.chunk_map.as_ref().expect("chunk map ensured");
+        let (heads, keys) = cm.view((area.start, area.end));
+        let tail_col = base.column(tail_attr);
+        let head: Vec<Val> = heads.to_vec();
+        let tail: Vec<Val> = keys.iter().map(|&k| tail_col.get(k)).collect();
+        let mut tmp = Chunk::seed(head, tail, None);
+        let tape = self.areas.get(&area.id).map(|a| a.tape.clone()).unwrap_or_default();
+        tmp.align_to(&tape, cursor);
+        self.stats.heads_recovered += 1;
+        tmp.head().expect("fresh chunk has a head").to_vec()
+    }
+
+    /// Single-selection, multi-projection query (`select P1.. from R where
+    /// pred(A)`): stream each projection attribute's qualifying values.
+    pub fn select_project_with<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        head_pred: &RangePred,
+        projs: &[usize],
+        consume: F,
+    ) {
+        self.conjunctive_project_with(base, head_pred, &[], projs, consume)
+    }
+
+    /// Conjunctive multi-selection query (§3.3 executed chunk-wise,
+    /// §4.1): predicate on the head attribute plus `tail_sels` predicates
+    /// on other attributes; streams qualifying values of each projection
+    /// attribute via `consume(attr, value)`.
+    pub fn conjunctive_project_with<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        head_pred: &RangePred,
+        tail_sels: &[(usize, RangePred)],
+        projs: &[usize],
+        mut consume: F,
+    ) {
+        if head_pred.is_empty_range() || (tail_sels.is_empty() && projs.is_empty()) {
+            return;
+        }
+        self.ensure_chunk_map(base);
+        self.crack_chunk_map_for(head_pred);
+        self.clock += 1;
+
+        let mut attrs: Vec<usize> = tail_sels.iter().map(|(a, _)| *a).collect();
+        for &p in projs {
+            if !attrs.contains(&p) {
+                attrs.push(p);
+            }
+        }
+        let areas = self.overlapping_areas(head_pred);
+        for area in areas {
+            self.process_area(base, &area, head_pred, tail_sels, projs, &attrs, &mut consume);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_area<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        area: &AreaRef,
+        head_pred: &RangePred,
+        tail_sels: &[(usize, RangePred)],
+        projs: &[usize],
+        attrs: &[usize],
+        consume: &mut F,
+    ) {
+        // 1. Materialize missing chunks (budget-checked, pinning the
+        //    chunks this query needs).
+        let pinned: HashSet<(usize, AreaId)> =
+            attrs.iter().map(|&a| (a, area.id)).collect();
+        for &attr in attrs {
+            let present = self
+                .maps
+                .get(&attr)
+                .is_some_and(|m| m.chunks.contains_key(&area.id));
+            if !present {
+                self.make_room(area.end - area.start, &pinned);
+                let chunk = self.fetch_chunk(base, attr, area);
+                self.maps.entry(attr).or_default().chunks.insert(area.id, chunk);
+            }
+        }
+
+        // 2. Take the chunks out for processing.
+        let mut chunks: Vec<(usize, Chunk)> = attrs
+            .iter()
+            .map(|&attr| {
+                let c = self
+                    .maps
+                    .get_mut(&attr)
+                    .expect("map materialized")
+                    .chunks
+                    .remove(&area.id)
+                    .expect("chunk materialized");
+                (attr, c)
+            })
+            .collect();
+
+        let tape = self.areas.get(&area.id).map(|a| a.tape.clone()).unwrap_or_default();
+        let needed = Self::keys_inside(head_pred, area);
+
+        // 3. Partial alignment: bring every used chunk to the maximum
+        //    cursor among them.
+        let target = chunks.iter().map(|(_, c)| c.cursor).max().unwrap_or(0);
+        for (attr, c) in chunks.iter_mut() {
+            if c.cursor < target && c.head_dropped() {
+                let head = self.rebuild_head(base, *attr, area, c.cursor);
+                c.restore_head(head);
+            }
+            self.stats.entries_replayed += c.align_to(&tape, target) as u64;
+        }
+
+        // 4. Boundary handling with monitored alignment: replay further
+        //    entries until the needed boundaries appear; crack only if the
+        //    tape never provides them.
+        let mut range = (0, chunks.first().map_or(0, |(_, c)| c.len()));
+        if !needed.is_empty() {
+            let mut missing = false;
+            for (attr, c) in chunks.iter_mut() {
+                if !c.has_boundaries(&needed) && c.head_dropped() {
+                    let head = self.rebuild_head(base, *attr, area, c.cursor);
+                    c.restore_head(head);
+                }
+                let (replayed, m) = c.align_until_boundaries(&tape, &needed);
+                self.stats.entries_replayed += replayed as u64;
+                missing = m;
+            }
+            if missing {
+                for (attr, c) in chunks.iter_mut() {
+                    if c.head_dropped() {
+                        let head = self.rebuild_head(base, *attr, area, c.cursor);
+                        c.restore_head(head);
+                    }
+                    c.crack_range(head_pred);
+                    self.stats.query_cracks += 1;
+                }
+                let info = self.area_info(area.id);
+                info.tape.push(*head_pred);
+                let new_len = info.tape.len();
+                for (_, c) in chunks.iter_mut() {
+                    c.cursor = new_len;
+                }
+            }
+            range = chunks[0].1.range_of(head_pred);
+            for (_, c) in &chunks {
+                debug_assert_eq!(c.range_of(head_pred), range, "aligned chunks agree");
+            }
+        }
+
+        // 5. Bit-vector filtering over the qualifying local range.
+        let bv = if tail_sels.is_empty() {
+            None
+        } else {
+            let mut bv: Option<BitVec> = None;
+            for (attr, pred) in tail_sels {
+                let (_, c) = chunks
+                    .iter()
+                    .find(|(a, _)| a == attr)
+                    .expect("selection chunk present");
+                let tails = &c.tail()[range.0..range.1];
+                match &mut bv {
+                    None => {
+                        bv = Some(BitVec::from_fn(tails.len(), |i| pred.matches(tails[i])));
+                    }
+                    Some(bv) => bv.refine(|i| pred.matches(tails[i])),
+                }
+            }
+            bv
+        };
+
+        // 6. Stream projections.
+        for &p in projs {
+            let (_, c) = chunks.iter().find(|(a, _)| *a == p).expect("projection chunk");
+            let tails = &c.tail()[range.0..range.1];
+            match &bv {
+                None => {
+                    for &v in tails {
+                        consume(p, v);
+                    }
+                }
+                Some(bv) => {
+                    for i in bv.iter_ones() {
+                        consume(p, tails[i]);
+                    }
+                }
+            }
+        }
+
+        // 7. Bookkeeping, optional head dropping, and reinstalling.
+        let clock = self.clock;
+        let threshold = self.head_drop_threshold;
+        for (attr, mut c) in chunks {
+            c.accesses += 1;
+            c.last_access = clock;
+            if let Some(t) = threshold {
+                if !c.head_dropped() && c.max_piece() <= t {
+                    c.drop_head();
+                    self.stats.heads_dropped += 1;
+                }
+            }
+            self.maps.entry(attr).or_default().chunks.insert(area.id, c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,726 @@
+//! Map sets `S_A` (§3.2–§3.5): the per-attribute collection of cracker
+//! maps, their shared tape, adaptive alignment, the bit-vector operators
+//! for multi-selection queries, and on-demand update merging.
+
+use crate::bitvec::BitVec;
+use crate::map::{CrackerMap, KeyMap};
+use crate::tape::{DeleteBatch, InsertBatch, Tape, TapeEntry};
+use crackdb_columnstore::column::Table;
+use crackdb_columnstore::types::{RangePred, RowId, Val};
+use std::collections::{HashMap, HashSet};
+
+/// Instrumentation counters for a map set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SetStats {
+    /// Maps seeded from base columns (includes recreations after drops).
+    pub maps_created: u64,
+    /// Tape entries replayed during alignment (all maps).
+    pub entries_replayed: u64,
+    /// Cracks performed directly by queries (not via alignment).
+    pub query_cracks: u64,
+}
+
+/// A map set `S_A`: all cracker maps with head attribute `A`, the tape
+/// `T_A`, the key map `M_A,key`, and staged (not yet merged) updates.
+#[derive(Debug, Clone)]
+pub struct MapSet {
+    /// The head attribute all maps of this set share.
+    pub head_attr: usize,
+    /// The shared reorganization log.
+    pub tape: Tape,
+    maps: HashMap<usize, CrackerMap>,
+    key_map: Option<KeyMap>,
+    staged_inserts: Vec<RowId>,
+    staged_deletes: Vec<(Val, RowId)>,
+    /// Keys `[0, initial_len)` existed when the set was created; maps are
+    /// always seeded from exactly this snapshot and then replay the tape,
+    /// which keeps late-created maps deterministically aligned.
+    initial_len: usize,
+    initial_excluded: HashSet<RowId>,
+    /// Counters.
+    pub stats: SetStats,
+}
+
+impl MapSet {
+    /// Create the (empty) set for `head_attr` over a base table snapshot:
+    /// `initial_len` rows of which `excluded` are already deleted.
+    pub fn new(head_attr: usize, initial_len: usize, excluded: HashSet<RowId>) -> Self {
+        MapSet {
+            head_attr,
+            tape: Tape::new(),
+            maps: HashMap::new(),
+            key_map: None,
+            staged_inserts: Vec::new(),
+            staged_deletes: Vec::new(),
+            initial_len,
+            initial_excluded: excluded,
+            stats: SetStats::default(),
+        }
+    }
+
+    /// Does a map for `tail_attr` currently exist?
+    pub fn has_map(&self, tail_attr: usize) -> bool {
+        self.maps.contains_key(&tail_attr)
+    }
+
+    /// Read access to a map (if materialized).
+    pub fn map(&self, tail_attr: usize) -> Option<&CrackerMap> {
+        self.maps.get(&tail_attr)
+    }
+
+    /// Read access to the key map (if materialized).
+    pub fn key_map(&self) -> Option<&KeyMap> {
+        self.key_map.as_ref()
+    }
+
+    /// Storage footprint in tuples across all maps (and the key map).
+    pub fn tuples(&self) -> usize {
+        self.maps.values().map(|m| m.tuples()).sum::<usize>()
+            + self.key_map.as_ref().map_or(0, |k| k.tuples())
+    }
+
+    /// Tail attributes of currently materialized maps.
+    pub fn map_attrs(&self) -> Vec<usize> {
+        self.maps.keys().copied().collect()
+    }
+
+    /// Drop the least-frequently-accessed map; returns the tuples freed.
+    /// Used by the store's storage manager for *full* maps (§4.2 compares
+    /// against this policy).
+    pub fn drop_lfu_map(&mut self) -> usize {
+        let victim = self
+            .maps
+            .iter()
+            .min_by_key(|(_, m)| m.accesses)
+            .map(|(&a, _)| a);
+        match victim {
+            Some(a) => {
+                let m = self.maps.remove(&a).expect("victim exists");
+                m.tuples()
+            }
+            None => 0,
+        }
+    }
+
+    /// Drop a specific map (storage management); returns tuples freed.
+    pub fn drop_map(&mut self, tail_attr: usize) -> usize {
+        self.maps.remove(&tail_attr).map_or(0, |m| m.tuples())
+    }
+
+    // ----- updates ---------------------------------------------------
+
+    /// Stage an insertion: the tuple with key `key` was appended to the
+    /// base table. Merged on demand when a query touches its value range.
+    pub fn stage_insert(&mut self, key: RowId) {
+        self.staged_inserts.push(key);
+    }
+
+    /// Stage a deletion of the tuple `key` whose head-attribute value is
+    /// `head_val`.
+    pub fn stage_delete(&mut self, head_val: Val, key: RowId) {
+        self.staged_deletes.push((head_val, key));
+    }
+
+    /// Number of staged (unmerged) updates.
+    pub fn staged(&self) -> usize {
+        self.staged_inserts.len() + self.staged_deletes.len()
+    }
+
+    /// Move staged updates whose head value is relevant to `pred` into
+    /// tape batches (Ripple merging at set granularity): every map will
+    /// apply exactly these subsets, in tape order, during alignment.
+    fn flush_staged(&mut self, pred: &RangePred, base: &Table) {
+        if !self.staged_inserts.is_empty() {
+            let head_col = base.column(self.head_attr);
+            let mut merged = Vec::new();
+            let mut i = 0;
+            while i < self.staged_inserts.len() {
+                let key = self.staged_inserts[i];
+                if pred.matches(head_col.get(key)) {
+                    merged.push(key);
+                    self.staged_inserts.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if !merged.is_empty() {
+                self.tape.log_inserts(InsertBatch { keys: merged });
+            }
+        }
+        if !self.staged_deletes.is_empty() {
+            let mut merged = Vec::new();
+            let mut i = 0;
+            while i < self.staged_deletes.len() {
+                let (v, _) = self.staged_deletes[i];
+                if pred.matches(v) {
+                    merged.push(self.staged_deletes.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if !merged.is_empty() {
+                self.tape.log_deletes(DeleteBatch { items: merged, resolved: None });
+            }
+        }
+    }
+
+    // ----- seeding & alignment ---------------------------------------
+
+    fn seed_map(&mut self, base: &Table, tail_attr: usize) -> CrackerMap {
+        let a = base.column(self.head_attr);
+        let b = base.column(tail_attr);
+        let mut head = Vec::with_capacity(self.initial_len);
+        let mut tail = Vec::with_capacity(self.initial_len);
+        for key in 0..self.initial_len as RowId {
+            if !self.initial_excluded.contains(&key) {
+                head.push(a.get(key));
+                tail.push(b.get(key));
+            }
+        }
+        self.stats.maps_created += 1;
+        CrackerMap::seed(tail_attr, head, tail)
+    }
+
+    fn seed_key_map(&mut self, base: &Table) -> KeyMap {
+        let a = base.column(self.head_attr);
+        let mut head = Vec::with_capacity(self.initial_len);
+        let mut keys = Vec::with_capacity(self.initial_len);
+        for key in 0..self.initial_len as RowId {
+            if !self.initial_excluded.contains(&key) {
+                head.push(a.get(key));
+                keys.push(key);
+            }
+        }
+        KeyMap::seed(head, keys)
+    }
+
+    /// Align the key map up to (excluding) tape position `target`,
+    /// resolving any unresolved delete batches it crosses.
+    fn align_key_map_to(&mut self, target: usize, base: &Table) {
+        let mut km = match self.key_map.take() {
+            Some(km) => km,
+            None => self.seed_key_map(base),
+        };
+        let head_col = base.column(self.head_attr);
+        while km.cursor < target {
+            match self.tape.entry(km.cursor).clone() {
+                TapeEntry::Crack(pred) => {
+                    km.arr.crack_range(&pred);
+                }
+                TapeEntry::Inserts(id) => {
+                    for &key in &self.tape.insert_batches[id as usize].keys {
+                        km.arr.ripple_insert(head_col.get(key), key);
+                    }
+                }
+                TapeEntry::Deletes(id) => {
+                    let batch = &mut self.tape.delete_batches[id as usize];
+                    match &batch.resolved {
+                        Some(positions) => {
+                            for &p in positions.clone().iter() {
+                                km.arr.ripple_delete_at(p);
+                            }
+                        }
+                        None => {
+                            // The key map is the first to cross this
+                            // entry: perform the deletions by key and
+                            // record the physical positions for siblings.
+                            let items = batch.items.clone();
+                            let mut positions = Vec::with_capacity(items.len());
+                            for (v, key) in items {
+                                if let Some(p) = km.arr.ripple_delete(v, |&t| t == key) {
+                                    positions.push(p);
+                                }
+                            }
+                            self.tape.delete_batches[id as usize].resolved = Some(positions);
+                        }
+                    }
+                }
+            }
+            km.cursor += 1;
+            self.stats.entries_replayed += 1;
+        }
+        self.key_map = Some(km);
+    }
+
+    /// Align a (removed-from-the-registry) map up to tape position
+    /// `target` by replaying entries from its cursor.
+    fn align_map(&mut self, m: &mut CrackerMap, target: usize, base: &Table) {
+        let head_col = base.column(self.head_attr);
+        while m.cursor < target {
+            match self.tape.entry(m.cursor).clone() {
+                TapeEntry::Crack(pred) => {
+                    m.arr.crack_range(&pred);
+                }
+                TapeEntry::Inserts(id) => {
+                    let tail_col = base.column(m.tail_attr);
+                    for &key in &self.tape.insert_batches[id as usize].keys {
+                        m.arr.ripple_insert(head_col.get(key), tail_col.get(key));
+                    }
+                }
+                TapeEntry::Deletes(id) => {
+                    if self.tape.delete_batches[id as usize].resolved.is_none() {
+                        self.align_key_map_to(m.cursor + 1, base);
+                    }
+                    let positions = self.tape.delete_batches[id as usize]
+                        .resolved
+                        .clone()
+                        .expect("key map resolved the batch");
+                    for p in positions {
+                        m.arr.ripple_delete_at(p);
+                    }
+                }
+            }
+            m.cursor += 1;
+            self.stats.entries_replayed += 1;
+        }
+    }
+
+    // ----- the sideways.select operator family ------------------------
+
+    /// `sideways.select(A, v1, v2, B)` (§3.2): create the map if missing,
+    /// merge relevant staged updates, align, crack by `pred`, log the
+    /// crack, and return the contiguous qualifying area.
+    ///
+    /// View the area's values with [`Self::map`] + `arr.view(range)`.
+    pub fn sideways_select(
+        &mut self,
+        base: &Table,
+        tail_attr: usize,
+        pred: &RangePred,
+    ) -> (usize, usize) {
+        self.flush_staged(pred, base);
+        let mut m = match self.maps.remove(&tail_attr) {
+            Some(m) => m,
+            None => self.seed_map(base, tail_attr),
+        };
+        let target = self.tape.len();
+        self.align_map(&mut m, target, base);
+        let before = m.arr.index().len();
+        let range = m.arr.crack_range(pred);
+        if m.arr.index().len() > before {
+            self.tape.log_crack(*pred);
+            self.stats.query_cracks += 1;
+        }
+        m.cursor = self.tape.len();
+        m.accesses += 1;
+        self.maps.insert(tail_attr, m);
+        range
+    }
+
+    /// Tail values of a previously selected area.
+    pub fn view_tail(&self, tail_attr: usize, range: (usize, usize)) -> &[Val] {
+        let m = self.maps.get(&tail_attr).expect("map exists after select");
+        m.arr.view(range).1
+    }
+
+    /// Like [`Self::sideways_select`] but over the key map: returns the
+    /// qualifying tuple keys (used when a plan needs tuple identities,
+    /// e.g. to feed a join).
+    pub fn select_keys(&mut self, base: &Table, pred: &RangePred) -> Vec<RowId> {
+        self.flush_staged(pred, base);
+        let target = self.tape.len();
+        self.align_key_map_to(target, base);
+        let mut km = self.key_map.take().expect("aligned above");
+        let before = km.arr.index().len();
+        let range = km.arr.crack_range(pred);
+        if km.arr.index().len() > before {
+            self.tape.log_crack(*pred);
+            self.stats.query_cracks += 1;
+        }
+        km.cursor = self.tape.len();
+        km.accesses += 1;
+        let keys = km.arr.view((range.0, range.1)).1.to_vec();
+        self.key_map = Some(km);
+        keys
+    }
+
+    /// `sideways.select_create_bv` (§3.3): select on the head predicate,
+    /// then build a bit vector over the qualifying area from a predicate
+    /// on the tail attribute.
+    pub fn select_create_bv(
+        &mut self,
+        base: &Table,
+        tail_attr: usize,
+        head_pred: &RangePred,
+        tail_pred: &RangePred,
+    ) -> ((usize, usize), BitVec) {
+        let range = self.sideways_select(base, tail_attr, head_pred);
+        let tails = self.view_tail(tail_attr, range);
+        let bv = BitVec::from_fn(tails.len(), |i| tail_pred.matches(tails[i]));
+        (range, bv)
+    }
+
+    /// `sideways.select_refine_bv` (§3.3): clear bits of tuples whose tail
+    /// value fails `tail_pred`. The map is aligned first, so the area is
+    /// positionally identical to the one `bv` was created over.
+    pub fn select_refine_bv(
+        &mut self,
+        base: &Table,
+        tail_attr: usize,
+        head_pred: &RangePred,
+        tail_pred: &RangePred,
+        bv: &mut BitVec,
+    ) {
+        let range = self.sideways_select(base, tail_attr, head_pred);
+        let tails = self.view_tail(tail_attr, range);
+        assert_eq!(tails.len(), bv.len(), "aligned maps must agree on the area size");
+        bv.refine(|i| tail_pred.matches(tails[i]));
+    }
+
+    /// `sideways.reconstruct` (§3.3): stream the tail values of the
+    /// qualifying area whose bits are set.
+    pub fn reconstruct_with<F: FnMut(Val)>(
+        &mut self,
+        base: &Table,
+        tail_attr: usize,
+        head_pred: &RangePred,
+        bv: &BitVec,
+        mut consume: F,
+    ) {
+        let range = self.sideways_select(base, tail_attr, head_pred);
+        let tails = self.view_tail(tail_attr, range);
+        assert_eq!(tails.len(), bv.len(), "aligned maps must agree on the area size");
+        for i in bv.iter_ones() {
+            consume(tails[i]);
+        }
+    }
+
+    // ----- disjunctive variants (§3.3) ---------------------------------
+
+    /// Disjunctive first step: crack by the head predicate and return a
+    /// bit vector sized to the whole map with the qualifying area's bits
+    /// set.
+    pub fn disj_create_bv(
+        &mut self,
+        base: &Table,
+        tail_attr: usize,
+        head_pred: &RangePred,
+    ) -> ((usize, usize), BitVec) {
+        let range = self.sideways_select(base, tail_attr, head_pred);
+        let n = self.maps[&tail_attr].arr.len();
+        let mut bv = BitVec::zeros(n);
+        for i in range.0..range.1 {
+            bv.set(i);
+        }
+        (range, bv)
+    }
+
+    /// Disjunctive refinement: scan the areas *outside* the cracked area
+    /// `w` and set bits of tuples whose tail value satisfies `tail_pred`.
+    pub fn disj_refine_bv(
+        &mut self,
+        base: &Table,
+        tail_attr: usize,
+        head_pred: &RangePred,
+        tail_pred: &RangePred,
+        bv: &mut BitVec,
+    ) {
+        let range = self.sideways_select(base, tail_attr, head_pred);
+        let m = &self.maps[&tail_attr];
+        let n = m.arr.len();
+        assert_eq!(n, bv.len(), "aligned maps must agree on total size");
+        let tails = m.arr.tail();
+        for i in (0..range.0).chain(range.1..n) {
+            if !bv.get(i) && tail_pred.matches(tails[i]) {
+                bv.set(i);
+            }
+        }
+    }
+
+    /// Disjunctive reconstruction: stream tail values at all set bits
+    /// (whole-map indexing).
+    pub fn disj_reconstruct_with<F: FnMut(Val)>(
+        &mut self,
+        base: &Table,
+        tail_attr: usize,
+        head_pred: &RangePred,
+        bv: &BitVec,
+        mut consume: F,
+    ) {
+        self.sideways_select(base, tail_attr, head_pred);
+        let m = &self.maps[&tail_attr];
+        assert_eq!(m.arr.len(), bv.len(), "aligned maps must agree on total size");
+        let tails = m.arr.tail();
+        for i in bv.iter_ones() {
+            consume(tails[i]);
+        }
+    }
+
+    // ----- self-organizing histogram (§3.3) ----------------------------
+
+    /// Estimate the result size of `pred` using the most-aligned map's
+    /// cracker index, falling back to a uniform assumption over `domain`
+    /// when the set has no maps yet. `n` is the table cardinality.
+    pub fn estimate(&self, pred: &RangePred, n: usize, domain: (Val, Val)) -> f64 {
+        let best = self
+            .maps
+            .values()
+            .map(|m| (self.tape.lag(m.cursor), m.arr.index(), m.arr.len()))
+            .chain(
+                self.key_map
+                    .as_ref()
+                    .map(|k| (self.tape.lag(k.cursor), k.arr.index(), k.arr.len())),
+            )
+            .min_by_key(|(lag, _, _)| *lag);
+        match best {
+            Some((_, index, len)) => index.estimate_size(pred, len, domain).estimate,
+            None => uniform_estimate(pred, n, domain),
+        }
+    }
+}
+
+/// Uniform-distribution estimate of qualifying tuples with no index
+/// knowledge at all.
+pub fn uniform_estimate(pred: &RangePred, n: usize, domain: (Val, Val)) -> f64 {
+    let (d_lo, d_hi) = domain;
+    let span = (d_hi - d_lo).max(1) as f64;
+    let lo = pred.lo.map_or(d_lo, |b| b.value).clamp(d_lo, d_hi);
+    let hi = pred.hi.map_or(d_hi, |b| b.value).clamp(d_lo, d_hi);
+    let frac = ((hi - lo).max(0) as f64 / span).clamp(0.0, 1.0);
+    frac * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crackdb_columnstore::column::Column;
+
+    /// The Figure 2 example relation.
+    fn fig2_table() -> Table {
+        let mut t = Table::new();
+        t.add_column("a", Column::new(vec![7, 4, 1, 2, 8, 3, 6]));
+        t.add_column("b", Column::new(vec![71, 41, 11, 21, 81, 31, 61]));
+        t.add_column("c", Column::new(vec![72, 42, 12, 22, 82, 32, 62]));
+        t
+    }
+
+    fn sorted(mut v: Vec<Val>) -> Vec<Val> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn figure2_alignment_scenario() {
+        // Q1: select B where A < 3; Q2: select C where A < 5;
+        // Q3: select B, C where A < 4 — maps must be aligned.
+        let base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        let lt = |v| RangePred::less(crackdb_columnstore::types::Bound::exclusive(v));
+
+        let r1 = s.sideways_select(&base, 1, &lt(3));
+        assert_eq!(sorted(s.view_tail(1, r1).to_vec()), vec![11, 21]);
+
+        let r2 = s.sideways_select(&base, 2, &lt(5));
+        assert_eq!(sorted(s.view_tail(2, r2).to_vec()), vec![12, 22, 32, 42]);
+
+        // Q3: both maps used; results must be positionally aligned.
+        let rb = s.sideways_select(&base, 1, &lt(4));
+        let rc = s.sideways_select(&base, 2, &lt(4));
+        assert_eq!(rb, rc, "aligned maps produce identical areas");
+        let b_vals = s.view_tail(1, rb).to_vec();
+        let c_vals = s.view_tail(2, rc).to_vec();
+        assert_eq!(sorted(b_vals.clone()), vec![11, 21, 31]);
+        // Positional alignment: b and c of the same tuple share position.
+        for (b, c) in b_vals.iter().zip(&c_vals) {
+            assert_eq!(b + 1, *c, "tuple identity preserved positionally");
+        }
+    }
+
+    #[test]
+    fn maps_and_heads_stay_consistent() {
+        let base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        for pred in [
+            RangePred::open(1, 5),
+            RangePred::open(2, 7),
+            RangePred::open(0, 3),
+            RangePred::point(6),
+        ] {
+            let r1 = s.sideways_select(&base, 1, &pred);
+            let r2 = s.sideways_select(&base, 2, &pred);
+            assert_eq!(r1, r2);
+            s.map(1).unwrap().arr.check_partitioning();
+            s.map(2).unwrap().arr.check_partitioning();
+            // Heads of both maps are identical after alignment.
+            assert_eq!(s.map(1).unwrap().arr.head(), s.map(2).unwrap().arr.head());
+        }
+    }
+
+    #[test]
+    fn conjunctive_bitvec_plan() {
+        // select C where 1 < A < 8 and 20 < B < 70 over fig2.
+        let base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        let head_pred = RangePred::open(1, 8);
+        let (_, mut bv) =
+            s.select_create_bv(&base, 1, &head_pred, &RangePred::open(20, 70));
+        let mut out = Vec::new();
+        s.reconstruct_with(&base, 2, &head_pred, &bv.clone(), |v| out.push(v));
+        // Qualifying tuples: A in {2..7}\{1,8} with B in (20,70):
+        // A=7(B=71 no), A=4(41 yes), A=2(21 yes), A=3(31 yes), A=6(61 yes).
+        assert_eq!(sorted(out), vec![22, 32, 42, 62]);
+
+        // Refine further with a predicate on C.
+        s.select_refine_bv(&base, 2, &head_pred, &RangePred::open(30, 50), &mut bv);
+        let mut out2 = Vec::new();
+        s.reconstruct_with(&base, 2, &head_pred, &bv, |v| out2.push(v));
+        assert_eq!(sorted(out2), vec![32, 42]);
+    }
+
+    #[test]
+    fn disjunctive_bitvec_plan() {
+        // select C where A < 2 or B > 70 over fig2.
+        let base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        let head_pred = RangePred::less(crackdb_columnstore::types::Bound::exclusive(2));
+        let (_, mut bv) = s.disj_create_bv(&base, 1, &head_pred);
+        s.disj_refine_bv(
+            &base,
+            1,
+            &head_pred,
+            &RangePred::greater(crackdb_columnstore::types::Bound::exclusive(70)),
+            &mut bv,
+        );
+        let mut out = Vec::new();
+        s.disj_reconstruct_with(&base, 2, &head_pred, &bv, |v| out.push(v));
+        // A=1 qualifies (A<2); B=71 (A=7), B=81 (A=8) qualify via B>70.
+        assert_eq!(sorted(out), vec![12, 72, 82]);
+    }
+
+    #[test]
+    fn select_keys_matches_scan() {
+        let base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        let pred = RangePred::open(2, 7);
+        let mut keys = s.select_keys(&base, &pred);
+        keys.sort_unstable();
+        let expected =
+            crackdb_columnstore::ops::select::select(base.column(0), &pred);
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn inserts_merge_on_demand_and_align() {
+        let mut base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        let pred = RangePred::open(1, 5);
+        s.sideways_select(&base, 1, &pred);
+
+        // Insert tuple (a=4, b=999, c=998).
+        let key = base.append_row(&[4, 999, 998]);
+        s.stage_insert(key);
+
+        // A query in range merges it; first on map B only.
+        let r = s.sideways_select(&base, 1, &pred);
+        assert!(s.view_tail(1, r).contains(&999));
+
+        // Map C created later must still align and contain the insert.
+        let rc = s.sideways_select(&base, 2, &pred);
+        assert_eq!(r, rc);
+        assert!(s.view_tail(2, rc).contains(&998));
+        // Positional identity.
+        let b_pos = s.view_tail(1, r).iter().position(|&v| v == 999);
+        let c_pos = s.view_tail(2, rc).iter().position(|&v| v == 998);
+        assert_eq!(b_pos, c_pos);
+    }
+
+    #[test]
+    fn inserts_out_of_range_stay_staged() {
+        let mut base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        let key = base.append_row(&[100, 1000, 1001]);
+        s.stage_insert(key);
+        let r = s.sideways_select(&base, 1, &RangePred::open(1, 5));
+        assert!(!s.view_tail(1, r).contains(&1000));
+        assert_eq!(s.staged(), 1);
+        // Now query the range containing it.
+        let r2 = s.sideways_select(&base, 1, &RangePred::open(50, 200));
+        assert!(s.view_tail(1, r2).contains(&1000));
+        assert_eq!(s.staged(), 0);
+    }
+
+    #[test]
+    fn deletes_merge_via_key_map() {
+        let base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        let pred = RangePred::open(1, 5);
+        s.sideways_select(&base, 1, &pred);
+        s.sideways_select(&base, 2, &pred);
+
+        // Delete tuple with key 3 (a=2, b=21, c=22).
+        s.stage_delete(2, 3);
+
+        let r = s.sideways_select(&base, 1, &pred);
+        assert!(!s.view_tail(1, r).contains(&21));
+        let rc = s.sideways_select(&base, 2, &pred);
+        assert_eq!(r, rc);
+        assert!(!s.view_tail(2, rc).contains(&22));
+        // Maps still aligned.
+        assert_eq!(s.map(1).unwrap().arr.head(), s.map(2).unwrap().arr.head());
+        s.map(1).unwrap().arr.check_partitioning();
+    }
+
+    #[test]
+    fn mixed_updates_keep_alignment() {
+        let mut base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        let all = RangePred::all();
+        s.sideways_select(&base, 1, &RangePred::open(2, 6));
+        let k1 = base.append_row(&[5, 501, 502]);
+        s.stage_insert(k1);
+        s.stage_delete(7, 0);
+        s.sideways_select(&base, 1, &all);
+        let k2 = base.append_row(&[3, 301, 302]);
+        s.stage_insert(k2);
+        s.sideways_select(&base, 1, &RangePred::open(0, 9));
+        // Map C created last replays everything.
+        let rc = s.sideways_select(&base, 2, &all);
+        let rb = s.sideways_select(&base, 1, &all);
+        assert_eq!(rb, rc);
+        assert_eq!(s.map(1).unwrap().arr.head(), s.map(2).unwrap().arr.head());
+        let c_vals = s.view_tail(2, rc).to_vec();
+        assert!(c_vals.contains(&502) && c_vals.contains(&302));
+        assert!(!c_vals.contains(&72), "deleted tuple gone");
+        assert_eq!(c_vals.len(), 8); // 7 original + 2 inserts - 1 delete
+    }
+
+    #[test]
+    fn estimate_improves_with_cracking() {
+        let vals: Vec<Val> = (0..1000).map(|i| (i * 37) % 1000).collect();
+        let mut t = Table::new();
+        t.add_column("a", Column::new(vals));
+        t.add_column("b", Column::new((0..1000).collect()));
+        let mut s = MapSet::new(0, 1000, HashSet::new());
+        let pred = RangePred::open(100, 300);
+        let naive = s.estimate(&pred, 1000, (0, 1000));
+        assert!((naive - 200.0).abs() < 20.0, "uniform estimate ~200, got {naive}");
+        s.sideways_select(base_ref(&t), 1, &pred);
+        let exact = s.estimate(&pred, 1000, (0, 1000));
+        // After cracking by exactly this predicate the estimate is exact.
+        let true_count = crackdb_columnstore::ops::select::count(t.column(0), &pred);
+        assert!((exact - true_count as f64).abs() < 1e-9);
+    }
+
+    fn base_ref(t: &Table) -> &Table {
+        t
+    }
+
+    #[test]
+    fn lfu_drop_and_recreate() {
+        let base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        let pred = RangePred::open(1, 5);
+        s.sideways_select(&base, 1, &pred);
+        s.sideways_select(&base, 1, &pred);
+        s.sideways_select(&base, 2, &pred);
+        assert_eq!(s.tuples(), 14);
+        let freed = s.drop_lfu_map();
+        assert_eq!(freed, 7);
+        assert!(!s.has_map(2), "map C had fewer accesses");
+        // Recreate on demand, still correct and aligned.
+        let rc = s.sideways_select(&base, 2, &pred);
+        let rb = s.sideways_select(&base, 1, &pred);
+        assert_eq!(rb, rc);
+        assert_eq!(s.stats.maps_created, 3);
+    }
+}

@@ -1,0 +1,544 @@
+//! Query-level orchestration over map sets: the §3.3 map-set choice via
+//! self-organizing histograms, full-map storage management (the policy
+//! §4.2 benchmarks partial maps against), and the partial-store wrapper.
+
+use crate::bitvec::BitVec;
+use crate::partial::PartialSet;
+use crate::set::{uniform_estimate, MapSet};
+use crackdb_columnstore::column::Table;
+use crackdb_columnstore::types::{RangePred, RowId, Val};
+use std::collections::{HashMap, HashSet};
+
+/// Result handle of a conjunctive multi-selection: the chosen map set,
+/// the cracked area, and the qualifying-bit vector over that area.
+#[derive(Debug, Clone)]
+pub struct ConjHandle {
+    /// Head attribute of the chosen set.
+    pub set_attr: usize,
+    /// The chosen set's own predicate.
+    pub head_pred: RangePred,
+    /// Contiguous qualifying area in every aligned map of the set.
+    pub range: (usize, usize),
+    /// Bits over `range`: set = tuple satisfies all predicates.
+    pub bv: Option<BitVec>,
+}
+
+impl ConjHandle {
+    /// Number of tuples satisfying all predicates.
+    pub fn result_size(&self) -> usize {
+        match &self.bv {
+            Some(bv) => bv.count_ones(),
+            None => self.range.1 - self.range.0,
+        }
+    }
+}
+
+/// Registry of full-map [`MapSet`]s with histogram-driven set choice and
+/// LFU whole-map storage management.
+#[derive(Debug, Clone, Default)]
+pub struct SidewaysStore {
+    sets: HashMap<usize, MapSet>,
+    /// Value domain per attribute (for zero-knowledge estimates).
+    domains: HashMap<usize, (Val, Val)>,
+    default_domain: (Val, Val),
+    /// Storage budget in tuples across all maps (`None` = unlimited).
+    pub budget: Option<usize>,
+    /// Maps dropped by the storage manager (instrumentation).
+    pub maps_dropped: u64,
+}
+
+impl SidewaysStore {
+    /// Empty store with a default attribute value domain used for
+    /// estimates before any knowledge exists.
+    pub fn new(default_domain: (Val, Val)) -> Self {
+        SidewaysStore { default_domain, ..Default::default() }
+    }
+
+    /// Register a per-attribute value domain.
+    pub fn set_domain(&mut self, attr: usize, domain: (Val, Val)) {
+        self.domains.insert(attr, domain);
+    }
+
+    fn domain(&self, attr: usize) -> (Val, Val) {
+        self.domains.get(&attr).copied().unwrap_or(self.default_domain)
+    }
+
+    /// Access (creating on demand) the map set of `head_attr`. `excluded`
+    /// are the base-table keys already deleted at creation time.
+    pub fn ensure_set(
+        &mut self,
+        base: &Table,
+        head_attr: usize,
+        excluded: &HashSet<RowId>,
+    ) -> &mut MapSet {
+        self.sets
+            .entry(head_attr)
+            .or_insert_with(|| MapSet::new(head_attr, base.num_rows(), excluded.clone()))
+    }
+
+    /// Read access to a set.
+    pub fn set(&self, head_attr: usize) -> Option<&MapSet> {
+        self.sets.get(&head_attr)
+    }
+
+    /// Total storage in tuples across all sets.
+    pub fn tuples(&self) -> usize {
+        self.sets.values().map(|s| s.tuples()).sum()
+    }
+
+    /// Stage an insertion (tuple `key` appended to base) into every
+    /// existing set.
+    pub fn stage_insert(&mut self, key: RowId) {
+        for s in self.sets.values_mut() {
+            s.stage_insert(key);
+        }
+    }
+
+    /// Stage a deletion of tuple `key` into every existing set (head
+    /// values read from the base table).
+    pub fn stage_delete(&mut self, base: &Table, key: RowId) {
+        for s in self.sets.values_mut() {
+            let v = base.column(s.head_attr).get(key);
+            s.stage_delete(v, key);
+        }
+    }
+
+    /// §3.3 map-set choice for conjunctions: the most selective
+    /// predicate's attribute, judged by the most-aligned map's cracker
+    /// index (or a uniform assumption when no knowledge exists).
+    pub fn choose_set_conj(&self, base: &Table, preds: &[(usize, RangePred)]) -> usize {
+        self.choose_set(base, preds, false)
+    }
+
+    /// Map-set choice for disjunctions: the *least* selective attribute,
+    /// so the areas scanned outside the cracked region stay small.
+    pub fn choose_set_disj(&self, base: &Table, preds: &[(usize, RangePred)]) -> usize {
+        self.choose_set(base, preds, true)
+    }
+
+    fn choose_set(&self, base: &Table, preds: &[(usize, RangePred)], largest: bool) -> usize {
+        assert!(!preds.is_empty());
+        let n = base.num_rows();
+        let score = |&(attr, pred): &(usize, RangePred)| -> f64 {
+            match self.sets.get(&attr) {
+                Some(s) => s.estimate(&pred, n, self.domain(attr)),
+                None => uniform_estimate(&pred, n, self.domain(attr)),
+            }
+        };
+        let best = preds.iter().enumerate().min_by(|a, b| {
+            let (sa, sb) = (score(a.1), score(b.1));
+            let ord = sa.partial_cmp(&sb).expect("estimates are finite");
+            if largest {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        preds[best.expect("non-empty").0].0
+    }
+
+    /// Enforce the full-map budget before `needed` new tuples are
+    /// materialized, never dropping maps in `pinned` (`(set, tail)`
+    /// pairs). Drops whole least-frequently-accessed maps (§4.2's
+    /// full-map policy).
+    fn make_room(&mut self, needed: usize, pinned: &HashSet<(usize, usize)>) {
+        let Some(budget) = self.budget else { return };
+        loop {
+            let usage = self.tuples();
+            if usage + needed <= budget {
+                return;
+            }
+            let victim = self
+                .sets
+                .iter()
+                .flat_map(|(&sa, s)| {
+                    s.map_attrs().into_iter().filter_map(move |ta| {
+                        let m = s.map(ta)?;
+                        Some(((sa, ta), m.accesses))
+                    })
+                })
+                .filter(|(key, _)| !pinned.contains(key))
+                .min_by_key(|(_, acc)| *acc)
+                .map(|(key, _)| key);
+            let Some((sa, ta)) = victim else { return };
+            self.sets.get_mut(&sa).expect("set exists").drop_map(ta);
+            self.maps_dropped += 1;
+        }
+    }
+
+    /// Reserve budget room for a query that will touch `tail_attrs` maps
+    /// of set `set_attr` (creating the missing ones).
+    fn reserve(&mut self, base: &Table, set_attr: usize, tail_attrs: &[usize]) {
+        if self.budget.is_none() {
+            return;
+        }
+        let pinned: HashSet<(usize, usize)> =
+            tail_attrs.iter().map(|&t| (set_attr, t)).collect();
+        let missing: usize = {
+            let s = self.sets.get(&set_attr);
+            tail_attrs
+                .iter()
+                .filter(|&&t| s.is_none_or(|s| !s.has_map(t)))
+                .count()
+        };
+        if missing > 0 {
+            self.make_room(missing * base.num_rows(), &pinned);
+        }
+    }
+
+    /// Single-selection, multi-projection query: stream each projection
+    /// attribute's qualifying values via `consume(attr, value)`.
+    pub fn select_project_with<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        sel_attr: usize,
+        pred: &RangePred,
+        projs: &[usize],
+        excluded: &HashSet<RowId>,
+        mut consume: F,
+    ) {
+        self.reserve(base, sel_attr, projs);
+        self.ensure_set(base, sel_attr, excluded);
+        let s = self.sets.get_mut(&sel_attr).expect("ensured");
+        for &p in projs {
+            let range = s.sideways_select(base, p, pred);
+            for &v in s.view_tail(p, range) {
+                consume(p, v);
+            }
+        }
+    }
+
+    /// Conjunctive multi-selection (§3.3): returns the handle describing
+    /// the qualifying tuples; follow with [`Self::reconstruct_with`] per
+    /// projection attribute.
+    pub fn conjunctive_bv(
+        &mut self,
+        base: &Table,
+        preds: &[(usize, RangePred)],
+        extra_attrs: &[usize],
+        excluded: &HashSet<RowId>,
+    ) -> ConjHandle {
+        let set_attr = self.choose_set_conj(base, preds);
+        let head_pred = preds
+            .iter()
+            .find(|(a, _)| *a == set_attr)
+            .expect("chosen pred present")
+            .1;
+        let tails: Vec<(usize, RangePred)> = preds
+            .iter()
+            .filter(|(a, _)| *a != set_attr)
+            .cloned()
+            .collect();
+        let mut needed: Vec<usize> = tails.iter().map(|(a, _)| *a).collect();
+        for &a in extra_attrs {
+            if !needed.contains(&a) {
+                needed.push(a);
+            }
+        }
+        self.reserve(base, set_attr, &needed);
+        self.ensure_set(base, set_attr, excluded);
+        let s = self.sets.get_mut(&set_attr).expect("ensured");
+
+        if tails.is_empty() {
+            // Pure single-selection: no bit vector needed. Run the
+            // sideways.select of every needed map now — the query plan's
+            // selection phase contains one operator per map (§3.2), so
+            // later reconstructions find the maps aligned.
+            let mut range = None;
+            for &attr in &needed {
+                range = Some(s.sideways_select(base, attr, &head_pred));
+            }
+            let range = match range {
+                Some(r) => r,
+                None => s.select_keys(base, &head_pred).len().pipe_range(),
+            };
+            return ConjHandle { set_attr, head_pred, range, bv: None };
+        }
+
+        let (range, mut bv) =
+            s.select_create_bv(base, tails[0].0, &head_pred, &tails[0].1);
+        for (attr, pred) in &tails[1..] {
+            s.select_refine_bv(base, *attr, &head_pred, pred, &mut bv);
+        }
+        // Align the projection/aggregation maps now, in the selection
+        // phase (one sideways operator per map in the plan, §3.3).
+        for &attr in &needed {
+            if !tails.iter().any(|(a, _)| *a == attr) {
+                s.sideways_select(base, attr, &head_pred);
+            }
+        }
+        ConjHandle { set_attr, head_pred, range, bv: Some(bv) }
+    }
+
+    /// Stream tail values of `tail_attr` for the qualifying tuples of a
+    /// conjunctive handle (`sideways.reconstruct`).
+    pub fn reconstruct_with<F: FnMut(Val)>(
+        &mut self,
+        base: &Table,
+        handle: &ConjHandle,
+        tail_attr: usize,
+        mut consume: F,
+    ) {
+        let s = self.sets.get_mut(&handle.set_attr).expect("set exists");
+        match &handle.bv {
+            Some(bv) => {
+                s.reconstruct_with(base, tail_attr, &handle.head_pred, bv, consume)
+            }
+            None => {
+                let range = s.sideways_select(base, tail_attr, &handle.head_pred);
+                for &v in s.view_tail(tail_attr, range) {
+                    consume(v);
+                }
+            }
+        }
+    }
+
+    /// Aligned tail slice of one map under the handle's head predicate —
+    /// gives positional access for join plans (positions are relative to
+    /// `range.0`).
+    pub fn tail_slice(
+        &mut self,
+        base: &Table,
+        handle: &ConjHandle,
+        tail_attr: usize,
+    ) -> &[Val] {
+        let s = self.sets.get_mut(&handle.set_attr).expect("set exists");
+        let range = s.sideways_select(base, tail_attr, &handle.head_pred);
+        debug_assert_eq!(range, handle.range, "aligned maps agree on the area");
+        s.view_tail(tail_attr, range)
+    }
+
+    /// Disjunctive multi-selection (§3.3): all predicates on distinct
+    /// attributes combined with OR; streams the projection attributes'
+    /// qualifying values.
+    pub fn disjunctive_project_with<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        preds: &[(usize, RangePred)],
+        projs: &[usize],
+        excluded: &HashSet<RowId>,
+        mut consume: F,
+    ) {
+        let set_attr = self.choose_set_disj(base, preds);
+        let head_pred = preds
+            .iter()
+            .find(|(a, _)| *a == set_attr)
+            .expect("chosen pred present")
+            .1;
+        let tails: Vec<(usize, RangePred)> = preds
+            .iter()
+            .filter(|(a, _)| *a != set_attr)
+            .cloned()
+            .collect();
+        let mut needed: Vec<usize> = tails.iter().map(|(a, _)| *a).collect();
+        for &a in projs {
+            if !needed.contains(&a) {
+                needed.push(a);
+            }
+        }
+        self.reserve(base, set_attr, &needed);
+        self.ensure_set(base, set_attr, excluded);
+        let s = self.sets.get_mut(&set_attr).expect("ensured");
+
+        // First map: any needed map (prefer a selection map).
+        let first_attr = needed.first().copied().unwrap_or(set_attr);
+        let (_, mut bv) = s.disj_create_bv(base, first_attr, &head_pred);
+        for (attr, pred) in &tails {
+            s.disj_refine_bv(base, *attr, &head_pred, pred, &mut bv);
+        }
+        for &p in projs {
+            s.disj_reconstruct_with(base, p, &head_pred, &bv, |v| consume(p, v));
+        }
+    }
+}
+
+/// Tiny helper to express "range of n keys" for the degenerate
+/// keys-only path.
+trait PipeRange {
+    fn pipe_range(self) -> (usize, usize);
+}
+impl PipeRange for usize {
+    fn pipe_range(self) -> (usize, usize) {
+        (0, self)
+    }
+}
+
+/// Registry of [`PartialSet`]s sharing one global storage budget.
+#[derive(Debug, Clone, Default)]
+pub struct PartialStore {
+    sets: HashMap<usize, PartialSet>,
+    /// Global chunk budget in tuples (`None` = unlimited).
+    pub budget: Option<usize>,
+    /// Head-drop policy forwarded to sets.
+    pub head_drop_threshold: Option<usize>,
+    domains: HashMap<usize, (Val, Val)>,
+    default_domain: (Val, Val),
+}
+
+impl PartialStore {
+    /// Empty store.
+    pub fn new(default_domain: (Val, Val)) -> Self {
+        PartialStore { default_domain, ..Default::default() }
+    }
+
+    /// Register a per-attribute value domain (set-choice estimates).
+    pub fn set_domain(&mut self, attr: usize, domain: (Val, Val)) {
+        self.domains.insert(attr, domain);
+    }
+
+    fn domain(&self, attr: usize) -> (Val, Val) {
+        self.domains.get(&attr).copied().unwrap_or(self.default_domain)
+    }
+
+    /// Total chunk storage across all sets.
+    pub fn usage(&self) -> usize {
+        self.sets.values().map(|s| s.usage()).sum()
+    }
+
+    /// Read access to a set.
+    pub fn set(&self, head_attr: usize) -> Option<&PartialSet> {
+        self.sets.get(&head_attr)
+    }
+
+    /// Mutable access (creating on demand) with the budget share updated
+    /// to the global remainder.
+    pub fn set_mut(&mut self, head_attr: usize) -> &mut PartialSet {
+        let other: usize = self
+            .sets
+            .iter()
+            .filter(|(&a, _)| a != head_attr)
+            .map(|(_, s)| s.usage())
+            .sum();
+        let budget = self.budget.map(|b| b.saturating_sub(other));
+        let hd = self.head_drop_threshold;
+        let s = self
+            .sets
+            .entry(head_attr)
+            .or_insert_with(|| PartialSet::new(head_attr));
+        s.budget = budget;
+        s.head_drop_threshold = hd;
+        s
+    }
+
+    /// Conjunctive query with histogram-based set choice (uniform
+    /// fallback), executed chunk-wise on the chosen partial set.
+    pub fn conjunctive_project_with<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        preds: &[(usize, RangePred)],
+        projs: &[usize],
+        consume: F,
+    ) {
+        let n = base.num_rows();
+        let chosen = preds
+            .iter()
+            .min_by(|a, b| {
+                let sa = uniform_estimate(&a.1, n, self.domain(a.0));
+                let sb = uniform_estimate(&b.1, n, self.domain(b.0));
+                sa.partial_cmp(&sb).expect("finite")
+            })
+            .expect("non-empty predicates")
+            .0;
+        let head_pred = preds.iter().find(|(a, _)| *a == chosen).expect("present").1;
+        let tails: Vec<(usize, RangePred)> =
+            preds.iter().filter(|(a, _)| *a != chosen).cloned().collect();
+        self.set_mut(chosen)
+            .conjunctive_project_with(base, &head_pred, &tails, projs, consume);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crackdb_columnstore::column::Column;
+
+    fn table() -> Table {
+        let mut t = Table::new();
+        // attr 0: 0..100; attr 1: reversed; attr 2: doubled.
+        t.add_column("a", Column::new((0..100).collect()));
+        t.add_column("b", Column::new((0..100).rev().collect()));
+        t.add_column("c", Column::new((0..100).map(|v| v * 2).collect()));
+        t
+    }
+
+    #[test]
+    fn choose_most_selective_set() {
+        let store = SidewaysStore::new((0, 100));
+        let base = table();
+        let preds = vec![
+            (0usize, RangePred::open(0, 50)),  // ~50%
+            (1usize, RangePred::open(10, 15)), // ~5%
+        ];
+        assert_eq!(store.choose_set_conj(&base, &preds), 1);
+        assert_eq!(store.choose_set_disj(&base, &preds), 0);
+    }
+
+    #[test]
+    fn conjunctive_roundtrip() {
+        let mut store = SidewaysStore::new((0, 100));
+        let base = table();
+        let none = HashSet::new();
+        let preds = vec![
+            (0usize, RangePred::open(20, 40)),
+            (1usize, RangePred::open(50, 75)),
+        ];
+        let h = store.conjunctive_bv(&base, &preds, &[2], &none);
+        // a in (20,40) => rows 21..=39; b = 99-row in (50,75) => rows 25..=48.
+        // Intersection rows 25..=39 => 15 rows.
+        assert_eq!(h.result_size(), 15);
+        let mut out = Vec::new();
+        store.reconstruct_with(&base, &h, 2, |v| out.push(v));
+        out.sort_unstable();
+        let expected: Vec<Val> = (25..40).map(|r| r * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn disjunctive_roundtrip() {
+        let mut store = SidewaysStore::new((0, 100));
+        let base = table();
+        let none = HashSet::new();
+        let preds = vec![
+            (0usize, RangePred::open(-1, 5)),  // rows 0..=4
+            (1usize, RangePred::open(94, 100)), // b in (94,100) => rows 0..=4... careful
+        ];
+        // b = 99-row in (94,100) => row in 0..=4 — same rows; union = 5 rows.
+        let mut out = Vec::new();
+        store.disjunctive_project_with(&base, &preds, &[2], &none, |_, v| out.push(v));
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn full_map_budget_drops_lfu() {
+        let mut store = SidewaysStore::new((0, 100));
+        store.budget = Some(250); // room for 2.5 maps of 100
+        let base = table();
+        let none = HashSet::new();
+        let pred = RangePred::open(10, 30);
+        store.select_project_with(&base, 0, &pred, &[1], &none, |_, _| {});
+        store.select_project_with(&base, 0, &pred, &[1], &none, |_, _| {});
+        store.select_project_with(&base, 0, &pred, &[2], &none, |_, _| {});
+        assert!(store.tuples() <= 250);
+        // A third projection attribute forces an eviction.
+        store.select_project_with(&base, 1, &pred, &[2], &none, |_, _| {});
+        assert!(store.tuples() <= 250 + 100);
+        assert!(store.maps_dropped >= 1);
+    }
+
+    #[test]
+    fn partial_store_conjunctive() {
+        let mut store = PartialStore::new((0, 100));
+        let base = table();
+        let preds = vec![
+            (0usize, RangePred::open(20, 40)),
+            (1usize, RangePred::open(50, 75)),
+        ];
+        let mut out = Vec::new();
+        store.conjunctive_project_with(&base, &preds, &[2], |_, v| out.push(v));
+        out.sort_unstable();
+        let expected: Vec<Val> = (25..40).map(|r| r * 2).collect();
+        assert_eq!(out, expected);
+        assert!(store.usage() > 0);
+    }
+}

@@ -1,0 +1,538 @@
+//! Arena-allocated AVL tree used as the cracker index.
+//!
+//! The paper attaches an AVL tree to every cracker column / cracker map /
+//! chunk to record how crack values partition the physical array. We need
+//! a few operations beyond a stock ordered map, which is why this is a
+//! bespoke implementation:
+//!
+//! * `floor` / `ceil` neighbour queries to locate the piece a value falls
+//!   into;
+//! * in-order piece walks (the index doubles as a *self-organizing
+//!   histogram*, §3.3);
+//! * **lazy deletion** (§4.1): when a chunk is dropped, its boundary nodes
+//!   are only marked deleted so the partitioning knowledge can be revived
+//!   if the chunk is recreated;
+//! * bulk position shifting, needed when ripple updates grow or shrink the
+//!   underlying array.
+
+use std::cmp::Ordering;
+
+/// Index of a node inside the arena.
+type NodeId = u32;
+const NIL: NodeId = u32::MAX;
+
+/// An AVL tree mapping ordered keys `K` to a payload position, with lazy
+/// deletion marks.
+#[derive(Debug, Clone)]
+pub struct AvlTree<K: Ord + Copy> {
+    nodes: Vec<Node<K>>,
+    root: NodeId,
+    live: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    /// Payload: position of this boundary in the cracked array.
+    pos: usize,
+    deleted: bool,
+    left: NodeId,
+    right: NodeId,
+    height: i32,
+}
+
+impl<K: Ord + Copy> Default for AvlTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Copy> AvlTree<K> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        AvlTree { nodes: Vec::new(), root: NIL, live: 0 }
+    }
+
+    /// Number of live (non-deleted) boundaries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no live boundary exists.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total nodes including lazily deleted ones.
+    pub fn total_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn height(&self, n: NodeId) -> i32 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n as usize].height
+        }
+    }
+
+    fn update_height(&mut self, n: NodeId) {
+        let h = 1 + self
+            .height(self.nodes[n as usize].left)
+            .max(self.height(self.nodes[n as usize].right));
+        self.nodes[n as usize].height = h;
+    }
+
+    fn balance_factor(&self, n: NodeId) -> i32 {
+        self.height(self.nodes[n as usize].left) - self.height(self.nodes[n as usize].right)
+    }
+
+    fn rotate_right(&mut self, y: NodeId) -> NodeId {
+        let x = self.nodes[y as usize].left;
+        let t2 = self.nodes[x as usize].right;
+        self.nodes[x as usize].right = y;
+        self.nodes[y as usize].left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: NodeId) -> NodeId {
+        let y = self.nodes[x as usize].right;
+        let t2 = self.nodes[y as usize].left;
+        self.nodes[y as usize].left = x;
+        self.nodes[x as usize].right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, n: NodeId) -> NodeId {
+        self.update_height(n);
+        let bf = self.balance_factor(n);
+        if bf > 1 {
+            if self.balance_factor(self.nodes[n as usize].left) < 0 {
+                let l = self.nodes[n as usize].left;
+                self.nodes[n as usize].left = self.rotate_left(l);
+            }
+            return self.rotate_right(n);
+        }
+        if bf < -1 {
+            if self.balance_factor(self.nodes[n as usize].right) > 0 {
+                let r = self.nodes[n as usize].right;
+                self.nodes[n as usize].right = self.rotate_right(r);
+            }
+            return self.rotate_left(n);
+        }
+        n
+    }
+
+    /// Insert `key` with payload `pos`. If the key exists (even lazily
+    /// deleted), it is revived/overwritten with the new position.
+    pub fn insert(&mut self, key: K, pos: usize) {
+        let root = self.root;
+        self.root = self.insert_at(root, key, pos);
+    }
+
+    fn insert_at(&mut self, n: NodeId, key: K, pos: usize) -> NodeId {
+        if n == NIL {
+            self.nodes.push(Node { key, pos, deleted: false, left: NIL, right: NIL, height: 1 });
+            self.live += 1;
+            return (self.nodes.len() - 1) as NodeId;
+        }
+        match key.cmp(&self.nodes[n as usize].key) {
+            Ordering::Less => {
+                let l = self.nodes[n as usize].left;
+                let new_l = self.insert_at(l, key, pos);
+                self.nodes[n as usize].left = new_l;
+            }
+            Ordering::Greater => {
+                let r = self.nodes[n as usize].right;
+                let new_r = self.insert_at(r, key, pos);
+                self.nodes[n as usize].right = new_r;
+            }
+            Ordering::Equal => {
+                let node = &mut self.nodes[n as usize];
+                if node.deleted {
+                    node.deleted = false;
+                    self.live += 1;
+                }
+                self.nodes[n as usize].pos = pos;
+                return n;
+            }
+        }
+        self.rebalance(n)
+    }
+
+    /// Exact lookup of a live key; returns its position.
+    pub fn get(&self, key: &K) -> Option<usize> {
+        let mut n = self.root;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            match key.cmp(&node.key) {
+                Ordering::Less => n = node.left,
+                Ordering::Greater => n = node.right,
+                Ordering::Equal => {
+                    return if node.deleted { None } else { Some(node.pos) };
+                }
+            }
+        }
+        None
+    }
+
+    /// Exact lookup including lazily deleted nodes; returns
+    /// `(pos, deleted)`.
+    pub fn get_any(&self, key: &K) -> Option<(usize, bool)> {
+        let mut n = self.root;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            match key.cmp(&node.key) {
+                Ordering::Less => n = node.left,
+                Ordering::Greater => n = node.right,
+                Ordering::Equal => return Some((node.pos, node.deleted)),
+            }
+        }
+        None
+    }
+
+    /// Greatest live key strictly less than `key`.
+    pub fn floor_strict(&self, key: &K) -> Option<(K, usize)> {
+        let mut best = None;
+        let mut n = self.root;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if node.key < *key {
+                if !node.deleted {
+                    best = Some((node.key, node.pos));
+                    n = node.right;
+                } else {
+                    // Deleted node: its left subtree may still hold a live
+                    // candidate, as may its right subtree (keys < `key`
+                    // can live on both sides). Fall back to scanning via
+                    // the right child first; correctness is kept because
+                    // we only tighten `best`.
+                    if let Some(b) = self.max_live_below(node.right, key) {
+                        best = match best {
+                            Some(cur) if cur.0 >= b.0 => Some(cur),
+                            _ => Some(b),
+                        };
+                        break;
+                    }
+                    n = node.left;
+                }
+            } else {
+                n = node.left;
+            }
+        }
+        best
+    }
+
+    /// Smallest live key strictly greater than `key`.
+    pub fn ceil_strict(&self, key: &K) -> Option<(K, usize)> {
+        let mut best = None;
+        let mut n = self.root;
+        while n != NIL {
+            let node = &self.nodes[n as usize];
+            if node.key > *key {
+                if !node.deleted {
+                    best = Some((node.key, node.pos));
+                    n = node.left;
+                } else {
+                    if let Some(b) = self.min_live_above(node.left, key) {
+                        best = match best {
+                            Some(cur) if cur.0 <= b.0 => Some(cur),
+                            _ => Some(b),
+                        };
+                        break;
+                    }
+                    n = node.right;
+                }
+            } else {
+                n = node.right;
+            }
+        }
+        best
+    }
+
+    fn max_live_below(&self, n: NodeId, key: &K) -> Option<(K, usize)> {
+        let mut best = None;
+        self.walk_live(n, &mut |k, p| {
+            if k < *key {
+                best = match best {
+                    Some((bk, _)) if bk >= k => best,
+                    _ => Some((k, p)),
+                };
+            }
+        });
+        best
+    }
+
+    fn min_live_above(&self, n: NodeId, key: &K) -> Option<(K, usize)> {
+        let mut best = None;
+        self.walk_live(n, &mut |k, p| {
+            if k > *key {
+                best = match best {
+                    Some((bk, _)) if bk <= k => best,
+                    _ => Some((k, p)),
+                };
+            }
+        });
+        best
+    }
+
+    fn walk_live<F: FnMut(K, usize)>(&self, n: NodeId, f: &mut F) {
+        if n == NIL {
+            return;
+        }
+        let node = &self.nodes[n as usize];
+        self.walk_live(node.left, f);
+        if !node.deleted {
+            f(node.key, node.pos);
+        }
+        self.walk_live(node.right, f);
+    }
+
+    /// In-order traversal of live `(key, pos)` pairs.
+    pub fn iter_live(&self) -> Vec<(K, usize)> {
+        let mut out = Vec::with_capacity(self.live);
+        self.walk_live(self.root, &mut |k, p| out.push((k, p)));
+        out
+    }
+
+    /// Lazily delete a key: the node stays in the tree, marked deleted,
+    /// and can be revived by a future [`insert`](Self::insert).
+    pub fn mark_deleted(&mut self, key: &K) -> bool {
+        let mut n = self.root;
+        while n != NIL {
+            let node = &mut self.nodes[n as usize];
+            match key.cmp(&node.key) {
+                Ordering::Less => n = node.left,
+                Ordering::Greater => n = node.right,
+                Ordering::Equal => {
+                    if !node.deleted {
+                        node.deleted = true;
+                        self.live -= 1;
+                        return true;
+                    }
+                    return false;
+                }
+            }
+        }
+        false
+    }
+
+    /// Lazily delete every live key (used when a whole chunk or map is
+    /// dropped but its partitioning knowledge should be reusable).
+    pub fn mark_all_deleted(&mut self) {
+        for node in &mut self.nodes {
+            node.deleted = true;
+        }
+        self.live = 0;
+    }
+
+    /// Shift the stored position of every node (live or deleted) whose
+    /// position is `>= from` by `delta`. Used by ripple updates that grow
+    /// (`delta = 1`) or shrink (`delta = -1`) the cracked array.
+    pub fn shift_positions(&mut self, from: usize, delta: isize) {
+        for node in &mut self.nodes {
+            if node.pos >= from {
+                node.pos = (node.pos as isize + delta) as usize;
+            }
+        }
+    }
+
+    /// Remove everything, including lazily deleted nodes.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.root = NIL;
+        self.live = 0;
+    }
+
+    /// Verify AVL invariants (test / debug helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        fn rec<K: Ord + Copy>(
+            t: &AvlTree<K>,
+            n: NodeId,
+            lo: Option<K>,
+            hi: Option<K>,
+        ) -> i32 {
+            if n == NIL {
+                return 0;
+            }
+            let node = &t.nodes[n as usize];
+            if let Some(l) = lo {
+                assert!(node.key > l, "BST order violated");
+            }
+            if let Some(h) = hi {
+                assert!(node.key < h, "BST order violated");
+            }
+            let hl = rec(t, node.left, lo, Some(node.key));
+            let hr = rec(t, node.right, Some(node.key), hi);
+            assert!((hl - hr).abs() <= 1, "AVL balance violated");
+            let h = 1 + hl.max(hr);
+            assert_eq!(h, node.height, "stale height");
+            h
+        }
+        rec(self, self.root, None, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = AvlTree::new();
+        for (i, k) in [50, 20, 70, 10, 30, 60, 80].iter().enumerate() {
+            t.insert(*k, i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.get(&30), Some(4));
+        assert_eq!(t.get(&31), None);
+    }
+
+    #[test]
+    fn sequential_insert_stays_balanced() {
+        let mut t = AvlTree::new();
+        for i in 0..1000 {
+            t.insert(i, i as usize);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.get(&999), Some(999));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        let mut t = AvlTree::new();
+        for k in [10, 20, 30, 40] {
+            t.insert(k, k as usize);
+        }
+        assert_eq!(t.floor_strict(&25), Some((20, 20)));
+        assert_eq!(t.floor_strict(&20), Some((10, 10)));
+        assert_eq!(t.floor_strict(&10), None);
+        assert_eq!(t.ceil_strict(&25), Some((30, 30)));
+        assert_eq!(t.ceil_strict(&30), Some((40, 40)));
+        assert_eq!(t.ceil_strict(&40), None);
+    }
+
+    #[test]
+    fn lazy_deletion_skips_in_queries() {
+        let mut t = AvlTree::new();
+        for k in [10, 20, 30] {
+            t.insert(k, k as usize);
+        }
+        assert!(t.mark_deleted(&20));
+        assert!(!t.mark_deleted(&20));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&20), None);
+        assert_eq!(t.get_any(&20), Some((20, true)));
+        assert_eq!(t.floor_strict(&25), Some((10, 10)));
+        assert_eq!(t.ceil_strict(&15), Some((30, 30)));
+    }
+
+    #[test]
+    fn revive_deleted_key() {
+        let mut t = AvlTree::new();
+        t.insert(5, 100);
+        t.mark_deleted(&5);
+        t.insert(5, 200);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&5), Some(200));
+    }
+
+    #[test]
+    fn iter_live_in_order() {
+        let mut t = AvlTree::new();
+        for k in [30, 10, 20, 40] {
+            t.insert(k, 0);
+        }
+        t.mark_deleted(&20);
+        let keys: Vec<_> = t.iter_live().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![10, 30, 40]);
+    }
+
+    #[test]
+    fn shift_positions() {
+        let mut t = AvlTree::new();
+        t.insert(1, 5);
+        t.insert(2, 10);
+        t.insert(3, 15);
+        t.shift_positions(10, 1);
+        assert_eq!(t.get(&1), Some(5));
+        assert_eq!(t.get(&2), Some(11));
+        assert_eq!(t.get(&3), Some(16));
+        t.shift_positions(0, -1);
+        assert_eq!(t.get(&1), Some(4));
+    }
+
+    #[test]
+    fn mark_all_deleted_then_revive() {
+        let mut t = AvlTree::new();
+        for k in 0..10 {
+            t.insert(k, k as usize);
+        }
+        t.mark_all_deleted();
+        assert!(t.is_empty());
+        assert_eq!(t.total_nodes(), 10);
+        t.insert(3, 33);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&3), Some(33));
+    }
+
+    #[test]
+    fn floor_ceil_with_many_deletions() {
+        let mut t = AvlTree::new();
+        for k in 0..100 {
+            t.insert(k, k as usize);
+        }
+        for k in (0..100).filter(|k| k % 2 == 0) {
+            t.mark_deleted(&k);
+        }
+        assert_eq!(t.floor_strict(&50).map(|x| x.0), Some(49));
+        assert_eq!(t.ceil_strict(&50).map(|x| x.0), Some(51));
+        assert_eq!(t.floor_strict(&1).map(|x| x.0), None);
+        assert_eq!(t.ceil_strict(&99).map(|x| x.0), None);
+    }
+
+    #[test]
+    fn random_ops_match_btreemap() {
+        use std::collections::BTreeMap;
+        let mut avl = AvlTree::new();
+        let mut reference = BTreeMap::new();
+        let mut state = 12345u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        for _ in 0..2000 {
+            let k = rng() % 500;
+            let op = rng() % 3;
+            match op {
+                0 => {
+                    let p = (rng() % 10_000) as usize;
+                    avl.insert(k, p);
+                    reference.insert(k, p);
+                }
+                1 => {
+                    avl.mark_deleted(&k);
+                    reference.remove(&k);
+                }
+                _ => {
+                    assert_eq!(avl.get(&k), reference.get(&k).copied(), "get({k})");
+                    let f = reference.range(..k).next_back().map(|(a, b)| (*a, *b));
+                    assert_eq!(avl.floor_strict(&k), f, "floor({k})");
+                    let c = reference
+                        .range((std::ops::Bound::Excluded(k), std::ops::Bound::Unbounded))
+                        .next()
+                        .map(|(a, b)| (*a, *b));
+                    assert_eq!(avl.ceil_strict(&k), c, "ceil({k})");
+                }
+            }
+        }
+        avl.check_invariants();
+    }
+}

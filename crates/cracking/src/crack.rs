@@ -1,0 +1,231 @@
+//! The physical reorganization kernels: crack-in-two and crack-in-three.
+//!
+//! These are the two algorithms of the original Database Cracking paper
+//! (Idreos et al., CIDR 2007) that both selection cracking and sideways
+//! cracking reuse (§3.1 of the SIGMOD'09 paper). They partition a piece of
+//! a two-column array *in place*, swapping head and tail values together so
+//! the columns stay positionally aligned.
+//!
+//! The kernels are generic over the tail type: cracker columns carry
+//! `RowId` tails, cracker maps carry `Val` tails, and head-only arrays use
+//! a `()` tail which compiles to nothing.
+
+use crackdb_columnstore::types::Val;
+
+/// Which side of a boundary value belongs to the left (lower) piece.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BoundKind {
+    /// Left piece holds values `< v`; right piece holds `>= v`.
+    Lt,
+    /// Left piece holds values `<= v`; right piece holds `> v`.
+    Le,
+}
+
+impl BoundKind {
+    /// Does `v` belong to the left piece of a boundary `(pivot, self)`?
+    #[inline(always)]
+    pub fn belongs_left(self, v: Val, pivot: Val) -> bool {
+        match self {
+            BoundKind::Lt => v < pivot,
+            BoundKind::Le => v <= pivot,
+        }
+    }
+}
+
+/// Partition `head[range]` (and `tail[range]` alongside) around
+/// `(pivot, kind)`. Returns the split position: after the call, elements
+/// in `[range.start, split)` belong left of the boundary and
+/// `[split, range.end)` belong right.
+///
+/// This is crack-in-two: a single Hoare-style pass with paired swaps.
+pub fn crack_in_two<T: Copy>(
+    head: &mut [Val],
+    tail: &mut [T],
+    start: usize,
+    end: usize,
+    pivot: Val,
+    kind: BoundKind,
+) -> usize {
+    debug_assert!(start <= end && end <= head.len());
+    debug_assert_eq!(head.len(), tail.len());
+    let mut lo = start;
+    let mut hi = end;
+    while lo < hi {
+        if kind.belongs_left(head[lo], pivot) {
+            lo += 1;
+        } else {
+            hi -= 1;
+            head.swap(lo, hi);
+            tail.swap(lo, hi);
+        }
+    }
+    lo
+}
+
+/// Three-way partition of `head[range]` into `< lo-boundary`, middle, and
+/// `> hi-boundary` regions in a single pass (Dutch national flag).
+///
+/// `lo_bound = (v1, k1)` separates left from middle: values for which
+/// `k1.belongs_left(v, v1)` go left. `hi_bound = (v2, k2)` separates middle
+/// from right: values for which `!k2.belongs_left(v, v2)` go right.
+/// Returns `(split1, split2)` with left `[start, split1)`, middle
+/// `[split1, split2)`, right `[split2, end)`.
+pub fn crack_in_three<T: Copy>(
+    head: &mut [Val],
+    tail: &mut [T],
+    start: usize,
+    end: usize,
+    lo_bound: (Val, BoundKind),
+    hi_bound: (Val, BoundKind),
+) -> (usize, usize) {
+    debug_assert!(start <= end && end <= head.len());
+    let (v1, k1) = lo_bound;
+    let (v2, k2) = hi_bound;
+    let mut lo = start;
+    let mut mid = start;
+    let mut hi = end;
+    while mid < hi {
+        let v = head[mid];
+        if k1.belongs_left(v, v1) {
+            head.swap(lo, mid);
+            tail.swap(lo, mid);
+            lo += 1;
+            mid += 1;
+        } else if !k2.belongs_left(v, v2) {
+            hi -= 1;
+            head.swap(mid, hi);
+            tail.swap(mid, hi);
+        } else {
+            mid += 1;
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_two(head: &[Val], pivot: Val, kind: BoundKind) {
+        let mut h = head.to_vec();
+        let mut t: Vec<usize> = (0..h.len()).collect();
+        let orig = h.clone();
+        let n = h.len();
+        let split = crack_in_two(&mut h, &mut t, 0, n, pivot, kind);
+        for (i, &v) in h.iter().enumerate() {
+            if i < split {
+                assert!(kind.belongs_left(v, pivot), "{v} at {i} should be right");
+            } else {
+                assert!(!kind.belongs_left(v, pivot), "{v} at {i} should be left");
+            }
+            // Tail moved with head: tail value is the original position.
+            assert_eq!(orig[t[i]], v);
+        }
+        let mut sorted_orig = orig;
+        let mut sorted_new = h;
+        sorted_orig.sort_unstable();
+        sorted_new.sort_unstable();
+        assert_eq!(sorted_orig, sorted_new, "multiset changed");
+    }
+
+    #[test]
+    fn crack_in_two_lt_and_le() {
+        let data = [12, 3, 5, 9, 15, 22, 7, 26, 4, 2, 24, 11, 16];
+        check_two(&data, 10, BoundKind::Lt);
+        check_two(&data, 10, BoundKind::Le);
+        check_two(&data, 12, BoundKind::Lt);
+        check_two(&data, 12, BoundKind::Le);
+    }
+
+    #[test]
+    fn crack_in_two_edge_pivots() {
+        let data = [5, 5, 5];
+        check_two(&data, 5, BoundKind::Lt); // all right
+        check_two(&data, 5, BoundKind::Le); // all left
+        check_two(&data, 0, BoundKind::Lt); // all right
+        check_two(&data, 100, BoundKind::Le); // all left
+    }
+
+    #[test]
+    fn crack_in_two_subrange_only() {
+        let mut h = vec![9, 1, 8, 2, 7, 3];
+        let mut t = vec![0u32, 1, 2, 3, 4, 5];
+        let split = crack_in_two(&mut h, &mut t, 2, 5, 5, BoundKind::Lt);
+        // Outside the range untouched:
+        assert_eq!(h[0], 9);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[5], 3);
+        for (i, &v) in h.iter().enumerate().take(5).skip(2) {
+            if i < split {
+                assert!(v < 5);
+            } else {
+                assert!(v >= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn crack_in_three_partitions() {
+        // Reproduce Figure 1: crack 10 < A < 15 over R.A.
+        let mut h = vec![12, 3, 5, 9, 15, 22, 7, 26, 4, 2, 24, 11, 16];
+        let mut t: Vec<u32> = (0..13).collect();
+        let n = h.len();
+        let (s1, s2) = crack_in_three(
+            &mut h,
+            &mut t,
+            0,
+            n,
+            (10, BoundKind::Le), // left: <= 10
+            (15, BoundKind::Lt), // right: >= 15
+        );
+        // Paper Figure 1 labels piece 2 as starting at (1-indexed)
+        // position 7, i.e. six values are <= 10: {3, 5, 9, 7, 4, 2}.
+        assert_eq!(s1, 6);
+        for &v in &h[..s1] {
+            assert!(v <= 10);
+        }
+        for &v in &h[s1..s2] {
+            assert!(v > 10 && v < 15);
+        }
+        for &v in &h[s2..] {
+            assert!(v >= 15);
+        }
+        // Middle piece holds exactly {12, 11}.
+        let mut mid: Vec<_> = h[s1..s2].to_vec();
+        mid.sort_unstable();
+        assert_eq!(mid, vec![11, 12]);
+    }
+
+    #[test]
+    fn crack_in_three_empty_middle() {
+        let mut h = vec![1, 2, 8, 9];
+        let mut t = vec![(); 4];
+        let (s1, s2) =
+            crack_in_three(&mut h, &mut t, 0, 4, (5, BoundKind::Le), (5, BoundKind::Lt));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn crack_in_three_matches_two_crack_in_twos() {
+        let data: Vec<Val> = vec![42, 17, 99, 3, 55, 23, 77, 8, 64, 31, 12, 88, 45, 6];
+        let mut h3 = data.clone();
+        let mut t3 = vec![(); h3.len()];
+        let n = h3.len();
+        let (a3, b3) =
+            crack_in_three(&mut h3, &mut t3, 0, n, (20, BoundKind::Le), (60, BoundKind::Lt));
+
+        let mut h2 = data.clone();
+        let mut t2 = vec![(); h2.len()];
+        let a2 = crack_in_two(&mut h2, &mut t2, 0, n, 20, BoundKind::Le);
+        let b2 = crack_in_two(&mut h2, &mut t2, a2, n, 60, BoundKind::Lt);
+        assert_eq!((a3, b3), (a2, b2));
+        // Same piece *sets* (order within pieces may differ).
+        for (x, y) in [(0, a3), (a3, b3), (b3, n)] {
+            let mut p3 = h3[x..y].to_vec();
+            let mut p2 = h2[x..y].to_vec();
+            p3.sort_unstable();
+            p2.sort_unstable();
+            assert_eq!(p3, p2);
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! A generic two-column cracked array: the shared physical structure
+//! behind cracker columns (tail = tuple key) and cracker maps (tail =
+//! projected attribute value).
+
+use crate::crack::{crack_in_three, crack_in_two};
+use crate::index::{pred_keys, BoundaryKey, CrackerIndex};
+use crackdb_columnstore::types::{RangePred, Val};
+
+/// Parallel head/tail arrays physically reorganized by cracking, plus the
+/// cracker index describing the current partitioning.
+#[derive(Debug, Clone, Default)]
+pub struct CrackedArray<T: Copy> {
+    head: Vec<Val>,
+    tail: Vec<T>,
+    index: CrackerIndex,
+}
+
+impl<T: Copy> CrackedArray<T> {
+    /// Build from parallel head/tail vectors.
+    ///
+    /// # Panics
+    /// If the vectors differ in length.
+    pub fn new(head: Vec<Val>, tail: Vec<T>) -> Self {
+        assert_eq!(head.len(), tail.len(), "head/tail length mismatch");
+        CrackedArray { head, tail, index: CrackerIndex::new() }
+    }
+
+    /// Reassemble from parts produced by [`Self::into_parts`] (used by
+    /// partial sideways cracking's chunks, whose head column is
+    /// droppable and therefore stored outside the array).
+    pub fn from_parts(head: Vec<Val>, tail: Vec<T>, index: CrackerIndex) -> Self {
+        assert_eq!(head.len(), tail.len(), "head/tail length mismatch");
+        CrackedArray { head, tail, index }
+    }
+
+    /// Disassemble into `(head, tail, index)` without copying.
+    pub fn into_parts(self) -> (Vec<Val>, Vec<T>, CrackerIndex) {
+        (self.head, self.tail, self.index)
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.head.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Head (selection attribute) values.
+    pub fn head(&self) -> &[Val] {
+        &self.head
+    }
+
+    /// Tail values.
+    pub fn tail(&self) -> &[T] {
+        &self.tail
+    }
+
+    /// The cracker index.
+    pub fn index(&self) -> &CrackerIndex {
+        &self.index
+    }
+
+    /// Mutable access to the index (storage-management paths only).
+    pub fn index_mut(&mut self) -> &mut CrackerIndex {
+        &mut self.index
+    }
+
+    /// Ensure a boundary exists, physically cracking the enclosing piece
+    /// if needed. Returns the boundary position.
+    pub fn ensure_boundary(&mut self, key: BoundaryKey) -> usize {
+        if let Some(p) = self.index.position_of(key) {
+            return p;
+        }
+        let (s, e) = self.index.enclosing_piece(key, self.head.len());
+        let split = crack_in_two(&mut self.head, &mut self.tail, s, e, key.0, key.1);
+        self.index.record(key, split);
+        split
+    }
+
+    /// Crack so that all tuples qualifying `pred` form the contiguous area
+    /// `[start, end)`; returns that range. Uses crack-in-three when both
+    /// new boundaries fall into the same piece.
+    pub fn crack_range(&mut self, pred: &RangePred) -> (usize, usize) {
+        let n = self.head.len();
+        if pred.is_empty_range() {
+            return (0, 0);
+        }
+        let (lo_k, hi_k) = pred_keys(pred);
+        match (lo_k, hi_k) {
+            (None, None) => (0, n),
+            (Some(lk), None) => (self.ensure_boundary(lk), n),
+            (None, Some(hk)) => (0, self.ensure_boundary(hk)),
+            (Some(lk), Some(hk)) => {
+                debug_assert!(lk < hk, "non-empty pred must order its keys");
+                let lo_pos = self.index.position_of(lk);
+                let hi_pos = self.index.position_of(hk);
+                match (lo_pos, hi_pos) {
+                    (Some(a), Some(b)) => (a, b.max(a)),
+                    (Some(a), None) => {
+                        let b = self.ensure_boundary(hk);
+                        (a, b.max(a))
+                    }
+                    (None, Some(b)) => {
+                        let a = self.ensure_boundary(lk);
+                        (a, b.max(a))
+                    }
+                    (None, None) => {
+                        let (s1, e1) = self.index.enclosing_piece(lk, n);
+                        let (s2, e2) = self.index.enclosing_piece(hk, n);
+                        if (s1, e1) == (s2, e2) {
+                            let (a, b) = crack_in_three(
+                                &mut self.head,
+                                &mut self.tail,
+                                s1,
+                                e1,
+                                lk,
+                                hk,
+                            );
+                            self.index.record(lk, a);
+                            self.index.record(hk, b);
+                            (a, b)
+                        } else {
+                            let a = self.ensure_boundary(lk);
+                            let b = self.ensure_boundary(hk);
+                            (a, b.max(a))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read-only view of a contiguous area.
+    pub fn view(&self, range: (usize, usize)) -> (&[Val], &[T]) {
+        (&self.head[range.0..range.1], &self.tail[range.0..range.1])
+    }
+
+    /// The piece `[start, end)` that value `v` currently belongs to.
+    pub fn piece_of(&self, v: Val) -> (usize, usize) {
+        let mut s = 0;
+        let mut e = self.head.len();
+        for ((bv, kind), pos) in self.index.boundaries() {
+            if kind.belongs_left(v, bv) {
+                e = pos;
+                break;
+            }
+            s = pos;
+        }
+        (s, e.max(s))
+    }
+
+    /// Ripple-insert one tuple (Idreos et al., SIGMOD 2007): grow the
+    /// array by one and shift each piece boundary above the target piece
+    /// by moving a single element per piece, preserving all cracker-index
+    /// knowledge.
+    pub fn ripple_insert(&mut self, v: Val, t: T) {
+        let bs = self.index.boundaries();
+        self.head.push(v);
+        self.tail.push(t);
+        let mut free = self.head.len() - 1;
+        for &((bv, kind), pos) in bs.iter().rev() {
+            if kind.belongs_left(v, bv) {
+                // The piece right of this boundary loses its first slot to
+                // the free position and regains one at its new start.
+                self.head[free] = self.head[pos];
+                self.tail[free] = self.tail[pos];
+                free = pos;
+                self.index.record((bv, kind), pos + 1);
+            } else {
+                break;
+            }
+        }
+        self.head[free] = v;
+        self.tail[free] = t;
+    }
+
+    /// Ripple-delete the first tuple with head value `v` whose tail
+    /// satisfies `matches`. Returns the physical position the deletion was
+    /// performed at, or `None` if no such tuple exists. The position is
+    /// what other aligned structures must replay (see the tape's delete
+    /// batches).
+    pub fn ripple_delete<F: Fn(&T) -> bool>(&mut self, v: Val, matches: F) -> Option<usize> {
+        let n = self.head.len();
+        let bs = self.index.boundaries();
+        // Locate the containing piece.
+        let mut s = 0;
+        let mut first_above = bs.len();
+        for (i, &((bv, kind), pos)) in bs.iter().enumerate() {
+            if kind.belongs_left(v, bv) {
+                first_above = i;
+                break;
+            }
+            s = pos;
+        }
+        let e = if first_above < bs.len() { bs[first_above].1 } else { n };
+        // Find the victim within the piece.
+        let p = (s..e).find(|&i| self.head[i] == v && matches(&self.tail[i]))?;
+        self.shift_hole_up(p, e, first_above, &bs);
+        Some(p)
+    }
+
+    /// Ripple-delete the tuple at a known physical position (replaying a
+    /// deletion another aligned map already performed). Returns the
+    /// removed `(head, tail)` pair.
+    pub fn ripple_delete_at(&mut self, p: usize) -> (Val, T) {
+        let removed = (self.head[p], self.tail[p]);
+        let bs = self.index.boundaries();
+        // First boundary strictly above p delimits p's piece.
+        let first_above = bs.partition_point(|&(_, pos)| pos <= p);
+        let e = if first_above < bs.len() { bs[first_above].1 } else { self.head.len() };
+        self.shift_hole_up(p, e, first_above, &bs);
+        removed
+    }
+
+    /// Shift the hole at `p` (inside the piece ending at `piece_end`,
+    /// whose delimiting boundary is `bs[first_above]`) up through all
+    /// pieces above and shrink the array by one.
+    fn shift_hole_up(
+        &mut self,
+        p: usize,
+        piece_end: usize,
+        first_above: usize,
+        bs: &[(crate::index::BoundaryKey, usize)],
+    ) {
+        let n = self.head.len();
+        let mut hole = p;
+        let mut piece_end = piece_end;
+        let mut bi = first_above;
+        loop {
+            if hole != piece_end - 1 {
+                self.head[hole] = self.head[piece_end - 1];
+                self.tail[hole] = self.tail[piece_end - 1];
+            }
+            hole = piece_end - 1;
+            // Every boundary sitting exactly at this piece end shifts left
+            // by one — including boundaries at the array end (empty last
+            // pieces), which must not be left stale.
+            while bi < bs.len() && bs[bi].1 == piece_end {
+                self.index.record(bs[bi].0, piece_end - 1);
+                bi += 1;
+            }
+            if piece_end == n {
+                break;
+            }
+            piece_end = if bi < bs.len() { bs[bi].1 } else { n };
+        }
+        debug_assert_eq!(hole, n - 1);
+        self.head.pop();
+        self.tail.pop();
+    }
+
+    /// Debug/test helper: assert every piece's contents respect the
+    /// boundaries recorded in the index.
+    #[doc(hidden)]
+    pub fn check_partitioning(&self) {
+        for ((bv, kind), pos) in self.index.boundaries() {
+            for (i, &h) in self.head.iter().enumerate() {
+                if i < pos {
+                    assert!(
+                        kind.belongs_left(h, bv),
+                        "value {h} at {i} violates boundary ({bv:?},{kind:?})@{pos}"
+                    );
+                } else {
+                    assert!(
+                        !kind.belongs_left(h, bv),
+                        "value {h} at {i} violates boundary ({bv:?},{kind:?})@{pos}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crackdb_columnstore::types::RangePred;
+
+    fn arr() -> CrackedArray<u32> {
+        let head = vec![12, 3, 5, 9, 15, 22, 7, 26, 4, 2, 24, 11, 16];
+        let tail: Vec<u32> = (0..13).collect();
+        CrackedArray::new(head, tail)
+    }
+
+    #[test]
+    fn figure1_first_query() {
+        // select B from R where 10 < A < 15.
+        let mut a = arr();
+        let (s, e) = a.crack_range(&RangePred::open(10, 15));
+        let (h, t) = a.view((s, e));
+        let mut pairs: Vec<_> = h.iter().zip(t).map(|(&v, &k)| (v, k)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(11, 11), (12, 0)]);
+        a.check_partitioning();
+        assert_eq!(a.index().len(), 2);
+    }
+
+    #[test]
+    fn figure1_second_query_cracks_incrementally() {
+        let mut a = arr();
+        a.crack_range(&RangePred::open(10, 15));
+        // select B from R where 5 <= A < 17: middle piece fully qualifies,
+        // only outer pieces are cracked further.
+        let (s, e) = a.crack_range(&RangePred::half_open(5, 17));
+        let (h, _) = a.view((s, e));
+        let mut vals: Vec<_> = h.to_vec();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![5, 7, 9, 11, 12, 15, 16]);
+        a.check_partitioning();
+        assert_eq!(a.index().len(), 4);
+    }
+
+    #[test]
+    fn repeat_query_needs_no_crack() {
+        let mut a = arr();
+        let r1 = a.crack_range(&RangePred::open(10, 15));
+        let boundaries_before = a.index().len();
+        let r2 = a.crack_range(&RangePred::open(10, 15));
+        assert_eq!(r1, r2);
+        assert_eq!(a.index().len(), boundaries_before);
+    }
+
+    #[test]
+    fn one_sided_predicates() {
+        let mut a = arr();
+        let (s, e) = a.crack_range(&RangePred::less(
+            crackdb_columnstore::types::Bound::exclusive(10),
+        ));
+        assert_eq!(s, 0);
+        let (h, _) = a.view((s, e));
+        assert!(h.iter().all(|&v| v < 10));
+        assert_eq!(h.len(), 6);
+        a.check_partitioning();
+    }
+
+    #[test]
+    fn point_query() {
+        let head = vec![5, 3, 5, 1, 5, 9];
+        let tail: Vec<u32> = (0..6).collect();
+        let mut a = CrackedArray::new(head, tail);
+        let (s, e) = a.crack_range(&RangePred::point(5));
+        let (h, _) = a.view((s, e));
+        assert_eq!(h, &[5, 5, 5]);
+        a.check_partitioning();
+    }
+
+    #[test]
+    fn empty_pred_returns_empty() {
+        let mut a = arr();
+        let (s, e) = a.crack_range(&RangePred::open(5, 5));
+        assert_eq!(s, e);
+    }
+
+    #[test]
+    fn no_result_range() {
+        let mut a = arr();
+        let (s, e) = a.crack_range(&RangePred::open(16, 22));
+        let (h, _) = a.view((s, e));
+        assert!(h.is_empty());
+        a.check_partitioning();
+    }
+
+    #[test]
+    fn ripple_insert_into_each_piece() {
+        let mut a = arr();
+        a.crack_range(&RangePred::open(10, 15));
+        let before = a.len();
+        a.ripple_insert(1, 100); // lowest piece
+        a.ripple_insert(13, 101); // middle piece
+        a.ripple_insert(99, 102); // top piece
+        assert_eq!(a.len(), before + 3);
+        a.check_partitioning();
+        // All three tuples findable via a fresh crack.
+        let (s, e) = a.crack_range(&RangePred::open(10, 15));
+        let (h, t) = a.view((s, e));
+        assert!(h.iter().zip(t).any(|(&v, &k)| v == 13 && k == 101));
+    }
+
+    #[test]
+    fn ripple_insert_uncracked() {
+        let mut a = CrackedArray::new(vec![5, 1], vec![0u32, 1]);
+        a.ripple_insert(3, 2);
+        assert_eq!(a.len(), 3);
+        let (s, e) = a.crack_range(&RangePred::closed(3, 3));
+        assert_eq!(e - s, 1);
+    }
+
+    #[test]
+    fn ripple_delete_from_middle_piece() {
+        let mut a = arr();
+        a.crack_range(&RangePred::open(10, 15));
+        let before = a.len();
+        assert!(a.ripple_delete(12, |&k| k == 0).is_some());
+        assert_eq!(a.len(), before - 1);
+        a.check_partitioning();
+        let (s, e) = a.crack_range(&RangePred::open(10, 15));
+        let (h, _) = a.view((s, e));
+        assert_eq!(h, &[11]);
+    }
+
+    #[test]
+    fn ripple_delete_missing_returns_false() {
+        let mut a = arr();
+        a.crack_range(&RangePred::open(10, 15));
+        assert!(a.ripple_delete(12, |&k| k == 999).is_none());
+        assert!(a.ripple_delete(1000, |_| true).is_none());
+        a.check_partitioning();
+    }
+
+    #[test]
+    fn ripple_roundtrip_many() {
+        let mut a = arr();
+        a.crack_range(&RangePred::open(5, 20));
+        a.crack_range(&RangePred::open(2, 9));
+        for i in 0..50 {
+            a.ripple_insert(i % 30, 1000 + i as u32);
+            a.check_partitioning();
+        }
+        for i in 0..50 {
+            assert!(a.ripple_delete((i % 30) as Val, |&k| k == 1000 + i as u32).is_some());
+            a.check_partitioning();
+        }
+        assert_eq!(a.len(), 13);
+    }
+
+    #[test]
+    fn piece_of_locates_values() {
+        let mut a = arr();
+        a.crack_range(&RangePred::open(10, 15));
+        let (s, e) = a.piece_of(12);
+        assert!(a.head()[s..e].iter().all(|&v| v > 10 && v < 15));
+        let (s2, e2) = a.piece_of(3);
+        assert!(a.head()[s2..e2].iter().all(|&v| v <= 10));
+        assert_eq!(s2, 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The cracker index: an AVL tree over *boundary keys* recording how crack
+//! values partition a physical array, plus the piece arithmetic and the
+//! self-organizing-histogram estimates of §3.3.
+
+use crate::avl::AvlTree;
+use crate::crack::BoundKind;
+use crackdb_columnstore::types::{Bound, RangePred, Val};
+
+/// A boundary key: the crack value plus which side of it belongs to the
+/// left piece. `(v, Lt)` sorts before `(v, Le)` so that the pieces
+/// `< v`, `== v`, `> v` nest correctly.
+pub type BoundaryKey = (Val, BoundKind);
+
+/// Derive the boundary key whose *position* is the start of the qualifying
+/// area for a lower bound.
+pub fn lo_key(b: Bound) -> BoundaryKey {
+    if b.inclusive {
+        // A >= v: left piece < v.
+        (b.value, BoundKind::Lt)
+    } else {
+        // A > v: left piece <= v.
+        (b.value, BoundKind::Le)
+    }
+}
+
+/// Derive the boundary key whose *position* is the end of the qualifying
+/// area for an upper bound.
+pub fn hi_key(b: Bound) -> BoundaryKey {
+    if b.inclusive {
+        // A <= v: left piece <= v.
+        (b.value, BoundKind::Le)
+    } else {
+        // A < v: left piece < v.
+        (b.value, BoundKind::Lt)
+    }
+}
+
+/// Convert a range predicate into its (lower, upper) boundary keys.
+pub fn pred_keys(pred: &RangePred) -> (Option<BoundaryKey>, Option<BoundaryKey>) {
+    (pred.lo.map(lo_key), pred.hi.map(hi_key))
+}
+
+/// Result-size estimate from the cracker index (§3.3 "Self-organizing
+/// Histograms").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeEstimate {
+    /// Lower bound on qualifying tuples (whole pieces known inside).
+    pub lower: usize,
+    /// Upper bound (all touched pieces).
+    pub upper: usize,
+    /// Interpolated point estimate within `[lower, upper]`.
+    pub estimate: f64,
+    /// `true` when the bounds matched existing cracks exactly.
+    pub exact: bool,
+}
+
+/// The cracker index proper: AVL over boundary keys with positions into the
+/// cracked array.
+#[derive(Debug, Clone, Default)]
+pub struct CrackerIndex {
+    tree: AvlTree<BoundaryKey>,
+}
+
+impl CrackerIndex {
+    /// Empty index (one piece spanning the whole array).
+    pub fn new() -> Self {
+        CrackerIndex { tree: AvlTree::new() }
+    }
+
+    /// Number of live boundaries; the array has `len() + 1` pieces.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// `true` when the array is one uncracked piece.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Total nodes including lazily deleted ones (storage-reuse tests).
+    pub fn total_nodes(&self) -> usize {
+        self.tree.total_nodes()
+    }
+
+    /// Position of a live boundary, if this exact boundary was cracked.
+    pub fn position_of(&self, key: BoundaryKey) -> Option<usize> {
+        self.tree.get(&key)
+    }
+
+    /// Position of a boundary even if lazily deleted: `(pos, deleted)`.
+    pub fn position_any(&self, key: BoundaryKey) -> Option<(usize, bool)> {
+        self.tree.get_any(&key)
+    }
+
+    /// Record a crack: boundary `key` lives at `pos`.
+    pub fn record(&mut self, key: BoundaryKey, pos: usize) {
+        self.tree.insert(key, pos);
+    }
+
+    /// The enclosing uncracked piece `[start, end)` a new boundary falls
+    /// into, given total array length `n`.
+    pub fn enclosing_piece(&self, key: BoundaryKey, n: usize) -> (usize, usize) {
+        let start = self.tree.floor_strict(&key).map_or(0, |(_, p)| p);
+        let end = self.tree.ceil_strict(&key).map_or(n, |(_, p)| p);
+        (start, end.max(start))
+    }
+
+    /// Mark one boundary lazily deleted.
+    pub fn mark_deleted(&mut self, key: BoundaryKey) -> bool {
+        self.tree.mark_deleted(&key)
+    }
+
+    /// Mark everything lazily deleted (chunk dropped).
+    pub fn mark_all_deleted(&mut self) {
+        self.tree.mark_all_deleted()
+    }
+
+    /// Shift all stored positions `>= from` by `delta` (ripple updates).
+    pub fn shift_positions(&mut self, from: usize, delta: isize) {
+        self.tree.shift_positions(from, delta)
+    }
+
+    /// Live boundaries in key order: `(key, pos)` pairs. Positions are
+    /// guaranteed ascending.
+    pub fn boundaries(&self) -> Vec<(BoundaryKey, usize)> {
+        self.tree.iter_live()
+    }
+
+    /// Drop all knowledge.
+    pub fn clear(&mut self) {
+        self.tree.clear()
+    }
+
+    /// §3.3: estimate the number of tuples qualifying `pred` in a cracked
+    /// array of length `n` whose value domain is `[domain_lo, domain_hi]`.
+    ///
+    /// If both predicate bounds match existing cracks the answer is exact
+    /// (piece sizes are known). Otherwise the touched boundary pieces
+    /// contribute uncertainty: `upper` counts them fully, `lower` excludes
+    /// them, and `estimate` interpolates assuming uniform values within
+    /// each piece.
+    pub fn estimate_size(
+        &self,
+        pred: &RangePred,
+        n: usize,
+        domain: (Val, Val),
+    ) -> SizeEstimate {
+        let (lo_k, hi_k) = pred_keys(pred);
+
+        // Resolve each bound to (known_pos or piece with interpolation).
+        let resolve = |key: Option<BoundaryKey>, default: usize| -> (usize, usize, f64, bool) {
+            match key {
+                None => (default, default, default as f64, true),
+                Some(k) => {
+                    if let Some(p) = self.tree.get(&k) {
+                        (p, p, p as f64, true)
+                    } else {
+                        let (s, e) = self.enclosing_piece(k, n);
+                        // Interpolate position of the boundary value inside
+                        // the piece assuming uniform distribution between
+                        // the piece's value bounds.
+                        let v_lo = self
+                            .tree
+                            .floor_strict(&k)
+                            .map_or(domain.0, |(bk, _)| bk.0);
+                        let v_hi = self
+                            .tree
+                            .ceil_strict(&k)
+                            .map_or(domain.1, |(bk, _)| bk.0);
+                        let frac = if v_hi > v_lo {
+                            ((k.0 - v_lo) as f64 / (v_hi - v_lo) as f64).clamp(0.0, 1.0)
+                        } else {
+                            0.5
+                        };
+                        let est = s as f64 + frac * (e - s) as f64;
+                        (s, e, est, false)
+                    }
+                }
+            }
+        };
+
+        let (lo_min, lo_max, lo_est, lo_exact) = resolve(lo_k, 0);
+        let (hi_min, hi_max, hi_est, hi_exact) = resolve(hi_k, n);
+
+        let upper = hi_max.saturating_sub(lo_min);
+        let lower = hi_min.saturating_sub(lo_max);
+        let estimate = (hi_est - lo_est).max(0.0);
+        SizeEstimate { lower, upper, estimate, exact: lo_exact && hi_exact }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_derivation() {
+        assert_eq!(lo_key(Bound::inclusive(5)), (5, BoundKind::Lt));
+        assert_eq!(lo_key(Bound::exclusive(5)), (5, BoundKind::Le));
+        assert_eq!(hi_key(Bound::inclusive(5)), (5, BoundKind::Le));
+        assert_eq!(hi_key(Bound::exclusive(5)), (5, BoundKind::Lt));
+    }
+
+    #[test]
+    fn key_ordering_nests_pieces() {
+        // (v, Lt) must sort before (v, Le): pieces <v | ==v | >v.
+        assert!((5, BoundKind::Lt) < (5, BoundKind::Le));
+        assert!((5, BoundKind::Le) < (6, BoundKind::Lt));
+    }
+
+    #[test]
+    fn enclosing_piece_lookup() {
+        let mut idx = CrackerIndex::new();
+        assert_eq!(idx.enclosing_piece((5, BoundKind::Lt), 100), (0, 100));
+        idx.record((10, BoundKind::Lt), 40);
+        idx.record((20, BoundKind::Lt), 70);
+        assert_eq!(idx.enclosing_piece((5, BoundKind::Lt), 100), (0, 40));
+        assert_eq!(idx.enclosing_piece((15, BoundKind::Lt), 100), (40, 70));
+        assert_eq!(idx.enclosing_piece((25, BoundKind::Lt), 100), (70, 100));
+        // Same value, other kind still nests: (10,Le) sits between
+        // (10,Lt)@40 and (20,Lt)@70.
+        assert_eq!(idx.enclosing_piece((10, BoundKind::Le), 100), (40, 70));
+    }
+
+    #[test]
+    fn estimate_exact_when_cracked() {
+        let mut idx = CrackerIndex::new();
+        idx.record((10, BoundKind::Le), 30);
+        idx.record((20, BoundKind::Lt), 80);
+        // 10 < A < 20 exactly matches boundaries.
+        let e = idx.estimate_size(&RangePred::open(10, 20), 100, (0, 100));
+        assert!(e.exact);
+        assert_eq!(e.lower, 50);
+        assert_eq!(e.upper, 50);
+        assert!((e.estimate - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimate_bounds_when_not_cracked() {
+        let mut idx = CrackerIndex::new();
+        idx.record((10, BoundKind::Le), 30);
+        idx.record((30, BoundKind::Lt), 90);
+        // 15 < A < 25: both bounds inside the piece [30, 90).
+        let e = idx.estimate_size(&RangePred::open(15, 25), 100, (0, 100));
+        assert!(!e.exact);
+        assert_eq!(e.upper, 60);
+        assert_eq!(e.lower, 0);
+        assert!(e.estimate > 0.0 && e.estimate < 60.0);
+    }
+
+    #[test]
+    fn estimate_uncracked_index() {
+        let idx = CrackerIndex::new();
+        let e = idx.estimate_size(&RangePred::open(25, 75), 1000, (0, 100));
+        assert_eq!(e.upper, 1000);
+        assert_eq!(e.lower, 0);
+        // Uniform interpolation: about half the tuples.
+        assert!((e.estimate - 500.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn lazy_deletion_reopens_pieces() {
+        let mut idx = CrackerIndex::new();
+        idx.record((10, BoundKind::Lt), 40);
+        idx.record((20, BoundKind::Lt), 70);
+        idx.mark_deleted((10, BoundKind::Lt));
+        assert_eq!(idx.position_of((10, BoundKind::Lt)), None);
+        assert_eq!(idx.position_any((10, BoundKind::Lt)), Some((40, true)));
+        assert_eq!(idx.enclosing_piece((15, BoundKind::Lt), 100), (0, 70));
+        // Revive.
+        idx.record((10, BoundKind::Lt), 40);
+        assert_eq!(idx.enclosing_piece((15, BoundKind::Lt), 100), (40, 70));
+    }
+
+    #[test]
+    fn boundaries_positions_ascending() {
+        let mut idx = CrackerIndex::new();
+        idx.record((30, BoundKind::Lt), 60);
+        idx.record((10, BoundKind::Lt), 20);
+        idx.record((20, BoundKind::Le), 45);
+        let b = idx.boundaries();
+        assert_eq!(b.len(), 3);
+        assert!(b.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+    }
+}

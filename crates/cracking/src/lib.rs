@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # crackdb-cracking
+//!
+//! Selection-based database cracking (Idreos, Kersten, Manegold;
+//! CIDR 2007) with ripple updates (SIGMOD 2007): the foundation and the
+//! baseline of the SIGMOD 2009 sideways-cracking paper.
+//!
+//! Provided building blocks, all reused by `crackdb-core` for sideways
+//! cracking:
+//!
+//! * [`avl::AvlTree`] — arena AVL tree with lazy deletion;
+//! * [`crack`] — the crack-in-two / crack-in-three partition kernels;
+//! * [`index::CrackerIndex`] — boundary bookkeeping + §3.3 histogram
+//!   estimates;
+//! * [`cracked::CrackedArray`] — a generic two-column cracked array with
+//!   ripple insert/delete;
+//! * [`column::CrackerColumn`] — the selection-cracking baseline
+//!   (`crackers.select`) with pending-update queues.
+
+pub mod avl;
+pub mod column;
+pub mod crack;
+pub mod cracked;
+pub mod index;
+
+pub use column::CrackerColumn;
+pub use crack::BoundKind;
+pub use cracked::CrackedArray;
+pub use index::{BoundaryKey, CrackerIndex, SizeEstimate};

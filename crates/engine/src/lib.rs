@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! # crackdb-engine
+//!
+//! One query executor per physical design evaluated in the paper:
+//!
+//! | Engine | Paper system |
+//! |--------|--------------|
+//! | [`PlainEngine`] | plain MonetDB (full scans, ordered reconstruction) |
+//! | [`PresortedEngine`] | MonetDB on presorted copies |
+//! | [`SelCrackEngine`] | selection cracking (CIDR'07) |
+//! | [`SidewaysEngine`] | **sideways cracking** (full maps, §3) |
+//! | [`PartialEngine`] | **partial sideways cracking** (§4) |
+//!
+//! All implement the [`query::Engine`] trait over the same query shapes,
+//! so every experiment drives them identically and compares phase
+//! timings.
+
+pub mod plain;
+pub mod partial_engine;
+pub mod presorted;
+pub mod query;
+pub mod selcrack;
+pub mod sideways;
+pub mod tpch;
+
+pub use partial_engine::PartialEngine;
+pub use plain::PlainEngine;
+pub use presorted::PresortedEngine;
+pub use query::{AggAcc, Engine, JoinQuery, JoinSide, QueryOutput, SelectQuery, Timings};
+pub use selcrack::SelCrackEngine;
+pub use sideways::SidewaysEngine;

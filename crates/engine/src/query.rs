@@ -1,0 +1,195 @@
+//! The query shapes of the paper's experiments, and the common executor
+//! interface every physical design implements.
+
+use crackdb_columnstore::types::{AggFunc, RangePred, RowId, Val};
+use std::time::Duration;
+
+/// A single-table query: conjunctive or disjunctive range predicates plus
+/// aggregate and/or raw projections. Covers q1/q3 (§3.6), the `Qi`
+/// queries (§4.2) and most TPC-H selection blocks.
+#[derive(Debug, Clone)]
+pub struct SelectQuery {
+    /// `(attribute, predicate)` restrictions.
+    pub preds: Vec<(usize, RangePred)>,
+    /// `true` = OR-combined predicates; `false` = AND-combined.
+    pub disjunctive: bool,
+    /// Aggregate projections `(attribute, function)`.
+    pub aggs: Vec<(usize, AggFunc)>,
+    /// Raw projections (results materialized).
+    pub projs: Vec<usize>,
+}
+
+impl SelectQuery {
+    /// Conjunctive aggregation query (the `select max(..) where ...`
+    /// shape of q1/q3).
+    pub fn aggregate(preds: Vec<(usize, RangePred)>, aggs: Vec<(usize, AggFunc)>) -> Self {
+        SelectQuery { preds, disjunctive: false, aggs, projs: Vec::new() }
+    }
+
+    /// Conjunctive projection query (the `Qi` shape).
+    pub fn project(preds: Vec<(usize, RangePred)>, projs: Vec<usize>) -> Self {
+        SelectQuery { preds, disjunctive: false, aggs: Vec::new(), projs }
+    }
+}
+
+/// One side of a join query: its selection block plus the attributes
+/// needed after the join.
+#[derive(Debug, Clone)]
+pub struct JoinSide {
+    /// Conjunctive restrictions on this table.
+    pub preds: Vec<(usize, RangePred)>,
+    /// The join attribute.
+    pub join_attr: usize,
+    /// Aggregates computed over this side's attributes post-join.
+    pub aggs: Vec<(usize, AggFunc)>,
+}
+
+/// The q2 shape (§3.6 Exp4): conjunctive selections on both tables, an
+/// equi-join, aggregates over both sides.
+#[derive(Debug, Clone)]
+pub struct JoinQuery {
+    /// Outer (left) side.
+    pub left: JoinSide,
+    /// Inner (right) side.
+    pub right: JoinSide,
+}
+
+/// Wall-clock phase breakdown (the paper reports selection cost, tuple
+/// reconstruction before/after joins, and join cost separately).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Selection work (scans, cracks, binary searches, bit vectors).
+    pub select: Duration,
+    /// Tuple reconstruction before any join (projection fetches).
+    pub reconstruct: Duration,
+    /// Join execution.
+    pub join: Duration,
+    /// Tuple reconstruction after the join.
+    pub post_join: Duration,
+}
+
+impl Timings {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.select + self.reconstruct + self.join + self.post_join
+    }
+}
+
+/// Result of a query: aggregates in request order, materialized rows for
+/// raw projections, result cardinality and phase timings.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutput {
+    /// One value per requested aggregate (`None` on empty input for
+    /// max/min).
+    pub aggs: Vec<Option<Val>>,
+    /// Materialized projection columns (one `Vec` per requested raw
+    /// projection, in request order). Values are unordered.
+    pub proj_values: Vec<Vec<Val>>,
+    /// Number of qualifying tuples.
+    pub rows: usize,
+    /// Phase breakdown.
+    pub timings: Timings,
+}
+
+/// The common executor interface: one implementation per physical design
+/// (plain column-store, presorted, selection cracking, sideways cracking,
+/// partial sideways cracking).
+pub trait Engine {
+    /// Human-readable system name (used in benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Execute a single-table query.
+    fn select(&mut self, q: &SelectQuery) -> QueryOutput;
+
+    /// Execute a two-table join query.
+    fn join(&mut self, q: &JoinQuery) -> QueryOutput;
+
+    /// Append a new tuple (values in column order) to the primary table.
+    fn insert(&mut self, row: &[Val]);
+
+    /// Delete the tuple with base key `key` from the primary table.
+    fn delete(&mut self, key: RowId);
+
+    /// Auxiliary storage used (tuples), for storage-restriction plots.
+    fn aux_tuples(&self) -> usize {
+        0
+    }
+}
+
+/// Deterministic aggregate accumulator shared by all engines.
+#[derive(Debug, Clone, Copy)]
+pub struct AggAcc {
+    func: AggFunc,
+    count: i64,
+    sum: i64,
+    min: Option<Val>,
+    max: Option<Val>,
+}
+
+impl AggAcc {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> Self {
+        AggAcc { func, count: 0, sum: 0, min: None, max: None }
+    }
+
+    /// Fold one value.
+    #[inline(always)]
+    pub fn push(&mut self, v: Val) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of values folded so far.
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Final value (`None` for empty max/min; avg truncated to integer).
+    pub fn finish(&self) -> Option<Val> {
+        match self.func {
+            AggFunc::Max => self.max,
+            AggFunc::Min => self.min,
+            AggFunc::Sum => Some(self.sum),
+            AggFunc::Count => Some(self.count),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    None
+                } else {
+                    Some(self.sum / self.count)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_acc_matches_spec() {
+        let mut m = AggAcc::new(AggFunc::Max);
+        let mut c = AggAcc::new(AggFunc::Count);
+        for v in [3, 9, 1] {
+            m.push(v);
+            c.push(v);
+        }
+        assert_eq!(m.finish(), Some(9));
+        assert_eq!(c.finish(), Some(3));
+        assert_eq!(AggAcc::new(AggFunc::Max).finish(), None);
+        assert_eq!(AggAcc::new(AggFunc::Count).finish(), Some(0));
+    }
+
+    #[test]
+    fn timings_total() {
+        let t = Timings {
+            select: Duration::from_millis(1),
+            reconstruct: Duration::from_millis(2),
+            join: Duration::from_millis(3),
+            post_join: Duration::from_millis(4),
+        };
+        assert_eq!(t.total(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,200 @@
+//! Differential testing: every physical design must return identical
+//! answers for identical query sequences — including under updates.
+
+use crackdb_columnstore::column::{Column, Table};
+use crackdb_columnstore::types::{AggFunc, RangePred, Val};
+use crackdb_engine::{
+    Engine, JoinQuery, JoinSide, PartialEngine, PlainEngine, PresortedEngine, SelCrackEngine,
+    SelectQuery, SidewaysEngine,
+};
+
+const DOMAIN: (Val, Val) = (0, 1000);
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self, m: i64) -> i64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as i64).rem_euclid(m)
+    }
+}
+
+fn random_table(cols: usize, n: usize, seed: u64) -> Table {
+    let mut rng = Lcg(seed);
+    let mut t = Table::new();
+    for c in 0..cols {
+        t.add_column(
+            format!("a{c}"),
+            Column::new((0..n).map(|_| rng.next(DOMAIN.1)).collect()),
+        );
+    }
+    t
+}
+
+fn random_select(rng: &mut Lcg, cols: usize) -> SelectQuery {
+    let npreds = 1 + rng.next(2) as usize;
+    let mut preds = Vec::new();
+    let mut used = Vec::new();
+    for _ in 0..npreds {
+        let attr = rng.next(cols as i64) as usize;
+        if used.contains(&attr) {
+            continue;
+        }
+        used.push(attr);
+        let lo = rng.next(DOMAIN.1 - 1);
+        let hi = lo + 1 + rng.next(DOMAIN.1 - lo);
+        preds.push((attr, RangePred::open(lo, hi)));
+    }
+    let agg_attr = rng.next(cols as i64) as usize;
+    SelectQuery::aggregate(
+        preds,
+        vec![
+            (agg_attr, AggFunc::Count),
+            (agg_attr, AggFunc::Max),
+            (agg_attr, AggFunc::Min),
+            (agg_attr, AggFunc::Sum),
+        ],
+    )
+}
+
+#[test]
+fn all_engines_agree_on_random_conjunctions() {
+    let table = random_table(4, 500, 42);
+    let mut plain = PlainEngine::new(table.clone());
+    let mut presorted = PresortedEngine::new(table.clone(), &[0, 1, 2, 3]);
+    let mut selcrack = SelCrackEngine::new(table.clone(), DOMAIN);
+    let mut sideways = SidewaysEngine::new(table.clone(), DOMAIN);
+    let mut partial = PartialEngine::new(table.clone(), DOMAIN, None);
+
+    let mut rng = Lcg(7);
+    for i in 0..40 {
+        let q = random_select(&mut rng, 4);
+        let expected = plain.select(&q);
+        for (name, out) in [
+            ("presorted", presorted.select(&q)),
+            ("selcrack", selcrack.select(&q)),
+            ("sideways", sideways.select(&q)),
+            ("partial", partial.select(&q)),
+        ] {
+            assert_eq!(out.rows, expected.rows, "query {i}: {name} row count");
+            assert_eq!(out.aggs, expected.aggs, "query {i}: {name} aggregates");
+        }
+    }
+}
+
+#[test]
+fn engines_agree_under_updates() {
+    let table = random_table(3, 300, 99);
+    let mut plain = PlainEngine::new(table.clone());
+    let mut selcrack = SelCrackEngine::new(table.clone(), DOMAIN);
+    let mut sideways = SidewaysEngine::new(table.clone(), DOMAIN);
+
+    let mut rng = Lcg(123);
+    let mut live_keys: Vec<u32> = (0..300).collect();
+    let mut next_insert = 0i64;
+    for i in 0..60 {
+        // Interleave queries and updates.
+        if i % 3 == 2 {
+            let row = [
+                rng.next(DOMAIN.1),
+                1_000_000 + next_insert,
+                2_000_000 + next_insert,
+            ];
+            next_insert += 1;
+            plain.insert(&row);
+            selcrack.insert(&row);
+            sideways.insert(&row);
+            live_keys.push(299 + next_insert as u32);
+            let victim_idx = rng.next(live_keys.len() as i64) as usize;
+            let victim = live_keys.swap_remove(victim_idx);
+            plain.delete(victim);
+            selcrack.delete(victim);
+            sideways.delete(victim);
+        }
+        let q = random_select(&mut rng, 3);
+        let expected = plain.select(&q);
+        let sc = selcrack.select(&q);
+        let sw = sideways.select(&q);
+        assert_eq!(sc.rows, expected.rows, "query {i}: selcrack rows");
+        assert_eq!(sc.aggs, expected.aggs, "query {i}: selcrack aggs");
+        assert_eq!(sw.rows, expected.rows, "query {i}: sideways rows");
+        assert_eq!(sw.aggs, expected.aggs, "query {i}: sideways aggs");
+    }
+}
+
+#[test]
+fn engines_agree_on_joins() {
+    let left = random_table(4, 200, 5);
+    let right = random_table(4, 150, 6);
+    let mut plain = PlainEngine::with_second(left.clone(), right.clone());
+    let mut presorted =
+        PresortedEngine::with_second(left.clone(), &[1], right.clone(), &[1]);
+    let mut selcrack = SelCrackEngine::with_second(left.clone(), right.clone(), DOMAIN);
+    let mut sideways = SidewaysEngine::with_second(left.clone(), right.clone(), DOMAIN);
+
+    let mut rng = Lcg(31);
+    for i in 0..15 {
+        let llo = rng.next(800);
+        let rlo = rng.next(800);
+        let q = JoinQuery {
+            left: JoinSide {
+                preds: vec![(1, RangePred::open(llo, llo + 300))],
+                join_attr: 3,
+                aggs: vec![(0, AggFunc::Max), (0, AggFunc::Count)],
+            },
+            right: JoinSide {
+                preds: vec![(1, RangePred::open(rlo, rlo + 300))],
+                join_attr: 3,
+                aggs: vec![(0, AggFunc::Sum)],
+            },
+        };
+        let expected = plain.join(&q);
+        for (name, out) in [
+            ("presorted", presorted.join(&q)),
+            ("selcrack", selcrack.join(&q)),
+            ("sideways", sideways.join(&q)),
+        ] {
+            assert_eq!(out.rows, expected.rows, "join {i}: {name} rows");
+            assert_eq!(out.aggs, expected.aggs, "join {i}: {name} aggs");
+        }
+    }
+}
+
+#[test]
+fn disjunctive_agreement() {
+    let table = random_table(3, 400, 77);
+    let mut plain = PlainEngine::new(table.clone());
+    let mut sideways = SidewaysEngine::new(table.clone(), DOMAIN);
+    let mut rng = Lcg(55);
+    for i in 0..20 {
+        let lo1 = rng.next(900);
+        let lo2 = rng.next(900);
+        let q = SelectQuery {
+            preds: vec![
+                (0, RangePred::open(lo1, lo1 + 100)),
+                (1, RangePred::open(lo2, lo2 + 100)),
+            ],
+            disjunctive: true,
+            aggs: vec![(2, AggFunc::Count), (2, AggFunc::Sum)],
+            projs: vec![],
+        };
+        let expected = plain.select(&q);
+        let sw = sideways.select(&q);
+        assert_eq!(sw.rows, expected.rows, "disj {i}: rows");
+        assert_eq!(sw.aggs, expected.aggs, "disj {i}: aggs");
+    }
+}
+
+#[test]
+fn partial_with_budget_agrees() {
+    let table = random_table(4, 400, 11);
+    let mut plain = PlainEngine::new(table.clone());
+    let mut partial = PartialEngine::new(table.clone(), DOMAIN, Some(300));
+    let mut rng = Lcg(66);
+    for i in 0..40 {
+        let q = random_select(&mut rng, 4);
+        let expected = plain.select(&q);
+        let p = partial.select(&q);
+        assert_eq!(p.rows, expected.rows, "query {i}: rows");
+        assert_eq!(p.aggs, expected.aggs, "query {i}: aggs");
+    }
+}

@@ -1,0 +1,145 @@
+//! Additional engine-level integration tests: three-way disjunctions,
+//! mixed conjunctive/disjunctive sequences, storage-bounded sideways
+//! engines, and TPC-H access-layer edge cases.
+
+use crackdb_columnstore::column::{Column, Table};
+use crackdb_columnstore::types::{AggFunc, RangePred, Val};
+use crackdb_engine::{Engine, PlainEngine, SelectQuery, SidewaysEngine};
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self, m: i64) -> i64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as i64).rem_euclid(m)
+    }
+}
+
+fn table(cols: usize, n: usize, domain: Val, seed: u64) -> Table {
+    let mut rng = Lcg(seed);
+    let mut t = Table::new();
+    for c in 0..cols {
+        t.add_column(
+            format!("a{c}"),
+            Column::new((0..n).map(|_| rng.next(domain)).collect()),
+        );
+    }
+    t
+}
+
+#[test]
+fn three_way_disjunction_matches_plain() {
+    let t = table(4, 400, 500, 1);
+    let mut plain = PlainEngine::new(t.clone());
+    let mut sideways = SidewaysEngine::new(t.clone(), (0, 500));
+    let mut rng = Lcg(2);
+    for i in 0..25 {
+        let mk = |rng: &mut Lcg| {
+            let lo = rng.next(450);
+            RangePred::open(lo, lo + 50)
+        };
+        let q = SelectQuery {
+            preds: vec![(0, mk(&mut rng)), (1, mk(&mut rng)), (2, mk(&mut rng))],
+            disjunctive: true,
+            aggs: vec![(3, AggFunc::Count), (3, AggFunc::Sum), (3, AggFunc::Min)],
+            projs: vec![],
+        };
+        let a = plain.select(&q);
+        let b = sideways.select(&q);
+        assert_eq!(a.rows, b.rows, "disjunction {i}");
+        assert_eq!(a.aggs, b.aggs, "disjunction {i}");
+    }
+}
+
+#[test]
+fn interleaved_conjunctions_and_disjunctions() {
+    // Conjunctive and disjunctive plans share the same maps; interleaving
+    // them must keep alignment intact.
+    let t = table(3, 300, 300, 3);
+    let mut plain = PlainEngine::new(t.clone());
+    let mut sideways = SidewaysEngine::new(t.clone(), (0, 300));
+    let mut rng = Lcg(4);
+    for i in 0..40 {
+        let lo1 = rng.next(250);
+        let lo2 = rng.next(250);
+        let q = SelectQuery {
+            preds: vec![
+                (0, RangePred::open(lo1, lo1 + 60)),
+                (1, RangePred::open(lo2, lo2 + 60)),
+            ],
+            disjunctive: i % 2 == 0,
+            aggs: vec![(2, AggFunc::Count), (2, AggFunc::Max)],
+            projs: vec![],
+        };
+        assert_eq!(plain.select(&q).aggs, sideways.select(&q).aggs, "query {i}");
+    }
+}
+
+#[test]
+fn budgeted_sideways_engine_still_correct() {
+    // Budget forces whole-map drops between queries over many attributes.
+    let n = 500;
+    let t = table(8, n, 1000, 5);
+    let mut plain = PlainEngine::new(t.clone());
+    let mut sideways = SidewaysEngine::new(t.clone(), (0, 1000));
+    sideways.set_budget(Some(2 * n)); // room for two maps
+    let mut rng = Lcg(6);
+    for i in 0..50 {
+        let lo = rng.next(900);
+        let proj = 1 + (i % 7);
+        let q = SelectQuery::aggregate(
+            vec![(0, RangePred::open(lo, lo + 100))],
+            vec![(proj, AggFunc::Max), (proj, AggFunc::Count)],
+        );
+        assert_eq!(plain.select(&q).aggs, sideways.select(&q).aggs, "query {i}");
+        assert!(
+            sideways.aux_tuples() <= 3 * n,
+            "budget leak: {} tuples",
+            sideways.aux_tuples()
+        );
+    }
+}
+
+#[test]
+fn one_sided_and_point_predicates_across_engines() {
+    let t = table(2, 200, 100, 7);
+    let mut plain = PlainEngine::new(t.clone());
+    let mut sideways = SidewaysEngine::new(t.clone(), (0, 100));
+    use crackdb_columnstore::types::Bound;
+    let preds = [
+        RangePred::less(Bound::exclusive(30)),
+        RangePred::less(Bound::inclusive(30)),
+        RangePred::greater(Bound::exclusive(70)),
+        RangePred::greater(Bound::inclusive(70)),
+        RangePred::point(42),
+        RangePred::all(),
+        RangePred::closed(10, 10),
+        RangePred::open(99, 100),
+    ];
+    for (i, pred) in preds.iter().enumerate() {
+        let q = SelectQuery::aggregate(
+            vec![(0, *pred)],
+            vec![(1, AggFunc::Count), (1, AggFunc::Sum)],
+        );
+        assert_eq!(plain.select(&q).aggs, sideways.select(&q).aggs, "pred {i}");
+    }
+}
+
+#[test]
+fn repeated_identical_queries_are_stable() {
+    let t = table(3, 250, 250, 8);
+    let mut sideways = SidewaysEngine::new(t, (0, 250));
+    let q = SelectQuery::aggregate(
+        vec![(0, RangePred::open(50, 120)), (1, RangePred::open(30, 200))],
+        vec![(2, AggFunc::Sum)],
+    );
+    let first = sideways.select(&q);
+    for _ in 0..10 {
+        let again = sideways.select(&q);
+        assert_eq!(again.rows, first.rows);
+        assert_eq!(again.aggs, first.aggs);
+    }
+    // No new cracks after the first evaluation.
+    let cracks = sideways.store().set(0).map(|s| s.stats.query_cracks);
+    sideways.select(&q);
+    assert_eq!(sideways.store().set(0).map(|s| s.stats.query_cracks), cracks);
+}

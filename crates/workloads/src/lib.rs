@@ -1,0 +1,12 @@
+#![warn(missing_docs)]
+//! # crackdb-workloads
+//!
+//! Workload generators for the paper's experiments: synthetic random /
+//! skewed / batched query streams (§3.6, §4.2) and the TPC-H substrate
+//! (§5) with a dbgen-like data generator and qgen-like parameter streams.
+
+pub mod synthetic;
+pub mod tpch;
+
+pub use synthetic::{random_table, QiGen, QiQuery, RangeGen};
+pub use tpch::{TpchData, TpchParams};

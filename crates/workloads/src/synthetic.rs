@@ -1,0 +1,226 @@
+//! Synthetic tables and query workloads of §3.6 and §4.2.
+
+use crackdb_columnstore::column::{Column, Table};
+use crackdb_columnstore::types::{RangePred, Val};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A relational table of `attrs` integer attributes, each holding `n`
+/// values uniformly distributed in `[1, domain]` (the paper's tables use
+/// 10^7 random integers in `[1, 10^7]`).
+pub fn random_table(attrs: usize, n: usize, domain: Val, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new();
+    for a in 0..attrs {
+        let col: Vec<Val> = (0..n).map(|_| rng.gen_range(1..=domain)).collect();
+        t.add_column(format!("A{}", a + 1), Column::new(col));
+    }
+    t
+}
+
+/// Generator of random range predicates with a fixed result-size target.
+#[derive(Debug)]
+pub struct RangeGen {
+    rng: StdRng,
+    domain: Val,
+    /// Width of the requested value range (0 = point queries).
+    pub width: Val,
+}
+
+impl RangeGen {
+    /// Ranges selecting a `selectivity` fraction of a uniform `[1,
+    /// domain]` attribute.
+    pub fn with_selectivity(domain: Val, selectivity: f64, seed: u64) -> Self {
+        let width = ((domain as f64) * selectivity).round() as Val;
+        RangeGen { rng: StdRng::seed_from_u64(seed), domain, width }
+    }
+
+    /// Ranges of a fixed value width (`width = 0` gives point queries).
+    pub fn with_width(domain: Val, width: Val, seed: u64) -> Self {
+        RangeGen { rng: StdRng::seed_from_u64(seed), domain, width }
+    }
+
+    /// Next random range, uniformly located in the domain.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> RangePred {
+        if self.width <= 0 {
+            let v = self.rng.gen_range(1..=self.domain);
+            return RangePred::point(v);
+        }
+        let max_lo = (self.domain - self.width).max(1);
+        let lo = self.rng.gen_range(0..=max_lo);
+        RangePred::open(lo, lo + self.width + 1)
+    }
+
+    /// Next random range restricted to `[zone_lo, zone_hi]` (skewed
+    /// workloads).
+    pub fn next_in(&mut self, zone_lo: Val, zone_hi: Val) -> RangePred {
+        let span = (zone_hi - zone_lo - self.width).max(1);
+        let lo = zone_lo + self.rng.gen_range(0..span);
+        RangePred::open(lo, lo + self.width + 1)
+    }
+
+    /// Skewed workload of Exp5/§4.2: with probability `hot_prob` the
+    /// range falls inside the hot zone (first `hot_frac` of the domain),
+    /// otherwise in the remainder.
+    pub fn next_skewed(&mut self, hot_prob: f64, hot_frac: f64) -> RangePred {
+        let split = ((self.domain as f64) * hot_frac) as Val;
+        if self.rng.gen_bool(hot_prob) {
+            self.next_in(1, split.max(2))
+        } else {
+            self.next_in(split, self.domain)
+        }
+    }
+
+    /// Random value in the domain (update streams).
+    pub fn value(&mut self) -> Val {
+        self.rng.gen_range(1..=self.domain)
+    }
+
+    /// Random index below `n`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// The §4.2 multi-batch workload: queries
+/// `Qi: select Ci from R where v1<A<v2 and v3<Bi<v4`, all sharing the
+/// selection attribute `A` (attribute 0) but using distinct `Bi`/`Ci`
+/// pairs per query type.
+#[derive(Debug, Clone, Copy)]
+pub struct QiQuery {
+    /// Predicate on the shared attribute `A` (attribute index 0).
+    pub a_pred: RangePred,
+    /// `(Bi attribute, predicate)`.
+    pub b: (usize, RangePred),
+    /// `Ci` attribute to project.
+    pub c: usize,
+}
+
+/// Generator for the batched `Qi` workload (§4.2): `types` query types
+/// over a table of `1 + 2*types` attributes; type `i` uses `Bi =
+/// 1 + 2*i`, `Ci = 2 + 2*i`.
+#[derive(Debug)]
+pub struct QiGen {
+    range: RangeGen,
+    domain: Val,
+    /// Number of query types cycling in batches.
+    pub types: usize,
+}
+
+impl QiGen {
+    /// `result_size` is the paper's `S` (tuples selected by the
+    /// conjunction) over a table of `n` rows: the `A` range is sized for
+    /// `2S/n` selectivity and the `Bi` range for 50%, so the conjunction
+    /// yields ≈ `S`.
+    pub fn new(domain: Val, n: usize, result_size: usize, types: usize, seed: u64) -> Self {
+        let sel_a = (2.0 * result_size as f64 / n as f64).min(1.0);
+        QiGen { range: RangeGen::with_selectivity(domain, sel_a, seed), domain, types }
+    }
+
+    /// Query of type `ty` (0-based) with fresh random ranges.
+    pub fn query(&mut self, ty: usize) -> QiQuery {
+        assert!(ty < self.types);
+        let a_pred = self.range.next();
+        // Bi predicate: ~50% selectivity, random location.
+        let half = self.domain / 2;
+        let lo = self.range.rng_gen(half.max(1));
+        QiQuery {
+            a_pred,
+            b: (1 + 2 * ty, RangePred::open(lo, lo + half)),
+            c: 2 + 2 * ty,
+        }
+    }
+
+    /// Skewed variant: the `A` range falls in the first 20% of the domain
+    /// for 9 of 10 queries (§4.2 "Adaptation").
+    pub fn query_skewed(&mut self, ty: usize) -> QiQuery {
+        let mut q = self.query(ty);
+        q.a_pred = self.range.next_skewed(0.9, 0.2);
+        q
+    }
+}
+
+impl RangeGen {
+    fn rng_gen(&mut self, max: Val) -> Val {
+        self.rng.gen_range(0..max)
+    }
+}
+
+impl QiGen {
+    /// Attributes a table must have for this generator.
+    pub fn attrs_needed(types: usize) -> usize {
+        1 + 2 * types
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_table_shape_and_domain() {
+        let t = random_table(3, 100, 50, 1);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.num_rows(), 100);
+        for c in 0..3 {
+            assert!(t.column(c).values().iter().all(|&v| (1..=50).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn random_table_deterministic() {
+        let a = random_table(2, 50, 100, 9);
+        let b = random_table(2, 50, 100, 9);
+        assert_eq!(a.column(0).values(), b.column(0).values());
+    }
+
+    #[test]
+    fn selectivity_target_roughly_met() {
+        let domain = 10_000;
+        let t = random_table(1, 20_000, domain, 3);
+        let mut g = RangeGen::with_selectivity(domain, 0.2, 4);
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let p = g.next();
+            total += crackdb_columnstore::ops::select::count(t.column(0), &p);
+        }
+        let avg = total as f64 / 20.0;
+        assert!(
+            (avg - 4000.0).abs() < 600.0,
+            "expected ~20% of 20k rows, got {avg}"
+        );
+    }
+
+    #[test]
+    fn point_queries() {
+        let mut g = RangeGen::with_width(100, 0, 5);
+        let p = g.next();
+        assert_eq!(p.lo.unwrap().value, p.hi.unwrap().value);
+    }
+
+    #[test]
+    fn skewed_ranges_stay_in_zones() {
+        let mut g = RangeGen::with_selectivity(1000, 0.01, 6);
+        let mut hot = 0;
+        for _ in 0..200 {
+            let p = g.next_skewed(0.9, 0.2);
+            let lo = p.lo.unwrap().value;
+            if lo < 200 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 150, "≈90% of queries should hit the hot zone, got {hot}");
+    }
+
+    #[test]
+    fn qi_workload_shape() {
+        let mut g = QiGen::new(1_000_000, 1_000_000, 10_000, 5, 7);
+        for ty in 0..5 {
+            let q = g.query(ty);
+            assert_eq!(q.b.0, 1 + 2 * ty);
+            assert_eq!(q.c, 2 + 2 * ty);
+        }
+        assert_eq!(QiGen::attrs_needed(5), 11); // the paper's 11-attribute table
+    }
+}

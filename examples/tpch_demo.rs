@@ -1,0 +1,71 @@
+//! TPC-H under all five physical designs (§5): generate a small TPC-H
+//! instance and run a few of the paper's queries under every system,
+//! showing that the answers agree and how the costs compare.
+//!
+//! Run with `cargo run --release --example tpch_demo`.
+
+use crackdb::engine::tpch::queries::run;
+use crackdb::engine::tpch::{Mode, TpchExecutor};
+use crackdb::workloads::tpch::{TpchData, TpchParams};
+use std::time::Instant;
+
+fn main() {
+    let sf = 0.02;
+    println!("Generating TPC-H at SF {sf}...");
+    let data = TpchData::generate(sf, 42);
+    println!(
+        "lineitem: {} rows, orders: {} rows\n",
+        data.lineitem.num_rows(),
+        data.orders.num_rows()
+    );
+
+    let mut params = TpchParams::new(7);
+    let runs = [
+        (6u32, params.q6()),
+        (6, params.q6()),
+        (14, params.q14()),
+        (14, params.q14()),
+        (19, params.q19()),
+        (19, params.q19()),
+    ];
+
+    println!(
+        "{:<22}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>12}",
+        "system", "Q6a", "Q6b", "Q14a", "Q14b", "Q19a", "Q19b", "prep_ms"
+    );
+    let mut digests: Option<Vec<i64>> = None;
+    for (mode, label) in [
+        (Mode::Plain, "MonetDB"),
+        (Mode::Presorted, "MonetDB presorted"),
+        (Mode::SelCrack, "Selection Cracking"),
+        (Mode::Sideways, "Sideways Cracking"),
+        (Mode::RowStore, "MySQL presorted"),
+    ] {
+        let mut exec = TpchExecutor::new(data.clone(), mode);
+        let mut times = Vec::new();
+        let mut ds = Vec::new();
+        for &(q, prm) in &runs {
+            let t0 = Instant::now();
+            ds.push(run(&mut exec, q, prm));
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        match &digests {
+            None => digests = Some(ds),
+            Some(reference) => assert_eq!(&ds, reference, "{label} returned different answers"),
+        }
+        println!(
+            "{:<22}{:>10.2}{:>10.2}{:>10.2}{:>10.2}{:>10.2}{:>10.2}{:>12.1}",
+            label,
+            times[0],
+            times[1],
+            times[2],
+            times[3],
+            times[4],
+            times[5],
+            exec.prep_cost.as_secs_f64() * 1e3
+        );
+    }
+    println!("\nAll systems return identical answers. Sideways cracking pays a first-run");
+    println!("map-creation cost, then converges towards presorted speed — with zero");
+    println!("preparation cost and no workload knowledge.");
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! # crackdb
+//!
+//! A from-scratch Rust reproduction of *"Self-organizing Tuple
+//! Reconstruction in Column-stores"* (Stratos Idreos, Martin L. Kersten,
+//! Stefan Manegold; SIGMOD 2009): **sideways cracking** and **partial
+//! sideways cracking** on top of a MonetDB-style column-store substrate,
+//! together with every baseline the paper compares against and the full
+//! experiment harness that regenerates its tables and figures.
+//!
+//! ## Crates
+//!
+//! * [`columnstore`] — BAT storage model, two-column physical algebra,
+//!   presorted and row-store baselines, radix-cluster reordering.
+//! * [`cracking`] — selection cracking: AVL cracker index, crack-in-two /
+//!   crack-in-three kernels, cracker columns, ripple updates.
+//! * [`core`] — the paper's contribution: cracker maps, map sets, tapes,
+//!   adaptive alignment, bit-vector multi-selection plans, self-organizing
+//!   histograms, and §4's chunked partial maps with storage management.
+//! * [`workloads`] — synthetic workload generators and the TPC-H
+//!   substrate (data + query parameters).
+//! * [`engine`] — one query executor per physical design, plus the twelve
+//!   TPC-H query plans over a mode-parametric access layer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use crackdb::engine::{Engine, SelectQuery, SidewaysEngine};
+//! use crackdb::columnstore::{Column, Table, RangePred, AggFunc};
+//!
+//! let mut table = Table::new();
+//! table.add_column("a", Column::new(vec![12, 3, 5, 9, 15, 22, 7]));
+//! table.add_column("b", Column::new(vec![1, 2, 3, 4, 5, 6, 7]));
+//!
+//! let mut engine = SidewaysEngine::new(table, (0, 30));
+//! let q = SelectQuery::aggregate(
+//!     vec![(0, RangePred::open(4, 14))],
+//!     vec![(1, AggFunc::Max)],
+//! );
+//! let out = engine.select(&q);
+//! assert_eq!(out.aggs, vec![Some(7)]); // max(b) where 4 < a < 14
+//! ```
+
+pub use crackdb_columnstore as columnstore;
+pub use crackdb_core as core;
+pub use crackdb_cracking as cracking;
+pub use crackdb_engine as engine;
+pub use crackdb_workloads as workloads;
