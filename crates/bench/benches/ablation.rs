@@ -7,12 +7,12 @@
 //!   focused workload;
 //! * crack-in-three vs two crack-in-twos (see microbench) at query level.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use crackdb_bench::harness::{BatchSize, Criterion};
 use crackdb_columnstore::types::{AggFunc, RangePred, Val};
 use crackdb_engine::{Engine, PartialEngine, SelectQuery, SidewaysEngine};
+use crackdb_rng::rngs::StdRng;
+use crackdb_rng::{Rng, SeedableRng};
 use crackdb_workloads::random_table;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 const N: usize = 200_000;
@@ -95,10 +95,8 @@ fn bench_set_choice(c: &mut Criterion) {
         b.iter_batched(
             || SidewaysEngine::new(table.clone(), (0, DOMAIN)),
             |mut e| {
-                let q = SelectQuery::aggregate(
-                    vec![(0, narrow), (1, wide)],
-                    vec![(2, AggFunc::Max)],
-                );
+                let q =
+                    SelectQuery::aggregate(vec![(0, narrow), (1, wide)], vec![(2, AggFunc::Max)]);
                 black_box(e.select(&q))
             },
             BatchSize::PerIteration,
@@ -113,10 +111,8 @@ fn bench_set_choice(c: &mut Criterion) {
                 // trick is unavailable, so emulate by running with the
                 // wide predicate as the head (single-pred query on the
                 // wide attribute, then the narrow filter as residual).
-                let q = SelectQuery::aggregate(
-                    vec![(1, wide), (0, narrow)],
-                    vec![(2, AggFunc::Max)],
-                );
+                let q =
+                    SelectQuery::aggregate(vec![(1, wide), (0, narrow)], vec![(2, AggFunc::Max)]);
                 // Engine still picks the most selective — emulate the
                 // worst case by querying the wide attribute alone first
                 // (paying its map creation + crack) and then the real
@@ -209,7 +205,9 @@ fn bench_piece_aware_aggregates(c: &mut Criterion) {
         let lo = (i * n / 64) as Val;
         arr.crack_range(&RangePred::open(lo, lo + 3));
     }
-    g.bench_function("head_max_piece_aware", |b| b.iter(|| black_box(head_max(&arr))));
+    g.bench_function("head_max_piece_aware", |b| {
+        b.iter(|| black_box(head_max(&arr)))
+    });
     g.bench_function("head_max_full_scan", |b| {
         b.iter(|| black_box(head.iter().copied().max()))
     });
@@ -223,12 +221,11 @@ fn bench_piece_aware_aggregates(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_alignment_lag,
-    bench_set_choice,
-    bench_partial_vs_full_focused,
-    bench_cracker_join,
-    bench_piece_aware_aggregates
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_alignment_lag(&mut c);
+    bench_set_choice(&mut c);
+    bench_partial_vs_full_focused(&mut c);
+    bench_cracker_join(&mut c);
+    bench_piece_aware_aggregates(&mut c);
+}

@@ -2,15 +2,15 @@
 //! crack-in-three, AVL index operations, bit-vector filtering, the three
 //! positional-reconstruction access patterns, and ripple updates.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use crackdb_bench::harness::{BatchSize, Criterion};
 use crackdb_columnstore::radix::radix_cluster;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_core::BitVec;
 use crackdb_cracking::crack::{crack_in_three, crack_in_two, BoundKind};
 use crackdb_cracking::{CrackedArray, CrackerIndex};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use crackdb_rng::rngs::StdRng;
+use crackdb_rng::seq::SliceRandom;
+use crackdb_rng::{Rng, SeedableRng};
 use std::hint::black_box;
 
 const N: usize = 1 << 20;
@@ -30,7 +30,14 @@ fn bench_crack_kernels(c: &mut Criterion) {
         b.iter_batched(
             || (head.clone(), tail.clone()),
             |(mut h, mut t)| {
-                black_box(crack_in_two(&mut h, &mut t, 0, N, N as Val / 2, BoundKind::Lt))
+                black_box(crack_in_two(
+                    &mut h,
+                    &mut t,
+                    0,
+                    N,
+                    N as Val / 2,
+                    BoundKind::Lt,
+                ))
             },
             BatchSize::LargeInput,
         )
@@ -56,7 +63,14 @@ fn bench_crack_kernels(c: &mut Criterion) {
             || (head.clone(), tail.clone()),
             |(mut h, mut t)| {
                 let a = crack_in_two(&mut h, &mut t, 0, N, N as Val / 4, BoundKind::Le);
-                black_box(crack_in_two(&mut h, &mut t, a, N, 3 * N as Val / 4, BoundKind::Lt))
+                black_box(crack_in_two(
+                    &mut h,
+                    &mut t,
+                    a,
+                    N,
+                    3 * N as Val / 4,
+                    BoundKind::Lt,
+                ))
             },
             BatchSize::LargeInput,
         )
@@ -69,7 +83,10 @@ fn bench_index(c: &mut Criterion) {
     let mut idx = CrackerIndex::new();
     let mut rng = StdRng::seed_from_u64(2);
     for _ in 0..10_000 {
-        idx.record((rng.gen_range(0..1_000_000), BoundKind::Lt), rng.gen_range(0..N));
+        idx.record(
+            (rng.gen_range(0..1_000_000), BoundKind::Lt),
+            rng.gen_range(0..N),
+        );
     }
     g.bench_function("enclosing_piece_10k_boundaries", |b| {
         b.iter(|| {
@@ -132,7 +149,9 @@ fn bench_reconstruction_patterns(c: &mut Criterion) {
         }
         acc
     };
-    g.bench_function("sequential_200k_of_1M", |b| b.iter(|| black_box(fetch(&sorted))));
+    g.bench_function("sequential_200k_of_1M", |b| {
+        b.iter(|| black_box(fetch(&sorted)))
+    });
     g.bench_function("random_200k_of_1M", |b| b.iter(|| black_box(fetch(&keys))));
     g.bench_function("radix_clustered_200k_of_1M", |b| {
         b.iter(|| {
@@ -150,7 +169,10 @@ fn bench_ripple(c: &mut Criterion) {
     let mut arr = CrackedArray::new(head, tail);
     // Crack into ~32 pieces first.
     for i in 1..32 {
-        arr.crack_range(&RangePred::open((i * N / 32) as Val, (i * N / 32 + 1) as Val));
+        arr.crack_range(&RangePred::open(
+            (i * N / 32) as Val,
+            (i * N / 32 + 1) as Val,
+        ));
     }
     let mut rng = StdRng::seed_from_u64(7);
     g.bench_function("ripple_insert_32_pieces", |b| {
@@ -161,12 +183,11 @@ fn bench_ripple(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_crack_kernels,
-    bench_index,
-    bench_bitvec,
-    bench_reconstruction_patterns,
-    bench_ripple
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_crack_kernels(&mut c);
+    bench_index(&mut c);
+    bench_bitvec(&mut c);
+    bench_reconstruction_patterns(&mut c);
+    bench_ripple(&mut c);
+}

@@ -1,0 +1,59 @@
+//! Batch-execution microbenchmark: serial vs data-parallel read phases.
+//!
+//! Runs the same scan-dominated query batch through a [`BatchRunner`]
+//! with 1 worker (serial) and with N workers (one per hardware thread by
+//! default), and reports the wall-clock speedup. The plans are plain
+//! column-store scans + aggregates — entirely read-only, so the parallel
+//! and serial runs produce identical answers (asserted).
+//!
+//! Usage: `cargo run --release --bin batch_parallel [--n=…] [--queries=…]
+//! [--threads=…]`
+
+use crackdb_bench::{fmt_ms, time_ms, Args};
+use crackdb_columnstore::types::{AggFunc, Val};
+use crackdb_engine::{BatchRunner, PlainEngine, SelectQuery};
+use crackdb_workloads::{random_table, Pattern, RangeGen};
+
+fn main() {
+    let args = Args::parse(2_000_000, 24);
+    let threads = args.threads_or_auto();
+    let domain: Val = args.n as Val;
+    let table = random_table(4, args.n, domain, args.seed);
+
+    // Scan-heavy batch: 30%-selectivity ranges, three aggregates each.
+    let mut gen = RangeGen::with_selectivity(domain, 0.3, args.seed + 1);
+    let queries: Vec<SelectQuery> = gen
+        .batch(Pattern::Random, args.queries)
+        .into_iter()
+        .map(|p| {
+            SelectQuery::aggregate(
+                vec![(0, p)],
+                vec![(1, AggFunc::Sum), (2, AggFunc::Max), (3, AggFunc::Count)],
+            )
+        })
+        .collect();
+
+    println!(
+        "batch_parallel: {} rows x 4 attrs, {} queries, {} threads",
+        args.n, args.queries, threads
+    );
+
+    let mut serial = BatchRunner::new(PlainEngine::new(table.clone()), 1);
+    let (serial_ms, serial_out) = time_ms(|| serial.run(&queries));
+
+    let mut parallel = BatchRunner::new(PlainEngine::new(table), threads);
+    let (parallel_ms, parallel_out) = time_ms(|| parallel.run(&queries));
+
+    for (s, p) in serial_out.iter().zip(&parallel_out) {
+        assert_eq!(s.rows, p.rows, "parallel run must be bit-identical");
+        assert_eq!(s.aggs, p.aggs, "parallel run must be bit-identical");
+    }
+
+    println!("serial_ms\tparallel_ms\tspeedup");
+    println!(
+        "{}\t{}\t{:.2}x",
+        fmt_ms(serial_ms),
+        fmt_ms(parallel_ms),
+        serial_ms / parallel_ms
+    );
+}

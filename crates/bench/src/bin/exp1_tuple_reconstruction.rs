@@ -23,9 +23,18 @@ fn main() {
     let n = args.n;
     let domain = n as Val;
     let table = random_table(9, n, domain, args.seed);
-    println!("# Exp1: varying tuple reconstructions (N={n}, {} queries, 20% selectivity)", args.queries);
+    println!(
+        "# Exp1: varying tuple reconstructions (N={n}, {} queries, 20% selectivity)",
+        args.queries
+    );
     println!("# Paper: Figure 4(a) — response time of the 100th query");
-    header(&["k_reconstructions", "system", "ms_last_query", "ms_sel", "ms_tr"]);
+    header(&[
+        "k_reconstructions",
+        "system",
+        "ms_last_query",
+        "ms_sel",
+        "ms_tr",
+    ]);
 
     let mut breakdown: Vec<(String, f64, f64, f64)> = Vec::new();
     for &k in &[2usize, 4, 8] {

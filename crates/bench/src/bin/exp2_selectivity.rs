@@ -17,10 +17,22 @@ fn main() {
         args.queries
     );
     println!("# Paper: Figure 4(b) — response time relative to plain MonetDB (<1 = faster)");
-    header(&["selectivity", "query_seq", "sideways_ms", "monetdb_ms", "relative"]);
+    header(&[
+        "selectivity",
+        "query_seq",
+        "sideways_ms",
+        "monetdb_ms",
+        "relative",
+    ]);
 
-    let selectivities: [(&str, f64); 6] =
-        [("point", 0.0), ("10%", 0.1), ("30%", 0.3), ("50%", 0.5), ("70%", 0.7), ("90%", 0.9)];
+    let selectivities: [(&str, f64); 6] = [
+        ("point", 0.0),
+        ("10%", 0.1),
+        ("30%", 0.3),
+        ("50%", 0.5),
+        ("70%", 0.7),
+        ("90%", 0.9),
+    ];
     for (label, sel) in selectivities {
         let mut plain = PlainEngine::new(table.clone());
         let mut sideways = SidewaysEngine::new(table.clone(), (0, domain));
@@ -31,10 +43,8 @@ fn main() {
         };
         for i in 0..args.queries {
             let pred = gen.next();
-            let q = SelectQuery::aggregate(
-                vec![(0, pred)],
-                vec![(1, AggFunc::Max), (2, AggFunc::Max)],
-            );
+            let q =
+                SelectQuery::aggregate(vec![(0, pred)], vec![(1, AggFunc::Max), (2, AggFunc::Max)]);
             let (ms_p, out_p) = time_ms(|| plain.select(&q));
             let (ms_s, out_s) = time_ms(|| sideways.select(&q));
             assert_eq!(out_p.aggs, out_s.aggs, "engines disagree");

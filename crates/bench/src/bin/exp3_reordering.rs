@@ -6,10 +6,10 @@
 use crackdb_bench::{header, time_ms, Args};
 use crackdb_columnstore::radix::{bits_for_cache, radix_cluster};
 use crackdb_columnstore::types::{RowId, Val};
+use crackdb_rng::rngs::StdRng;
+use crackdb_rng::seq::SliceRandom;
+use crackdb_rng::SeedableRng;
 use crackdb_workloads::random_table;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse(2_000_000, 0);
@@ -29,7 +29,10 @@ fn main() {
     // L2-sized clusters (values of 8 bytes; ~512 KiB → 64Ki values).
     let bits = bits_for_cache(n, 1 << 16);
 
-    println!("# Exp3: reordering unordered intermediates (N={n}, |result|={} keys)", keys.len());
+    println!(
+        "# Exp3: reordering unordered intermediates (N={n}, |result|={} keys)",
+        keys.len()
+    );
     println!("# Paper: §3.6 inline figure — TR cost vs number of reconstructions");
     header(&["k_reconstructions", "strategy", "ms"]);
     for &k in &[1usize, 2, 4, 8] {

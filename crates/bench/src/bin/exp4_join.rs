@@ -17,9 +17,19 @@ fn main() {
     let r = random_table(7, n, domain, args.seed);
     let s = random_table(7, n, domain, args.seed + 1);
 
-    println!("# Exp4: join queries q2 (N={n} per table, {} queries)", args.queries);
+    println!(
+        "# Exp4: join queries q2 (N={n} per table, {} queries)",
+        args.queries
+    );
     println!("# Paper: Figure 5 — (a) total, (b) select+TR before join, (c) TR after join");
-    header(&["query_seq", "system", "total_ms", "before_join_ms", "join_ms", "after_join_ms"]);
+    header(&[
+        "query_seq",
+        "system",
+        "total_ms",
+        "before_join_ms",
+        "join_ms",
+        "after_join_ms",
+    ]);
 
     type Build = Box<dyn Fn() -> Box<dyn Engine>>;
     let builders: Vec<(&str, Build)> = vec![
@@ -27,20 +37,31 @@ fn main() {
             let (r, s) = (r.clone(), s.clone());
             Box::new(move || {
                 let e = PresortedEngine::with_second(r.clone(), &[4], s.clone(), &[4]);
-                eprintln!("# presorting cost: {:.1} ms", e.presort_cost.as_secs_f64() * 1e3);
+                eprintln!(
+                    "# presorting cost: {:.1} ms",
+                    e.presort_cost.as_secs_f64() * 1e3
+                );
                 Box::new(e) as Box<dyn Engine>
             })
         }),
         ("Sideways Cracking", {
             let (r, s) = (r.clone(), s.clone());
             Box::new(move || {
-                Box::new(SidewaysEngine::with_second(r.clone(), s.clone(), (0, domain)))
+                Box::new(SidewaysEngine::with_second(
+                    r.clone(),
+                    s.clone(),
+                    (0, domain),
+                ))
             })
         }),
         ("Selection Cracking", {
             let (r, s) = (r.clone(), s.clone());
             Box::new(move || {
-                Box::new(SelCrackEngine::with_second(r.clone(), s.clone(), (0, domain)))
+                Box::new(SelCrackEngine::with_second(
+                    r.clone(),
+                    s.clone(),
+                    (0, domain),
+                ))
             })
         }),
         ("MonetDB", {

@@ -16,7 +16,10 @@ fn main() {
     let domain = n as Val;
     let table = random_table(3, n, domain, args.seed);
 
-    println!("# Exp5: skewed workload (N={n}, {} queries, 20% ranges, 90% in hot half)", args.queries);
+    println!(
+        "# Exp5: skewed workload (N={n}, {} queries, 20% ranges, 90% in hot half)",
+        args.queries
+    );
     println!("# Paper: Figure 6 — response time (micro secs) along the query sequence");
     header(&["query_seq", "system", "us"]);
 
@@ -30,10 +33,8 @@ fn main() {
         let mut gen = RangeGen::with_selectivity(domain, 0.2, args.seed + 9);
         for i in 0..args.queries {
             let pred = gen.next_skewed(0.9, 0.5);
-            let q = SelectQuery::aggregate(
-                vec![(0, pred)],
-                vec![(1, AggFunc::Max), (2, AggFunc::Max)],
-            );
+            let q =
+                SelectQuery::aggregate(vec![(0, pred)], vec![(1, AggFunc::Max), (2, AggFunc::Max)]);
             let (ms, _) = time_ms(|| sys.select(&q));
             if log_sample(i, args.queries) {
                 println!("{}\t{}\t{:.1}", i + 1, sys.name(), ms * 1e3);

@@ -40,10 +40,8 @@ fn run_scenario(
                 }
             }
             let pred = gen.next();
-            let q = SelectQuery::aggregate(
-                vec![(0, pred)],
-                vec![(1, AggFunc::Max), (2, AggFunc::Max)],
-            );
+            let q =
+                SelectQuery::aggregate(vec![(0, pred)], vec![(1, AggFunc::Max), (2, AggFunc::Max)]);
             let (ms, _) = time_ms(|| sys.select(&q));
             if log_sample(i, queries) {
                 println!("{}\t{}\t{:.1}", i + 1, sys.name(), ms * 1e3);
@@ -57,12 +55,23 @@ fn main() {
     let n = args.n;
     let domain = n as Val;
     let table = random_table(3, n, domain, args.seed);
-    println!("# Exp6: effect of updates (N={n}, {} queries)", args.queries);
+    println!(
+        "# Exp6: effect of updates (N={n}, {} queries)",
+        args.queries
+    );
     println!("# Paper: Figure 7 — (a) LFHV and (b) HFLV scenarios");
 
     // LFHV: a large batch once per ~queries/2; HFLV: small frequent batches.
     let big = (args.queries / 2).max(1);
-    run_scenario("LFHV", &table, domain, args.queries, big, big, args.seed + 1);
+    run_scenario(
+        "LFHV",
+        &table,
+        domain,
+        args.queries,
+        big,
+        big,
+        args.seed + 1,
+    );
     run_scenario("HFLV", &table, domain, args.queries, 10, 10, args.seed + 2);
 
     println!("\n# Expected shape: sideways cracking keeps its self-organized performance");

@@ -23,7 +23,13 @@ fn main() {
     println!("# Fig 10: adaptation to the workload with partial maps (N={n}, T=6.5 maps)");
     for (label, s_size, skewed) in variants {
         println!("\n## {label}");
-        header(&["query_seq", "full_us", "partial_us", "full_storage", "partial_storage"]);
+        header(&[
+            "query_seq",
+            "full_us",
+            "partial_us",
+            "full_storage",
+            "partial_storage",
+        ]);
         let mut gen = QiGen::new(domain, n, s_size.max(1), 5, args.seed + 1);
         let sched = schedule(&mut gen, args.queries, 100, skewed);
         let (full, partial) = compare(&table, domain, &sched, budget, false);

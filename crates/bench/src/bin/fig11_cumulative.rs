@@ -14,7 +14,10 @@ fn main() {
     let domain = n as Val;
     let table = random_table(QiGen::attrs_needed(5), n, domain, args.seed);
 
-    println!("# Fig 11: total cumulative cost of {} queries (N={n})", args.queries);
+    println!(
+        "# Fig 11: total cumulative cost of {} queries (N={n})",
+        args.queries
+    );
     header(&["S_result_size", "T_budget", "full_secs", "partial_secs"]);
     let s_values = [n / 1000, n / 100, n / 10, 3 * n / 10];
     let budgets: [(&str, Option<usize>); 3] = [

@@ -16,7 +16,10 @@ fn main() {
     let budget = Some(n * 6); // the paper's T = 6M for N = 1M
     let s_size = n / 100;
 
-    println!("# Fig 12: varying workload change rate (N={n}, S={s_size}, T=6 maps, {} queries)", args.queries);
+    println!(
+        "# Fig 12: varying workload change rate (N={n}, S={s_size}, T=6 maps, {} queries)",
+        args.queries
+    );
     header(&["changes_per_1000", "batch_len", "full_secs", "partial_secs"]);
     for batch in [200usize, 100, 20, 10, 2, 1] {
         let changes = args.queries / batch;

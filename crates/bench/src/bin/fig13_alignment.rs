@@ -39,7 +39,13 @@ fn main() {
     println!("# Fig 13: improving alignment with partial maps (N={n}, S={s_size}, no limit)");
     for batch in [10usize, 100, 200] {
         println!("\n## workload changes every {batch} queries");
-        header(&["batch", "full_first_us", "full_rest_us", "partial_first_us", "partial_rest_us"]);
+        header(&[
+            "batch",
+            "full_first_us",
+            "full_rest_us",
+            "partial_first_us",
+            "partial_rest_us",
+        ]);
         let mut gen = QiGen::new(domain, n, s_size.max(1), 2, args.seed + 1);
         let sched = schedule(&mut gen, args.queries, batch, false);
         let (full, partial) = compare(&table, domain, &sched, None, false);

@@ -8,8 +8,8 @@
 use crackdb_bench::qi::{compare, schedule};
 use crackdb_bench::{header, log_sample, Args};
 use crackdb_columnstore::types::Val;
-use crackdb_workloads::synthetic::QiGen;
 use crackdb_workloads::random_table;
+use crackdb_workloads::synthetic::QiGen;
 
 fn main() {
     let args = Args::parse(200_000, 1000);
@@ -20,7 +20,10 @@ fn main() {
     let mut gen = QiGen::new(domain, n, s_size, 5, args.seed + 1);
     let sched = schedule(&mut gen, args.queries, 100, false);
 
-    println!("# Fig 9: storage restrictions (N={n}, S={s_size}, {} queries, 5 types x batches of 100)", args.queries);
+    println!(
+        "# Fig 9: storage restrictions (N={n}, S={s_size}, {} queries, 5 types x batches of 100)",
+        args.queries
+    );
     let budgets: [(&str, Option<usize>); 3] = [
         ("(a) unlimited", None),
         ("(b) T=6.5 maps", Some(n * 13 / 2)),
@@ -28,7 +31,13 @@ fn main() {
     ];
     for (label, budget) in budgets {
         println!("\n## {label}");
-        header(&["query_seq", "full_us", "partial_us", "full_storage", "partial_storage"]);
+        header(&[
+            "query_seq",
+            "full_us",
+            "partial_us",
+            "full_storage",
+            "partial_storage",
+        ]);
         let (full, partial) = compare(&table, domain, &sched, budget, false);
         for i in 0..sched.len() {
             if log_sample(i, sched.len()) || i % 100 == 0 {

@@ -29,7 +29,10 @@ fn params_for(p: &mut TpchParams, q: u32) -> Params {
 fn main() {
     let args = Args::parse(0, 30);
     let sf = args.sf;
-    println!("# Fig 14: TPC-H query sequences (SF={sf}, {} variations per query)", args.queries);
+    println!(
+        "# Fig 14: TPC-H query sequences (SF={sf}, {} variations per query)",
+        args.queries
+    );
     let data = TpchData::generate(sf, args.seed);
     println!(
         "# lineitem rows: {}, orders rows: {}",
@@ -49,7 +52,14 @@ fn main() {
     let mut pgen = TpchParams::new(args.seed + 7);
     let sequences: Vec<(u32, Vec<Params>)> = QUERIES
         .iter()
-        .map(|&q| (q, (0..args.queries).map(|_| params_for(&mut pgen, q)).collect()))
+        .map(|&q| {
+            (
+                q,
+                (0..args.queries)
+                    .map(|_| params_for(&mut pgen, q))
+                    .collect(),
+            )
+        })
         .collect();
 
     header(&["query", "run", "system", "ms"]);

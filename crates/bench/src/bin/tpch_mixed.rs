@@ -36,7 +36,12 @@ fn main() {
 
     let mut pgen = TpchParams::new(args.seed + 3);
     let workload: Vec<(u32, Params)> = (0..batches)
-        .flat_map(|_| QUERIES.iter().map(|&q| (q, params_for(&mut pgen, q))).collect::<Vec<_>>())
+        .flat_map(|_| {
+            QUERIES
+                .iter()
+                .map(|&q| (q, params_for(&mut pgen, q)))
+                .collect::<Vec<_>>()
+        })
         .collect();
 
     let mut plain = TpchExecutor::new(data.clone(), Mode::Plain);
@@ -47,7 +52,11 @@ fn main() {
         let (ms_p, dp) = time_ms(|| run(&mut plain, q, prm));
         let (ms_s, ds) = time_ms(|| run(&mut sideways, q, prm));
         assert_eq!(dp, ds, "digest mismatch on Q{q}");
-        println!("{}\tQ{q}\t{ms_p:.3}\t{ms_s:.3}\t{:.3}", i + 1, ms_s / ms_p.max(1e-9));
+        println!(
+            "{}\tQ{q}\t{ms_p:.3}\t{ms_s:.3}\t{:.3}",
+            i + 1,
+            ms_s / ms_p.max(1e-9)
+        );
     }
     println!("\n# Expected shape: relative time < 1 for most queries already in batch 1");
     println!("# (maps reused across queries sharing attributes), improving further after.");

@@ -9,6 +9,7 @@
 //! default to laptop-friendly sizes; pass `--n=`, `--queries=`, `--sf=`
 //! to approach paper scale (10^7 rows, 10^3 queries, SF 1).
 
+pub mod harness;
 pub mod qi;
 
 use std::time::Instant;
@@ -24,12 +25,21 @@ pub struct Args {
     pub sf: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the batch-execution benchmarks (0 = one per
+    /// hardware thread).
+    pub threads: usize,
 }
 
 impl Args {
     /// Parse from `std::env::args` with the given defaults.
     pub fn parse(default_n: usize, default_queries: usize) -> Self {
-        let mut a = Args { n: default_n, queries: default_queries, sf: 0.01, seed: 42 };
+        let mut a = Args {
+            n: default_n,
+            queries: default_queries,
+            sf: 0.01,
+            seed: 42,
+            threads: 0,
+        };
         for arg in std::env::args().skip(1) {
             if let Some(v) = arg.strip_prefix("--n=") {
                 a.n = v.parse().expect("--n takes an integer");
@@ -39,11 +49,22 @@ impl Args {
                 a.sf = v.parse().expect("--sf takes a float");
             } else if let Some(v) = arg.strip_prefix("--seed=") {
                 a.seed = v.parse().expect("--seed takes an integer");
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                a.threads = v.parse().expect("--threads takes an integer");
             } else {
                 eprintln!("ignoring unknown argument {arg}");
             }
         }
         a
+    }
+
+    /// Resolved worker count: `--threads=` or one per hardware thread.
+    pub fn threads_or_auto(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
     }
 }
 
@@ -88,8 +109,10 @@ mod tests {
 
     #[test]
     fn log_sampling_hits_decades() {
-        let picks: Vec<usize> =
-            (0..1000).filter(|&i| log_sample(i, 1000)).map(|i| i + 1).collect();
+        let picks: Vec<usize> = (0..1000)
+            .filter(|&i| log_sample(i, 1000))
+            .map(|i| i + 1)
+            .collect();
         assert!(picks.contains(&1));
         assert!(picks.contains(&10));
         assert!(picks.contains(&100));

@@ -21,12 +21,7 @@ pub struct Sample {
 /// Build the batched schedule: `queries` queries cycling through `types`
 /// query types in batches of `batch` (the paper's "100 Q1, then 100 Q2,
 /// …" pattern). `skewed` selects the hot-zone variant.
-pub fn schedule(
-    gen: &mut QiGen,
-    queries: usize,
-    batch: usize,
-    skewed: bool,
-) -> Vec<QiQuery> {
+pub fn schedule(gen: &mut QiGen, queries: usize, batch: usize, skewed: bool) -> Vec<QiQuery> {
     (0..queries)
         .map(|i| {
             let ty = (i / batch) % gen.types;
@@ -59,7 +54,11 @@ pub fn run_engine(
         if let Some(exp) = expected {
             assert_eq!(res.rows, exp[i], "query {i}: row count mismatch");
         }
-        out.push(Sample { seq: i, us, storage: engine.aux_tuples() });
+        out.push(Sample {
+            seq: i,
+            us,
+            storage: engine.aux_tuples(),
+        });
     }
     out
 }

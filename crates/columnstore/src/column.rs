@@ -49,7 +49,10 @@ impl Column {
 
     /// Iterate `(key, value)` pairs, materializing the virtual key.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (RowId, Val)> + '_ {
-        self.values.iter().enumerate().map(|(i, &v)| (i as RowId, v))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as RowId, v))
     }
 }
 
@@ -80,10 +83,7 @@ impl Table {
             col.len(),
             self.len
         );
-        assert!(
-            !self.names.contains(&name),
-            "duplicate column name {name}"
-        );
+        assert!(!self.names.contains(&name), "duplicate column name {name}");
         if self.columns.is_empty() {
             self.len = col.len();
         }

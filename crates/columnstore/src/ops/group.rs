@@ -37,10 +37,9 @@ pub fn group_aggregate_multi(
     group_cols: &[&[Val]],
     agg_cols: &[(&[Val], AggFunc)],
 ) -> Vec<(Vec<Val>, Vec<AggResult>)> {
-    let n = group_cols.first().map_or_else(
-        || agg_cols.first().map_or(0, |(c, _)| c.len()),
-        |c| c.len(),
-    );
+    let n = group_cols
+        .first()
+        .map_or_else(|| agg_cols.first().map_or(0, |(c, _)| c.len()), |c| c.len());
     for c in group_cols {
         assert_eq!(c.len(), n, "group column length mismatch");
     }
@@ -93,8 +92,7 @@ mod tests {
         let g1 = [1, 1, 2, 2];
         let g2 = [5, 6, 5, 5];
         let v = [1, 1, 1, 1];
-        let mut out =
-            group_aggregate_multi(&[&g1, &g2], &[(&v, AggFunc::Count)]);
+        let mut out = group_aggregate_multi(&[&g1, &g2], &[(&v, AggFunc::Count)]);
         out.sort_by(|a, b| a.0.cmp(&b.0));
         assert_eq!(out.len(), 3);
         assert_eq!(out[2].0, vec![2, 5]);
@@ -112,10 +110,7 @@ mod tests {
         let g = [1, 1];
         let a = [3, 5];
         let b = [10, 2];
-        let out = group_aggregate_multi(
-            &[&g],
-            &[(&a, AggFunc::Max), (&b, AggFunc::Min)],
-        );
+        let out = group_aggregate_multi(&[&g], &[(&a, AggFunc::Max), (&b, AggFunc::Min)]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].1[0].as_int(), Some(5));
         assert_eq!(out[0].1[1].as_int(), Some(2));

@@ -12,10 +12,7 @@ use std::collections::HashMap;
 
 /// Hash equi-join. `left` is the outer input whose order is preserved in
 /// the output; `right` is built into a hash table.
-pub fn hash_join(
-    left: &[(RowId, Val)],
-    right: &[(RowId, Val)],
-) -> Vec<(RowId, RowId)> {
+pub fn hash_join(left: &[(RowId, Val)], right: &[(RowId, Val)]) -> Vec<(RowId, RowId)> {
     let mut table: HashMap<Val, Vec<RowId>> = HashMap::with_capacity(right.len());
     for &(k, v) in right {
         table.entry(v).or_default().push(k);
@@ -33,10 +30,7 @@ pub fn hash_join(
 
 /// Join returning only the matched keys of each side (common case when the
 /// join is a pure connector between two filtered relations).
-pub fn hash_join_keys(
-    left: &[(RowId, Val)],
-    right: &[(RowId, Val)],
-) -> (Vec<RowId>, Vec<RowId>) {
+pub fn hash_join_keys(left: &[(RowId, Val)], right: &[(RowId, Val)]) -> (Vec<RowId>, Vec<RowId>) {
     let pairs = hash_join(left, right);
     let mut lk = Vec::with_capacity(pairs.len());
     let mut rk = Vec::with_capacity(pairs.len());

@@ -2,6 +2,7 @@
 
 pub mod group;
 pub mod join;
+pub mod parallel;
 pub mod reconstruct;
 pub mod select;
 pub mod sort;

@@ -33,7 +33,10 @@ pub fn count(col: &Column, pred: &RangePred) -> usize {
 /// column-store plan for conjunctive multi-attribute selections (scan the
 /// first column, then probe the remaining ones positionally).
 pub fn refine(col: &Column, keys: &[RowId], pred: &RangePred) -> Vec<RowId> {
-    keys.iter().copied().filter(|&k| pred.matches(col.get(k))).collect()
+    keys.iter()
+        .copied()
+        .filter(|&k| pred.matches(col.get(k)))
+        .collect()
 }
 
 /// Union-style refinement for disjunctions: returns the ordered merge of

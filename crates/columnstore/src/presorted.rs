@@ -33,7 +33,11 @@ impl PresortedTable {
         let columns = (0..table.num_columns())
             .map(|c| apply_permutation(table.column(c).values(), &perm))
             .collect();
-        PresortedTable { sort_col, columns, orig_keys: perm }
+        PresortedTable {
+            sort_col,
+            columns,
+            orig_keys: perm,
+        }
     }
 
     /// Build a copy sorted on `sort_col` with ties broken by `sub_col`
@@ -46,7 +50,11 @@ impl PresortedTable {
         let columns = (0..table.num_columns())
             .map(|c| apply_permutation(table.column(c).values(), &perm))
             .collect();
-        PresortedTable { sort_col, columns, orig_keys: perm }
+        PresortedTable {
+            sort_col,
+            columns,
+            orig_keys: perm,
+        }
     }
 
     /// The attribute this copy is sorted on.

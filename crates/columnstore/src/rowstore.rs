@@ -55,11 +55,7 @@ impl RowTable {
 
     /// Scan returning projected attribute values directly (the row-store
     /// advantage: projection is free once the row is in cache).
-    pub fn scan_project(
-        &self,
-        preds: &[(usize, RangePred)],
-        proj: &[usize],
-    ) -> Vec<Vec<Val>> {
+    pub fn scan_project(&self, preds: &[(usize, RangePred)], proj: &[usize]) -> Vec<Vec<Val>> {
         let mut out = Vec::new();
         for row in &self.rows {
             if preds.iter().all(|(c, p)| p.matches(row[*c])) {
@@ -83,7 +79,10 @@ impl PresortedRowTable {
     pub fn build(table: &Table, sort_col: usize) -> Self {
         let mut rt = RowTable::from_table(table);
         rt.rows.sort_by_key(|r| r[sort_col]);
-        PresortedRowTable { sort_col, inner: rt }
+        PresortedRowTable {
+            sort_col,
+            inner: rt,
+        }
     }
 
     /// Contiguous row range satisfying a predicate on the sort attribute.
@@ -159,7 +158,10 @@ mod tests {
     #[test]
     fn scan_project() {
         let rt = RowTable::from_table(&table());
-        let rows = rt.scan_project(&[(0, RangePred::greater(crate::types::Bound::inclusive(2)))], &[1]);
+        let rows = rt.scan_project(
+            &[(0, RangePred::greater(crate::types::Bound::inclusive(2)))],
+            &[1],
+        );
         assert_eq!(rows, vec![vec![30], vec![20]]);
     }
 

@@ -25,12 +25,18 @@ pub struct Bound {
 impl Bound {
     /// Inclusive boundary (`value` itself qualifies).
     pub fn inclusive(value: Val) -> Self {
-        Bound { value, inclusive: true }
+        Bound {
+            value,
+            inclusive: true,
+        }
     }
 
     /// Exclusive boundary (`value` itself does not qualify).
     pub fn exclusive(value: Val) -> Self {
-        Bound { value, inclusive: false }
+        Bound {
+            value,
+            inclusive: false,
+        }
     }
 }
 
@@ -51,17 +57,26 @@ pub struct RangePred {
 impl RangePred {
     /// `lo < A < hi` (both exclusive), the paper's canonical form.
     pub fn open(lo: Val, hi: Val) -> Self {
-        RangePred { lo: Some(Bound::exclusive(lo)), hi: Some(Bound::exclusive(hi)) }
+        RangePred {
+            lo: Some(Bound::exclusive(lo)),
+            hi: Some(Bound::exclusive(hi)),
+        }
     }
 
     /// `lo <= A < hi` (half-open), convenient for partition arithmetic.
     pub fn half_open(lo: Val, hi: Val) -> Self {
-        RangePred { lo: Some(Bound::inclusive(lo)), hi: Some(Bound::exclusive(hi)) }
+        RangePred {
+            lo: Some(Bound::inclusive(lo)),
+            hi: Some(Bound::exclusive(hi)),
+        }
     }
 
     /// `lo <= A <= hi` (both inclusive).
     pub fn closed(lo: Val, hi: Val) -> Self {
-        RangePred { lo: Some(Bound::inclusive(lo)), hi: Some(Bound::inclusive(hi)) }
+        RangePred {
+            lo: Some(Bound::inclusive(lo)),
+            hi: Some(Bound::inclusive(hi)),
+        }
     }
 
     /// Point restriction `A == v`.
@@ -71,12 +86,18 @@ impl RangePred {
 
     /// One-sided `A < hi` / `A <= hi`.
     pub fn less(hi: Bound) -> Self {
-        RangePred { lo: None, hi: Some(hi) }
+        RangePred {
+            lo: None,
+            hi: Some(hi),
+        }
     }
 
     /// One-sided `A > lo` / `A >= lo`.
     pub fn greater(lo: Bound) -> Self {
-        RangePred { lo: Some(lo), hi: None }
+        RangePred {
+            lo: Some(lo),
+            hi: None,
+        }
     }
 
     /// Unrestricted predicate (matches every value).

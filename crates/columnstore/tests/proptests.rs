@@ -1,4 +1,6 @@
-//! Property-based tests of the column-store substrate.
+//! Property-based tests of the column-store substrate, driven by a
+//! deterministic seeded PRNG (the workspace builds offline, so no
+//! `proptest` dependency).
 
 use crackdb_columnstore::column::{Column, Table};
 use crackdb_columnstore::ops::join::hash_join;
@@ -7,72 +9,90 @@ use crackdb_columnstore::presorted::PresortedTable;
 use crackdb_columnstore::radix::{bits_for_cache, radix_cluster};
 use crackdb_columnstore::rowstore::RowTable;
 use crackdb_columnstore::types::{Bound, RangePred, RowId};
-use proptest::prelude::*;
+use crackdb_rng::{rngs::StdRng, Rng, SeedableRng};
 
-proptest! {
-    /// Scan select returns exactly the qualifying, ordered key set.
-    #[test]
-    fn select_is_exact_and_ordered(
-        vals in prop::collection::vec(-50i64..50, 0..200),
-        lo in -60i64..60,
-        w in 0i64..40,
-    ) {
+const CASES: u64 = 96;
+
+fn cases(seed: u64, mut f: impl FnMut(&mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15)));
+        f(&mut rng);
+    }
+}
+
+fn vec_of(rng: &mut StdRng, lo: i64, hi: i64, min_len: usize, max_len: usize) -> Vec<i64> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Scan select returns exactly the qualifying, ordered key set.
+#[test]
+fn select_is_exact_and_ordered() {
+    cases(0x5E1EC7, |rng| {
+        let vals = vec_of(rng, -50, 50, 0, 200);
         let col = Column::new(vals.clone());
-        let pred = RangePred::open(lo, lo + w);
+        let lo = rng.gen_range(-60i64..60);
+        let pred = RangePred::open(lo, lo + rng.gen_range(0i64..40));
         let keys = select(&col, &pred);
-        prop_assert!(keys.windows(2).all(|x| x[0] < x[1]));
+        assert!(keys.windows(2).all(|x| x[0] < x[1]));
         let expected: Vec<RowId> = vals
             .iter()
             .enumerate()
             .filter(|(_, &v)| pred.matches(v))
             .map(|(i, _)| i as RowId)
             .collect();
-        prop_assert_eq!(keys, expected);
-    }
+        assert_eq!(keys, expected);
+    });
+}
 
-    /// refine == select-then-intersect; union_scan == select-then-union.
-    #[test]
-    fn refine_and_union_match_set_semantics(
-        a in prop::collection::vec(0i64..30, 1..150),
-        b in prop::collection::vec(0i64..30, 1..150),
-        p1 in (0i64..30, 1i64..15),
-        p2 in (0i64..30, 1i64..15),
-    ) {
+/// refine == select-then-intersect; union_scan == select-then-union.
+#[test]
+fn refine_and_union_match_set_semantics() {
+    cases(0x2EF1E, |rng| {
+        let a = vec_of(rng, 0, 30, 1, 150);
+        let b = vec_of(rng, 0, 30, 1, 150);
         let n = a.len().min(b.len());
         let ca = Column::new(a[..n].to_vec());
         let cb = Column::new(b[..n].to_vec());
-        let pa = RangePred::open(p1.0, p1.0 + p1.1);
-        let pb = RangePred::open(p2.0, p2.0 + p2.1);
+        let (l1, w1) = (rng.gen_range(0i64..30), rng.gen_range(1i64..15));
+        let (l2, w2) = (rng.gen_range(0i64..30), rng.gen_range(1i64..15));
+        let pa = RangePred::open(l1, l1 + w1);
+        let pb = RangePred::open(l2, l2 + w2);
         let ka = select(&ca, &pa);
         let both = refine(&cb, &ka, &pb);
         let expected_and: Vec<RowId> = (0..n as RowId)
             .filter(|&k| pa.matches(ca.get(k)) && pb.matches(cb.get(k)))
             .collect();
-        prop_assert_eq!(both, expected_and);
+        assert_eq!(both, expected_and);
         let either = union_scan(&cb, &ka, &pb);
         let expected_or: Vec<RowId> = (0..n as RowId)
             .filter(|&k| pa.matches(ca.get(k)) || pb.matches(cb.get(k)))
             .collect();
-        prop_assert_eq!(either, expected_or);
-    }
+        assert_eq!(either, expected_or);
+    });
+}
 
-    /// Presorted copies answer range selections exactly like scans.
-    #[test]
-    fn presorted_equals_scan(
-        a in prop::collection::vec(-40i64..40, 1..150),
-        lo in -50i64..50,
-        w in 0i64..30,
-        lo_incl in any::<bool>(),
-        hi_incl in any::<bool>(),
-    ) {
+/// Presorted copies answer range selections exactly like scans.
+#[test]
+fn presorted_equals_scan() {
+    cases(0x92E5027, |rng| {
+        let a = vec_of(rng, -40, 40, 1, 150);
         let b: Vec<i64> = (0..a.len() as i64).collect();
         let mut t = Table::new();
         t.add_column("a", Column::new(a.clone()));
         t.add_column("b", Column::new(b));
         let p = PresortedTable::build(&t, 0);
+        let lo = rng.gen_range(-50i64..50);
         let pred = RangePred {
-            lo: Some(Bound { value: lo, inclusive: lo_incl }),
-            hi: Some(Bound { value: lo + w, inclusive: hi_incl }),
+            lo: Some(Bound {
+                value: lo,
+                inclusive: rng.gen_bool(0.5),
+            }),
+            hi: Some(Bound {
+                value: lo + rng.gen_range(0i64..30),
+                inclusive: rng.gen_bool(0.5),
+            }),
         };
         let range = p.select_range(&pred);
         let mut got: Vec<i64> = p.project(1, range).to_vec();
@@ -82,34 +102,43 @@ proptest! {
             .map(|k| t.column(1).get(k))
             .collect();
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// Radix clustering is a permutation that groups keys by cluster.
-    #[test]
-    fn radix_cluster_properties(
-        keys in prop::collection::vec(0u32..1024, 0..300),
-        bits in 0u32..6,
-    ) {
+/// Radix clustering is a permutation that groups keys by cluster.
+#[test]
+fn radix_cluster_properties() {
+    cases(0x24D1, |rng| {
+        let len = rng.gen_range(0usize..300);
+        let keys: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..1024)).collect();
+        let bits = rng.gen_range(0u32..6);
         let out = radix_cluster(&keys, 1024, bits);
         let mut a = keys.clone();
         let mut b = out.clone();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b, "must be a permutation");
+        assert_eq!(a, b, "must be a permutation");
         // Cluster ids must be non-decreasing along the output.
         let shift = 10u32.saturating_sub(bits);
         let ids: Vec<u32> = out.iter().map(|&k| k >> shift).collect();
-        prop_assert!(ids.windows(2).all(|w| w[0] <= w[1]));
-        prop_assert!(bits_for_cache(1024, 1 << shift) <= 20);
-    }
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+        assert!(bits_for_cache(1024, 1 << shift) <= 20);
+    });
+}
 
-    /// Hash join equals the nested-loop definition.
-    #[test]
-    fn hash_join_equals_nested_loop(
-        l in prop::collection::vec((0u32..50, -5i64..5), 0..60),
-        r in prop::collection::vec((100u32..150, -5i64..5), 0..60),
-    ) {
+/// Hash join equals the nested-loop definition.
+#[test]
+fn hash_join_equals_nested_loop() {
+    cases(0x704A51, |rng| {
+        let nl = rng.gen_range(0usize..60);
+        let nr = rng.gen_range(0usize..60);
+        let l: Vec<(u32, i64)> = (0..nl)
+            .map(|_| (rng.gen_range(0u32..50), rng.gen_range(-5i64..5)))
+            .collect();
+        let r: Vec<(u32, i64)> = (0..nr)
+            .map(|_| (rng.gen_range(100u32..150), rng.gen_range(-5i64..5)))
+            .collect();
         let mut got = hash_join(&l, &r);
         got.sort_unstable();
         let mut expected = Vec::new();
@@ -121,26 +150,27 @@ proptest! {
             }
         }
         expected.sort_unstable();
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// The row-store scan agrees with the column-store plan.
-    #[test]
-    fn rowstore_equals_columnstore(
-        a in prop::collection::vec(0i64..40, 1..120),
-        p1 in (0i64..40, 1i64..20),
-        p2 in (0i64..40, 1i64..20),
-    ) {
+/// The row-store scan agrees with the column-store plan.
+#[test]
+fn rowstore_equals_columnstore() {
+    cases(0x2057, |rng| {
+        let a = vec_of(rng, 0, 40, 1, 120);
         let b: Vec<i64> = a.iter().map(|v| v * 3 % 40).collect();
         let mut t = Table::new();
         t.add_column("a", Column::new(a));
         t.add_column("b", Column::new(b));
         let rt = RowTable::from_table(&t);
-        let pa = RangePred::open(p1.0, p1.0 + p1.1);
-        let pb = RangePred::open(p2.0, p2.0 + p2.1);
+        let (l1, w1) = (rng.gen_range(0i64..40), rng.gen_range(1i64..20));
+        let (l2, w2) = (rng.gen_range(0i64..40), rng.gen_range(1i64..20));
+        let pa = RangePred::open(l1, l1 + w1);
+        let pb = RangePred::open(l2, l2 + w2);
         let row_hits = rt.scan(&[(0, pa), (1, pb)]);
         let col_hits = refine(t.column(1), &select(t.column(0), &pa), &pb);
         let col_hits: Vec<usize> = col_hits.into_iter().map(|k| k as usize).collect();
-        prop_assert_eq!(row_hits, col_hits);
-    }
+        assert_eq!(row_hits, col_hits);
+    });
 }

@@ -81,7 +81,10 @@ pub fn head_count<T: Copy>(arr: &CrackedArray<T>, pred: &RangePred) -> usize {
     };
     let head = arr.head();
     let count_in = |range: (usize, usize)| {
-        head[range.0..range.1].iter().filter(|&&v| pred.matches(v)).count()
+        head[range.0..range.1]
+            .iter()
+            .filter(|&&v| pred.matches(v))
+            .count()
     };
     match (lo_exact, hi_exact, lo_piece, hi_piece) {
         (Some(a), Some(b), _, _) => b.saturating_sub(a),

@@ -14,12 +14,18 @@ pub struct BitVec {
 impl BitVec {
     /// All-zero bit vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec { blocks: vec![0; len.div_ceil(64)], len }
+        BitVec {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// All-one bit vector of `len` bits.
     pub fn ones(len: usize) -> Self {
-        let mut bv = BitVec { blocks: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut bv = BitVec {
+            blocks: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         bv.clear_tail();
         bv
     }
@@ -174,7 +180,10 @@ mod tests {
         for i in [0, 63, 64, 127, 128, 199] {
             bv.set(i);
         }
-        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 199]);
+        assert_eq!(
+            bv.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 127, 128, 199]
+        );
     }
 
     #[test]

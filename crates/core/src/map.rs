@@ -26,7 +26,12 @@ impl CrackerMap {
     /// reorganization history (cursor at tape position 0 — the map must
     /// replay the whole tape to align with its siblings).
     pub fn seed(tail_attr: usize, head: Vec<Val>, tail: Vec<Val>) -> Self {
-        CrackerMap { tail_attr, arr: CrackedArray::new(head, tail), cursor: 0, accesses: 0 }
+        CrackerMap {
+            tail_attr,
+            arr: CrackedArray::new(head, tail),
+            cursor: 0,
+            accesses: 0,
+        }
     }
 
     /// Storage footprint in tuples (the paper's unit: one map row = one
@@ -54,7 +59,11 @@ pub struct KeyMap {
 impl KeyMap {
     /// Seed from parallel head/key vectors at tape position 0.
     pub fn seed(head: Vec<Val>, keys: Vec<RowId>) -> Self {
-        KeyMap { arr: CrackedArray::new(head, keys), cursor: 0, accesses: 0 }
+        KeyMap {
+            arr: CrackedArray::new(head, keys),
+            cursor: 0,
+            accesses: 0,
+        }
     }
 
     /// Storage footprint in tuples.

@@ -161,7 +161,11 @@ impl PartialSet {
             if cm.index().position_of(key).is_some() {
                 continue;
             }
-            let id: AreaId = cm.index().boundaries().iter().rev()
+            let id: AreaId = cm
+                .index()
+                .boundaries()
+                .iter()
+                .rev()
                 .find(|(k, _)| *k < key)
                 .map(|(k, _)| *k);
             let fetched = self.areas.get(&id).is_some_and(|a| a.fetched);
@@ -201,7 +205,12 @@ impl PartialSet {
                 _ => false,
             };
             if !below && !above && end_pos > start_pos {
-                out.push(AreaRef { id: start_key, start: start_pos, end: end_pos, end_key });
+                out.push(AreaRef {
+                    id: start_key,
+                    start: start_pos,
+                    end: end_pos,
+                    end_key,
+                });
             }
             start_key = end_key;
             start_pos = end_pos;
@@ -276,8 +285,12 @@ impl PartialSet {
     /// was the area's last chunk, the area reverts to unfetched and its
     /// tape is removed (§4.1).
     pub fn drop_chunk(&mut self, tail_attr: usize, area_id: AreaId) {
-        let Some(map) = self.maps.get_mut(&tail_attr) else { return };
-        let Some(chunk) = map.chunks.remove(&area_id) else { return };
+        let Some(map) = self.maps.get_mut(&tail_attr) else {
+            return;
+        };
+        let Some(chunk) = map.chunks.remove(&area_id) else {
+            return;
+        };
         self.usage -= chunk.len();
         self.stats.chunks_dropped += 1;
         let info = self.areas.entry(area_id).or_default();
@@ -307,7 +320,11 @@ impl PartialSet {
         let head: Vec<Val> = heads.to_vec();
         let tail: Vec<Val> = keys.iter().map(|&k| tail_col.get(k)).collect();
         let mut tmp = Chunk::seed(head, tail, None);
-        let tape = self.areas.get(&area.id).map(|a| a.tape.clone()).unwrap_or_default();
+        let tape = self
+            .areas
+            .get(&area.id)
+            .map(|a| a.tape.clone())
+            .unwrap_or_default();
         tmp.align_to(&tape, cursor);
         self.stats.heads_recovered += 1;
         tmp.head().expect("fresh chunk has a head").to_vec()
@@ -352,7 +369,15 @@ impl PartialSet {
         }
         let areas = self.overlapping_areas(head_pred);
         for area in areas {
-            self.process_area(base, &area, head_pred, tail_sels, projs, &attrs, &mut consume);
+            self.process_area(
+                base,
+                &area,
+                head_pred,
+                tail_sels,
+                projs,
+                &attrs,
+                &mut consume,
+            );
         }
     }
 
@@ -369,8 +394,7 @@ impl PartialSet {
     ) {
         // 1. Materialize missing chunks (budget-checked, pinning the
         //    chunks this query needs).
-        let pinned: HashSet<(usize, AreaId)> =
-            attrs.iter().map(|&a| (a, area.id)).collect();
+        let pinned: HashSet<(usize, AreaId)> = attrs.iter().map(|&a| (a, area.id)).collect();
         for &attr in attrs {
             let present = self
                 .maps
@@ -379,7 +403,11 @@ impl PartialSet {
             if !present {
                 self.make_room(area.end - area.start, &pinned);
                 let chunk = self.fetch_chunk(base, attr, area);
-                self.maps.entry(attr).or_default().chunks.insert(area.id, chunk);
+                self.maps
+                    .entry(attr)
+                    .or_default()
+                    .chunks
+                    .insert(area.id, chunk);
             }
         }
 
@@ -398,7 +426,11 @@ impl PartialSet {
             })
             .collect();
 
-        let tape = self.areas.get(&area.id).map(|a| a.tape.clone()).unwrap_or_default();
+        let tape = self
+            .areas
+            .get(&area.id)
+            .map(|a| a.tape.clone())
+            .unwrap_or_default();
         let needed = Self::keys_inside(head_pred, area);
 
         // 3. Partial alignment: bring every used chunk to the maximum
@@ -472,7 +504,10 @@ impl PartialSet {
 
         // 6. Stream projections.
         for &p in projs {
-            let (_, c) = chunks.iter().find(|(a, _)| *a == p).expect("projection chunk");
+            let (_, c) = chunks
+                .iter()
+                .find(|(a, _)| *a == p)
+                .expect("projection chunk");
             let tails = &c.tail()[range.0..range.1];
             match &bv {
                 None => {

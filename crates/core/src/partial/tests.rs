@@ -10,12 +10,17 @@ use crackdb_columnstore::types::{RangePred, Val};
 fn table(cols: usize, n: usize, domain: i64, seed: u64) -> Table {
     let mut state = seed;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as i64).rem_euclid(domain)
     };
     let mut t = Table::new();
     for c in 0..cols {
-        t.add_column(format!("a{c}"), Column::new((0..n).map(|_| next()).collect()));
+        t.add_column(
+            format!("a{c}"),
+            Column::new((0..n).map(|_| next()).collect()),
+        );
     }
     t
 }
@@ -34,7 +39,10 @@ fn naive(
         if !head_pred.matches(t.column(head_attr).get(row)) {
             continue;
         }
-        if tail_sels.iter().any(|(a, p)| !p.matches(t.column(*a).get(row))) {
+        if tail_sels
+            .iter()
+            .any(|(a, p)| !p.matches(t.column(*a).get(row)))
+        {
             continue;
         }
         for (p, vals) in out.iter_mut() {
@@ -82,7 +90,10 @@ fn conjunctive_matches_scan() {
     let mut s = PartialSet::new(0);
     for (a, b, c) in [(0, 250, 100), (100, 480, 300), (20, 70, 0)] {
         let head = RangePred::open(a, a + 200);
-        let sels = vec![(1usize, RangePred::open(b - 250, b)), (2usize, RangePred::open(c, c + 300))];
+        let sels = vec![
+            (1usize, RangePred::open(b - 250, b)),
+            (2usize, RangePred::open(c, c + 300)),
+        ];
         let got = collect(&mut s, &t, &head, &sels, &[3]);
         assert_same(got, naive(&t, 0, &head, &sels, &[3]));
     }
@@ -94,7 +105,9 @@ fn random_query_sequence_differential() {
     let mut s = PartialSet::new(0);
     let mut state = 99u64;
     let mut next = move |m: i64| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as i64).rem_euclid(m)
     };
     for _ in 0..60 {
@@ -124,7 +137,11 @@ fn only_required_chunks_materialize() {
     let pred = RangePred::open(400, 500);
     collect(&mut s, &t, &pred, &[], &[1]);
     // Roughly a tenth of the domain → roughly a tenth of the tuples.
-    assert!(s.usage() < 300, "partial map materialized {} tuples", s.usage());
+    assert!(
+        s.usage() < 300,
+        "partial map materialized {} tuples",
+        s.usage()
+    );
     assert!(s.chunk_count() >= 1);
 }
 
@@ -135,7 +152,9 @@ fn budget_enforced_with_drops_and_recreation() {
     s.budget = Some(600);
     let mut state = 5u64;
     let mut next = move |m: i64| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as i64).rem_euclid(m)
     };
     for q in 0..40 {
@@ -150,7 +169,10 @@ fn budget_enforced_with_drops_and_recreation() {
             s.usage()
         );
     }
-    assert!(s.stats.chunks_dropped > 0, "budget pressure must drop chunks");
+    assert!(
+        s.stats.chunks_dropped > 0,
+        "budget pressure must drop chunks"
+    );
 }
 
 #[test]
@@ -162,7 +184,9 @@ fn workload_shift_partial_alignment() {
     let mut s = PartialSet::new(0);
     let mut state = 1u64;
     let mut next = move |m: i64| {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((state >> 33) as i64).rem_euclid(m)
     };
     for batch in 0..6 {
@@ -185,7 +209,10 @@ fn fetched_areas_are_frozen() {
     // A predicate cutting inside the fetched [100,300] area must crack
     // chunks, not the chunk map.
     collect(&mut s, &t, &RangePred::open(150, 250), &[], &[1]);
-    assert_eq!(s.stats.chunk_map_cracks, cm_cracks, "fetched area was split");
+    assert_eq!(
+        s.stats.chunk_map_cracks, cm_cracks,
+        "fetched area was split"
+    );
     assert!(s.stats.query_cracks > 0);
 }
 

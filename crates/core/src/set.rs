@@ -159,7 +159,10 @@ impl MapSet {
                 }
             }
             if !merged.is_empty() {
-                self.tape.log_deletes(DeleteBatch { items: merged, resolved: None });
+                self.tape.log_deletes(DeleteBatch {
+                    items: merged,
+                    resolved: None,
+                });
             }
         }
     }
@@ -363,7 +366,11 @@ impl MapSet {
     ) {
         let range = self.sideways_select(base, tail_attr, head_pred);
         let tails = self.view_tail(tail_attr, range);
-        assert_eq!(tails.len(), bv.len(), "aligned maps must agree on the area size");
+        assert_eq!(
+            tails.len(),
+            bv.len(),
+            "aligned maps must agree on the area size"
+        );
         bv.refine(|i| tail_pred.matches(tails[i]));
     }
 
@@ -379,7 +386,11 @@ impl MapSet {
     ) {
         let range = self.sideways_select(base, tail_attr, head_pred);
         let tails = self.view_tail(tail_attr, range);
-        assert_eq!(tails.len(), bv.len(), "aligned maps must agree on the area size");
+        assert_eq!(
+            tails.len(),
+            bv.len(),
+            "aligned maps must agree on the area size"
+        );
         for i in bv.iter_ones() {
             consume(tails[i]);
         }
@@ -439,7 +450,11 @@ impl MapSet {
     ) {
         self.sideways_select(base, tail_attr, head_pred);
         let m = &self.maps[&tail_attr];
-        assert_eq!(m.arr.len(), bv.len(), "aligned maps must agree on total size");
+        assert_eq!(
+            m.arr.len(),
+            bv.len(),
+            "aligned maps must agree on total size"
+        );
         let tails = m.arr.tail();
         for i in bv.iter_ones() {
             consume(tails[i]);
@@ -552,8 +567,7 @@ mod tests {
         let base = fig2_table();
         let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
         let head_pred = RangePred::open(1, 8);
-        let (_, mut bv) =
-            s.select_create_bv(&base, 1, &head_pred, &RangePred::open(20, 70));
+        let (_, mut bv) = s.select_create_bv(&base, 1, &head_pred, &RangePred::open(20, 70));
         let mut out = Vec::new();
         s.reconstruct_with(&base, 2, &head_pred, &bv.clone(), |v| out.push(v));
         // Qualifying tuples: A in {2..7}\{1,8} with B in (20,70):
@@ -594,8 +608,7 @@ mod tests {
         let pred = RangePred::open(2, 7);
         let mut keys = s.select_keys(&base, &pred);
         keys.sort_unstable();
-        let expected =
-            crackdb_columnstore::ops::select::select(base.column(0), &pred);
+        let expected = crackdb_columnstore::ops::select::select(base.column(0), &pred);
         assert_eq!(keys, expected);
     }
 
@@ -693,7 +706,10 @@ mod tests {
         let mut s = MapSet::new(0, 1000, HashSet::new());
         let pred = RangePred::open(100, 300);
         let naive = s.estimate(&pred, 1000, (0, 1000));
-        assert!((naive - 200.0).abs() < 20.0, "uniform estimate ~200, got {naive}");
+        assert!(
+            (naive - 200.0).abs() < 20.0,
+            "uniform estimate ~200, got {naive}"
+        );
         s.sideways_select(base_ref(&t), 1, &pred);
         let exact = s.estimate(&pred, 1000, (0, 1000));
         // After cracking by exactly this predicate the estimate is exact.

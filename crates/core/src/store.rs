@@ -51,7 +51,10 @@ impl SidewaysStore {
     /// Empty store with a default attribute value domain used for
     /// estimates before any knowledge exists.
     pub fn new(default_domain: (Val, Val)) -> Self {
-        SidewaysStore { default_domain, ..Default::default() }
+        SidewaysStore {
+            default_domain,
+            ..Default::default()
+        }
     }
 
     /// Register a per-attribute value domain.
@@ -60,7 +63,10 @@ impl SidewaysStore {
     }
 
     fn domain(&self, attr: usize) -> (Val, Val) {
-        self.domains.get(&attr).copied().unwrap_or(self.default_domain)
+        self.domains
+            .get(&attr)
+            .copied()
+            .unwrap_or(self.default_domain)
     }
 
     /// Access (creating on demand) the map set of `head_attr`. `excluded`
@@ -116,15 +122,20 @@ impl SidewaysStore {
         self.choose_set(base, preds, true)
     }
 
+    /// §3.3 self-organizing estimate for one predicate: the attribute's
+    /// map-set histogram when one exists, a uniform assumption otherwise.
+    pub fn estimate(&self, base: &Table, attr: usize, pred: &RangePred) -> f64 {
+        let n = base.num_rows();
+        match self.sets.get(&attr) {
+            Some(s) => s.estimate(pred, n, self.domain(attr)),
+            None => uniform_estimate(pred, n, self.domain(attr)),
+        }
+    }
+
     fn choose_set(&self, base: &Table, preds: &[(usize, RangePred)], largest: bool) -> usize {
         assert!(!preds.is_empty());
-        let n = base.num_rows();
-        let score = |&(attr, pred): &(usize, RangePred)| -> f64 {
-            match self.sets.get(&attr) {
-                Some(s) => s.estimate(&pred, n, self.domain(attr)),
-                None => uniform_estimate(&pred, n, self.domain(attr)),
-            }
-        };
+        let score =
+            |&(attr, pred): &(usize, RangePred)| -> f64 { self.estimate(base, attr, &pred) };
         let best = preds.iter().enumerate().min_by(|a, b| {
             let (sa, sb) = (score(a.1), score(b.1));
             let ord = sa.partial_cmp(&sb).expect("estimates are finite");
@@ -172,8 +183,7 @@ impl SidewaysStore {
         if self.budget.is_none() {
             return;
         }
-        let pinned: HashSet<(usize, usize)> =
-            tail_attrs.iter().map(|&t| (set_attr, t)).collect();
+        let pinned: HashSet<(usize, usize)> = tail_attrs.iter().map(|&t| (set_attr, t)).collect();
         let missing: usize = {
             let s = self.sets.get(&set_attr);
             tail_attrs
@@ -184,6 +194,25 @@ impl SidewaysStore {
         if missing > 0 {
             self.make_room(missing * base.num_rows(), &pinned);
         }
+    }
+
+    /// Public budget hook for executors driving map sets directly: make
+    /// room for the maps of `tail_attrs` under `set_attr` before they are
+    /// materialized (no-op without a budget).
+    pub fn reserve_for(&mut self, base: &Table, set_attr: usize, tail_attrs: &[usize]) {
+        self.reserve(base, set_attr, tail_attrs);
+    }
+
+    /// Mutable access to the map set of `head_attr`, created on demand
+    /// from the current base snapshot (excluding already-deleted keys).
+    /// Combine with [`Self::reserve_for`] when a budget is active.
+    pub fn set_mut_ensured(
+        &mut self,
+        base: &Table,
+        head_attr: usize,
+        excluded: &HashSet<RowId>,
+    ) -> &mut MapSet {
+        self.ensure_set(base, head_attr, excluded)
     }
 
     /// Single-selection, multi-projection query: stream each projection
@@ -252,11 +281,15 @@ impl SidewaysStore {
                 Some(r) => r,
                 None => s.select_keys(base, &head_pred).len().pipe_range(),
             };
-            return ConjHandle { set_attr, head_pred, range, bv: None };
+            return ConjHandle {
+                set_attr,
+                head_pred,
+                range,
+                bv: None,
+            };
         }
 
-        let (range, mut bv) =
-            s.select_create_bv(base, tails[0].0, &head_pred, &tails[0].1);
+        let (range, mut bv) = s.select_create_bv(base, tails[0].0, &head_pred, &tails[0].1);
         for (attr, pred) in &tails[1..] {
             s.select_refine_bv(base, *attr, &head_pred, pred, &mut bv);
         }
@@ -267,7 +300,12 @@ impl SidewaysStore {
                 s.sideways_select(base, attr, &head_pred);
             }
         }
-        ConjHandle { set_attr, head_pred, range, bv: Some(bv) }
+        ConjHandle {
+            set_attr,
+            head_pred,
+            range,
+            bv: Some(bv),
+        }
     }
 
     /// Stream tail values of `tail_attr` for the qualifying tuples of a
@@ -281,9 +319,7 @@ impl SidewaysStore {
     ) {
         let s = self.sets.get_mut(&handle.set_attr).expect("set exists");
         match &handle.bv {
-            Some(bv) => {
-                s.reconstruct_with(base, tail_attr, &handle.head_pred, bv, consume)
-            }
+            Some(bv) => s.reconstruct_with(base, tail_attr, &handle.head_pred, bv, consume),
             None => {
                 let range = s.sideways_select(base, tail_attr, &handle.head_pred);
                 for &v in s.view_tail(tail_attr, range) {
@@ -296,12 +332,7 @@ impl SidewaysStore {
     /// Aligned tail slice of one map under the handle's head predicate —
     /// gives positional access for join plans (positions are relative to
     /// `range.0`).
-    pub fn tail_slice(
-        &mut self,
-        base: &Table,
-        handle: &ConjHandle,
-        tail_attr: usize,
-    ) -> &[Val] {
+    pub fn tail_slice(&mut self, base: &Table, handle: &ConjHandle, tail_attr: usize) -> &[Val] {
         let s = self.sets.get_mut(&handle.set_attr).expect("set exists");
         let range = s.sideways_select(base, tail_attr, &handle.head_pred);
         debug_assert_eq!(range, handle.range, "aligned maps agree on the area");
@@ -378,7 +409,10 @@ pub struct PartialStore {
 impl PartialStore {
     /// Empty store.
     pub fn new(default_domain: (Val, Val)) -> Self {
-        PartialStore { default_domain, ..Default::default() }
+        PartialStore {
+            default_domain,
+            ..Default::default()
+        }
     }
 
     /// Register a per-attribute value domain (set-choice estimates).
@@ -387,7 +421,17 @@ impl PartialStore {
     }
 
     fn domain(&self, attr: usize) -> (Val, Val) {
-        self.domains.get(&attr).copied().unwrap_or(self.default_domain)
+        self.domains
+            .get(&attr)
+            .copied()
+            .unwrap_or(self.default_domain)
+    }
+
+    /// Zero-knowledge estimate for one predicate: partial sets keep no
+    /// cross-query histogram, so §4's set choice uses the uniform domain
+    /// assumption.
+    pub fn estimate(&self, base: &Table, attr: usize, pred: &RangePred) -> f64 {
+        uniform_estimate(pred, base.num_rows(), self.domain(attr))
     }
 
     /// Total chunk storage across all sets.
@@ -440,8 +484,11 @@ impl PartialStore {
             .expect("non-empty predicates")
             .0;
         let head_pred = preds.iter().find(|(a, _)| *a == chosen).expect("present").1;
-        let tails: Vec<(usize, RangePred)> =
-            preds.iter().filter(|(a, _)| *a != chosen).cloned().collect();
+        let tails: Vec<(usize, RangePred)> = preds
+            .iter()
+            .filter(|(a, _)| *a != chosen)
+            .cloned()
+            .collect();
         self.set_mut(chosen)
             .conjunctive_project_with(base, &head_pred, &tails, projs, consume);
     }
@@ -499,7 +546,7 @@ mod tests {
         let base = table();
         let none = HashSet::new();
         let preds = vec![
-            (0usize, RangePred::open(-1, 5)),  // rows 0..=4
+            (0usize, RangePred::open(-1, 5)),   // rows 0..=4
             (1usize, RangePred::open(94, 100)), // b in (94,100) => rows 0..=4... careful
         ];
         // b = 99-row in (94,100) => row in 0..=4 — same rows; union = 5 rows.

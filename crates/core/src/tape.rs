@@ -117,7 +117,10 @@ mod tests {
         assert!(t.is_empty());
         let p0 = t.log_crack(RangePred::open(1, 5));
         let p1 = t.log_inserts(InsertBatch { keys: vec![7] });
-        let p2 = t.log_deletes(DeleteBatch { items: vec![(3, 2)], resolved: None });
+        let p2 = t.log_deletes(DeleteBatch {
+            items: vec![(3, 2)],
+            resolved: None,
+        });
         assert_eq!((p0, p1, p2), (0, 1, 2));
         assert_eq!(t.len(), 3);
         assert_eq!(t.lag(0), 3);

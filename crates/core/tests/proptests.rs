@@ -1,11 +1,32 @@
 //! Property-based tests of sideways cracking's core invariants:
 //! alignment, bit-vector plans, and partial-map equivalence.
+//!
+//! The workspace builds offline, so instead of `proptest` these
+//! properties are driven by a deterministic seeded PRNG: every test runs
+//! a fixed number of randomized cases and reports the failing case seed
+//! in its panic message.
 
 use crackdb_columnstore::column::{Column, Table};
 use crackdb_columnstore::types::{RangePred, Val};
 use crackdb_core::{MapSet, PartialSet};
-use proptest::prelude::*;
+use crackdb_rng::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashSet;
+
+const CASES: u64 = 64;
+
+/// Run `f` once per case with a per-case deterministic generator.
+fn cases(seed: u64, mut f: impl FnMut(&mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15)));
+        f(&mut rng);
+    }
+}
+
+fn vec_of(rng: &mut StdRng, lo: Val, hi: Val, min_len: usize, max_len: usize) -> Vec<Val> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
 fn table(cols: Vec<Vec<Val>>) -> Table {
     let mut t = Table::new();
@@ -19,58 +40,56 @@ fn pred(lo: Val, width: Val) -> RangePred {
     RangePred::open(lo, lo + width + 1)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// After any interleaving of sideways selects over two maps, both
-    /// maps hold identical heads (physical alignment) and answer
-    /// consistently with a naive scan.
-    #[test]
-    fn maps_stay_aligned(
-        a in prop::collection::vec(0i64..60, 2..100),
-        queries in prop::collection::vec((0i64..60, 0i64..30, 0usize..2), 1..15),
-    ) {
+/// After any interleaving of sideways selects over two maps, both maps
+/// hold identical heads (physical alignment) and answer consistently
+/// with a naive scan.
+#[test]
+fn maps_stay_aligned() {
+    cases(0xA11CE, |rng| {
+        let a = vec_of(rng, 0, 60, 2, 100);
         let n = a.len();
+        let nq = rng.gen_range(1usize..15);
         let b: Vec<Val> = (0..n as Val).map(|i| i + 1000).collect();
         let c: Vec<Val> = (0..n as Val).map(|i| i + 2000).collect();
         let t = table(vec![a.clone(), b, c]);
         let mut set = MapSet::new(0, n, HashSet::new());
-        for (lo, w, which) in queries {
-            let p = pred(lo, w);
-            let attr = 1 + which;
+        for _ in 0..nq {
+            let p = pred(rng.gen_range(0i64..60), rng.gen_range(0i64..30));
+            let attr = 1 + rng.gen_range(0usize..2);
             let range = set.sideways_select(&t, attr, &p);
             let got: HashSet<Val> = set.view_tail(attr, range).iter().copied().collect();
             let expected: HashSet<Val> = (0..n)
                 .filter(|&i| p.matches(a[i]))
                 .map(|i| t.column(attr).get(i as u32))
                 .collect();
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected);
             // Alignment invariant: maps whose cursors point at the same
             // tape position are physically identical. (A map unused by
             // recent queries deliberately lags — it aligns on demand.)
             if let (Some(m1), Some(m2)) = (set.map(1), set.map(2)) {
                 if m1.cursor == m2.cursor {
-                    prop_assert_eq!(m1.arr.head(), m2.arr.head());
+                    assert_eq!(m1.arr.head(), m2.arr.head());
                 }
             }
         }
-    }
+    });
+}
 
-    /// Conjunctive bit-vector plans equal naive evaluation for any pair
-    /// of predicates.
-    #[test]
-    fn conjunctive_plans_correct(
-        a in prop::collection::vec(0i64..40, 2..80),
-        q in prop::collection::vec((0i64..40, 0i64..20, 0i64..40, 0i64..20), 1..10),
-    ) {
+/// Conjunctive bit-vector plans equal naive evaluation for any pair of
+/// predicates.
+#[test]
+fn conjunctive_plans_correct() {
+    cases(0xC0171, |rng| {
+        let a = vec_of(rng, 0, 40, 2, 80);
         let n = a.len();
         let b: Vec<Val> = a.iter().map(|v| (v * 7 + 3) % 40).collect();
         let d: Vec<Val> = (0..n as Val).collect();
         let t = table(vec![a.clone(), b.clone(), d]);
         let mut set = MapSet::new(0, n, HashSet::new());
-        for (alo, aw, blo, bw) in q {
-            let ap = pred(alo, aw);
-            let bp = pred(blo, bw);
+        let nq = rng.gen_range(1usize..10);
+        for _ in 0..nq {
+            let ap = pred(rng.gen_range(0i64..40), rng.gen_range(0i64..20));
+            let bp = pred(rng.gen_range(0i64..40), rng.gen_range(0i64..20));
             let (_, bv) = set.select_create_bv(&t, 1, &ap, &bp);
             let mut got = Vec::new();
             set.reconstruct_with(&t, 2, &ap, &bv, |v| got.push(v));
@@ -80,20 +99,20 @@ proptest! {
                 .map(|i| i as Val)
                 .collect();
             expected.sort_unstable();
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected);
         }
-    }
+    });
+}
 
-    /// Partial maps under any budget answer exactly like a naive scan,
-    /// and never exceed the budget by more than one in-flight area fetch
-    /// per touched map.
-    #[test]
-    fn partial_maps_budget_correct(
-        a in prop::collection::vec(0i64..50, 4..120),
-        queries in prop::collection::vec((0i64..50, 0i64..25, 0usize..3), 1..20),
-        budget_frac in 1usize..4,
-    ) {
+/// Partial maps under any budget answer exactly like a naive scan, and
+/// never exceed the budget by more than one in-flight area fetch per
+/// touched map.
+#[test]
+fn partial_maps_budget_correct() {
+    cases(0xB4D6E7, |rng| {
+        let a = vec_of(rng, 0, 50, 4, 120);
         let n = a.len();
+        let budget_frac = rng.gen_range(1usize..4);
         let cols: Vec<Vec<Val>> = (0..4)
             .map(|c| {
                 if c == 0 {
@@ -107,9 +126,10 @@ proptest! {
         let budget = (n * budget_frac).max(4);
         let mut set = PartialSet::new(0);
         set.budget = Some(budget);
-        for (lo, w, proj) in queries {
-            let p = pred(lo, w);
-            let attr = 1 + proj;
+        let nq = rng.gen_range(1usize..20);
+        for _ in 0..nq {
+            let p = pred(rng.gen_range(0i64..50), rng.gen_range(0i64..25));
+            let attr = 1 + rng.gen_range(0usize..3);
             let mut got = Vec::new();
             set.select_project_with(&t, &p, &[attr], |_, v| got.push(v));
             got.sort_unstable();
@@ -118,38 +138,42 @@ proptest! {
                 .map(|i| t.column(attr).get(i as u32))
                 .collect();
             expected.sort_unstable();
-            prop_assert_eq!(got, expected);
-            prop_assert!(
+            assert_eq!(got, expected);
+            assert!(
                 set.usage() <= budget + 3 * n,
                 "usage {} far exceeds budget {}",
                 set.usage(),
                 budget
             );
         }
-    }
+    });
+}
 
-    /// The §3.3 histogram estimate always brackets the true result size
-    /// between its lower and upper bounds.
-    #[test]
-    fn histogram_bounds_hold(
-        a in prop::collection::vec(0i64..100, 2..150),
-        queries in prop::collection::vec((0i64..100, 0i64..40), 1..10),
-        probe in (0i64..100, 0i64..40),
-    ) {
+/// The §3.3 histogram estimate always brackets the true result size
+/// between its lower and upper bounds.
+#[test]
+fn histogram_bounds_hold() {
+    cases(0x415706, |rng| {
+        let a = vec_of(rng, 0, 100, 2, 150);
         let n = a.len();
         let b: Vec<Val> = (0..n as Val).collect();
         let t = table(vec![a.clone(), b]);
         let mut set = MapSet::new(0, n, HashSet::new());
-        for (lo, w) in queries {
-            set.sideways_select(&t, 1, &pred(lo, w));
+        let nq = rng.gen_range(1usize..10);
+        for _ in 0..nq {
+            set.sideways_select(
+                &t,
+                1,
+                &pred(rng.gen_range(0i64..100), rng.gen_range(0i64..40)),
+            );
         }
-        let p = pred(probe.0, probe.1);
+        let p = pred(rng.gen_range(0i64..100), rng.gen_range(0i64..40));
         let truth = a.iter().filter(|&&v| p.matches(v)).count();
         let m = set.map(1).expect("map created");
         let est = m.arr.index().estimate_size(&p, m.arr.len(), (0, 100));
-        prop_assert!(est.lower <= truth, "lower {} > truth {}", est.lower, truth);
-        prop_assert!(est.upper >= truth, "upper {} < truth {}", est.upper, truth);
-        prop_assert!(est.estimate >= est.lower as f64 - 1e-9);
-        prop_assert!(est.estimate <= est.upper as f64 + 1e-9);
-    }
+        assert!(est.lower <= truth, "lower {} > truth {}", est.lower, truth);
+        assert!(est.upper >= truth, "upper {} < truth {}", est.upper, truth);
+        assert!(est.estimate >= est.lower as f64 - 1e-9);
+        assert!(est.estimate <= est.upper as f64 + 1e-9);
+    });
 }

@@ -50,7 +50,11 @@ impl<K: Ord + Copy> Default for AvlTree<K> {
 impl<K: Ord + Copy> AvlTree<K> {
     /// Empty tree.
     pub fn new() -> Self {
-        AvlTree { nodes: Vec::new(), root: NIL, live: 0 }
+        AvlTree {
+            nodes: Vec::new(),
+            root: NIL,
+            live: 0,
+        }
     }
 
     /// Number of live (non-deleted) boundaries.
@@ -136,7 +140,14 @@ impl<K: Ord + Copy> AvlTree<K> {
 
     fn insert_at(&mut self, n: NodeId, key: K, pos: usize) -> NodeId {
         if n == NIL {
-            self.nodes.push(Node { key, pos, deleted: false, left: NIL, right: NIL, height: 1 });
+            self.nodes.push(Node {
+                key,
+                pos,
+                deleted: false,
+                left: NIL,
+                right: NIL,
+                height: 1,
+            });
             self.live += 1;
             return (self.nodes.len() - 1) as NodeId;
         }
@@ -351,12 +362,7 @@ impl<K: Ord + Copy> AvlTree<K> {
     /// Verify AVL invariants (test / debug helper).
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        fn rec<K: Ord + Copy>(
-            t: &AvlTree<K>,
-            n: NodeId,
-            lo: Option<K>,
-            hi: Option<K>,
-        ) -> i32 {
+        fn rec<K: Ord + Copy>(t: &AvlTree<K>, n: NodeId, lo: Option<K>, hi: Option<K>) -> i32 {
             if n == NIL {
                 return 0;
             }
@@ -505,7 +511,9 @@ mod tests {
         let mut reference = BTreeMap::new();
         let mut state = 12345u64;
         let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as i64
         };
         for _ in 0..2000 {

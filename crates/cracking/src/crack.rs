@@ -200,8 +200,7 @@ mod tests {
     fn crack_in_three_empty_middle() {
         let mut h = vec![1, 2, 8, 9];
         let mut t = vec![(); 4];
-        let (s1, s2) =
-            crack_in_three(&mut h, &mut t, 0, 4, (5, BoundKind::Le), (5, BoundKind::Lt));
+        let (s1, s2) = crack_in_three(&mut h, &mut t, 0, 4, (5, BoundKind::Le), (5, BoundKind::Lt));
         assert_eq!(s1, s2);
     }
 
@@ -211,8 +210,14 @@ mod tests {
         let mut h3 = data.clone();
         let mut t3 = vec![(); h3.len()];
         let n = h3.len();
-        let (a3, b3) =
-            crack_in_three(&mut h3, &mut t3, 0, n, (20, BoundKind::Le), (60, BoundKind::Lt));
+        let (a3, b3) = crack_in_three(
+            &mut h3,
+            &mut t3,
+            0,
+            n,
+            (20, BoundKind::Le),
+            (60, BoundKind::Lt),
+        );
 
         let mut h2 = data.clone();
         let mut t2 = vec![(); h2.len()];

@@ -22,7 +22,11 @@ impl<T: Copy> CrackedArray<T> {
     /// If the vectors differ in length.
     pub fn new(head: Vec<Val>, tail: Vec<T>) -> Self {
         assert_eq!(head.len(), tail.len(), "head/tail length mismatch");
-        CrackedArray { head, tail, index: CrackerIndex::new() }
+        CrackedArray {
+            head,
+            tail,
+            index: CrackerIndex::new(),
+        }
     }
 
     /// Reassemble from parts produced by [`Self::into_parts`] (used by
@@ -111,14 +115,8 @@ impl<T: Copy> CrackedArray<T> {
                         let (s1, e1) = self.index.enclosing_piece(lk, n);
                         let (s2, e2) = self.index.enclosing_piece(hk, n);
                         if (s1, e1) == (s2, e2) {
-                            let (a, b) = crack_in_three(
-                                &mut self.head,
-                                &mut self.tail,
-                                s1,
-                                e1,
-                                lk,
-                                hk,
-                            );
+                            let (a, b) =
+                                crack_in_three(&mut self.head, &mut self.tail, s1, e1, lk, hk);
                             self.index.record(lk, a);
                             self.index.record(hk, b);
                             (a, b)
@@ -195,7 +193,11 @@ impl<T: Copy> CrackedArray<T> {
             }
             s = pos;
         }
-        let e = if first_above < bs.len() { bs[first_above].1 } else { n };
+        let e = if first_above < bs.len() {
+            bs[first_above].1
+        } else {
+            n
+        };
         // Find the victim within the piece.
         let p = (s..e).find(|&i| self.head[i] == v && matches(&self.tail[i]))?;
         self.shift_hole_up(p, e, first_above, &bs);
@@ -210,7 +212,11 @@ impl<T: Copy> CrackedArray<T> {
         let bs = self.index.boundaries();
         // First boundary strictly above p delimits p's piece.
         let first_above = bs.partition_point(|&(_, pos)| pos <= p);
-        let e = if first_above < bs.len() { bs[first_above].1 } else { self.head.len() };
+        let e = if first_above < bs.len() {
+            bs[first_above].1
+        } else {
+            self.head.len()
+        };
         self.shift_hole_up(p, e, first_above, &bs);
         removed
     }
@@ -420,7 +426,9 @@ mod tests {
             a.check_partitioning();
         }
         for i in 0..50 {
-            assert!(a.ripple_delete((i % 30) as Val, |&k| k == 1000 + i as u32).is_some());
+            assert!(a
+                .ripple_delete((i % 30) as Val, |&k| k == 1000 + i as u32)
+                .is_some());
             a.check_partitioning();
         }
         assert_eq!(a.len(), 13);

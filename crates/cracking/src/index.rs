@@ -64,7 +64,9 @@ pub struct CrackerIndex {
 impl CrackerIndex {
     /// Empty index (one piece spanning the whole array).
     pub fn new() -> Self {
-        CrackerIndex { tree: AvlTree::new() }
+        CrackerIndex {
+            tree: AvlTree::new(),
+        }
     }
 
     /// Number of live boundaries; the array has `len() + 1` pieces.
@@ -139,12 +141,7 @@ impl CrackerIndex {
     /// contribute uncertainty: `upper` counts them fully, `lower` excludes
     /// them, and `estimate` interpolates assuming uniform values within
     /// each piece.
-    pub fn estimate_size(
-        &self,
-        pred: &RangePred,
-        n: usize,
-        domain: (Val, Val),
-    ) -> SizeEstimate {
+    pub fn estimate_size(&self, pred: &RangePred, n: usize, domain: (Val, Val)) -> SizeEstimate {
         let (lo_k, hi_k) = pred_keys(pred);
 
         // Resolve each bound to (known_pos or piece with interpolation).
@@ -159,14 +156,8 @@ impl CrackerIndex {
                         // Interpolate position of the boundary value inside
                         // the piece assuming uniform distribution between
                         // the piece's value bounds.
-                        let v_lo = self
-                            .tree
-                            .floor_strict(&k)
-                            .map_or(domain.0, |(bk, _)| bk.0);
-                        let v_hi = self
-                            .tree
-                            .ceil_strict(&k)
-                            .map_or(domain.1, |(bk, _)| bk.0);
+                        let v_lo = self.tree.floor_strict(&k).map_or(domain.0, |(bk, _)| bk.0);
+                        let v_hi = self.tree.ceil_strict(&k).map_or(domain.1, |(bk, _)| bk.0);
                         let frac = if v_hi > v_lo {
                             ((k.0 - v_lo) as f64 / (v_hi - v_lo) as f64).clamp(0.0, 1.0)
                         } else {
@@ -185,7 +176,12 @@ impl CrackerIndex {
         let upper = hi_max.saturating_sub(lo_min);
         let lower = hi_min.saturating_sub(lo_max);
         let estimate = (hi_est - lo_est).max(0.0);
-        SizeEstimate { lower, upper, estimate, exact: lo_exact && hi_exact }
+        SizeEstimate {
+            lower,
+            upper,
+            estimate,
+            exact: lo_exact && hi_exact,
+        }
     }
 }
 

@@ -1,75 +1,107 @@
-//! Property-based tests of the cracking substrate's invariants.
+//! Property-based tests of the cracking substrate's invariants, driven
+//! by a deterministic seeded PRNG (the workspace builds offline, so no
+//! `proptest` dependency).
 
 use crackdb_columnstore::column::Column;
 use crackdb_columnstore::types::{Bound, RangePred, Val};
 use crackdb_cracking::crack::{crack_in_three, crack_in_two, BoundKind};
 use crackdb_cracking::{CrackedArray, CrackerColumn};
-use proptest::prelude::*;
+use crackdb_rng::{rngs::StdRng, Rng, SeedableRng};
+
+const CASES: u64 = 96;
+
+fn cases(seed: u64, mut f: impl FnMut(&mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15)));
+        f(&mut rng);
+    }
+}
+
+fn vec_of(rng: &mut StdRng, lo: Val, hi: Val, min_len: usize, max_len: usize) -> Vec<Val> {
+    let len = rng.gen_range(min_len..max_len);
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
 fn sorted(mut v: Vec<Val>) -> Vec<Val> {
     v.sort_unstable();
     v
 }
 
-proptest! {
-    /// crack_in_two partitions correctly and preserves the multiset and
-    /// head/tail pairing.
-    #[test]
-    fn crack_in_two_is_a_partition(
-        mut head in prop::collection::vec(-100i64..100, 0..200),
-        pivot in -120i64..120,
-        le in any::<bool>(),
-    ) {
-        let kind = if le { BoundKind::Le } else { BoundKind::Lt };
+/// crack_in_two partitions correctly and preserves the multiset and
+/// head/tail pairing.
+#[test]
+fn crack_in_two_is_a_partition() {
+    cases(0x2217, |rng| {
+        let mut head = vec_of(rng, -100, 100, 0, 200);
+        let pivot = rng.gen_range(-120i64..120);
+        let kind = if rng.gen_bool(0.5) {
+            BoundKind::Le
+        } else {
+            BoundKind::Lt
+        };
         let orig = head.clone();
         let mut tail: Vec<usize> = (0..head.len()).collect();
         let n = head.len();
         let split = crack_in_two(&mut head, &mut tail, 0, n, pivot, kind);
         for (i, &v) in head.iter().enumerate() {
-            prop_assert_eq!(i < split, kind.belongs_left(v, pivot));
-            prop_assert_eq!(orig[tail[i]], v, "pairing broken");
+            assert_eq!(i < split, kind.belongs_left(v, pivot));
+            assert_eq!(orig[tail[i]], v, "pairing broken");
         }
-        prop_assert_eq!(sorted(head), sorted(orig));
-    }
+        assert_eq!(sorted(head), sorted(orig));
+    });
+}
 
-    /// crack_in_three produces the same piece sets as two crack_in_twos.
-    #[test]
-    fn crack_in_three_equivalent(
-        head in prop::collection::vec(-100i64..100, 0..200),
-        a in -120i64..120,
-        d in 0i64..50,
-    ) {
-        let b = a + d;
+/// crack_in_three produces the same piece sets as two crack_in_twos.
+#[test]
+fn crack_in_three_equivalent() {
+    cases(0x3317, |rng| {
+        let head = vec_of(rng, -100, 100, 0, 200);
+        let a = rng.gen_range(-120i64..120);
+        let b = a + rng.gen_range(0i64..50);
         let mut h3 = head.clone();
         let mut t3 = vec![(); h3.len()];
         let n = h3.len();
         let (s1, s2) = crack_in_three(
-            &mut h3, &mut t3, 0, n, (a, BoundKind::Le), (b, BoundKind::Lt),
+            &mut h3,
+            &mut t3,
+            0,
+            n,
+            (a, BoundKind::Le),
+            (b, BoundKind::Lt),
         );
         let mut h2 = head.clone();
         let mut t2 = vec![(); h2.len()];
         let x1 = crack_in_two(&mut h2, &mut t2, 0, n, a, BoundKind::Le);
         let x2 = crack_in_two(&mut h2, &mut t2, x1, n, b, BoundKind::Lt);
-        prop_assert_eq!((s1, s2), (x1, x2));
-        prop_assert_eq!(sorted(h3[..s1].to_vec()), sorted(h2[..s1].to_vec()));
-        prop_assert_eq!(sorted(h3[s1..s2].to_vec()), sorted(h2[s1..s2].to_vec()));
-        prop_assert_eq!(sorted(h3[s2..].to_vec()), sorted(h2[s2..].to_vec()));
-    }
+        assert_eq!((s1, s2), (x1, x2));
+        assert_eq!(sorted(h3[..s1].to_vec()), sorted(h2[..s1].to_vec()));
+        assert_eq!(sorted(h3[s1..s2].to_vec()), sorted(h2[s1..s2].to_vec()));
+        assert_eq!(sorted(h3[s2..].to_vec()), sorted(h2[s2..].to_vec()));
+    });
+}
 
-    /// Any sequence of crack_range calls keeps the index consistent with
-    /// the physical array and answers selections exactly.
-    #[test]
-    fn crack_range_sequences_are_consistent(
-        head in prop::collection::vec(-50i64..50, 1..150),
-        queries in prop::collection::vec((-60i64..60, 0i64..40, any::<bool>(), any::<bool>()), 1..12),
-    ) {
+/// Any sequence of crack_range calls keeps the index consistent with the
+/// physical array and answers selections exactly.
+#[test]
+fn crack_range_sequences_are_consistent() {
+    cases(0xC4AC2, |rng| {
+        let head = vec_of(rng, -50, 50, 1, 150);
         let tail: Vec<u32> = (0..head.len() as u32).collect();
         let orig = head.clone();
         let mut arr = CrackedArray::new(head, tail);
-        for (lo, width, lo_incl, hi_incl) in queries {
+        let nq = rng.gen_range(1usize..12);
+        for _ in 0..nq {
+            let lo = rng.gen_range(-60i64..60);
             let pred = RangePred {
-                lo: Some(Bound { value: lo, inclusive: lo_incl }),
-                hi: Some(Bound { value: lo + width, inclusive: hi_incl }),
+                lo: Some(Bound {
+                    value: lo,
+                    inclusive: rng.gen_bool(0.5),
+                }),
+                hi: Some(Bound {
+                    value: lo + rng.gen_range(0i64..40),
+                    inclusive: rng.gen_bool(0.5),
+                }),
             };
             if pred.is_empty_range() {
                 continue;
@@ -79,24 +111,30 @@ proptest! {
             let (h, _) = arr.view((s, e));
             let got = sorted(h.to_vec());
             let expected = sorted(orig.iter().copied().filter(|&v| pred.matches(v)).collect());
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected);
         }
-        prop_assert_eq!(sorted(arr.head().to_vec()), sorted(orig));
-    }
+        assert_eq!(sorted(arr.head().to_vec()), sorted(orig));
+    });
+}
 
-    /// Ripple inserts/deletes interleaved with cracks keep the column
-    /// equivalent to a naive multiset.
-    #[test]
-    fn ripple_updates_preserve_contents(
-        base in prop::collection::vec(0i64..40, 1..80),
-        ops in prop::collection::vec((0u8..3, 0i64..40, 0i64..20), 1..40),
-    ) {
+/// Ripple inserts/deletes interleaved with cracks keep the column
+/// equivalent to a naive multiset.
+#[test]
+fn ripple_updates_preserve_contents() {
+    cases(0x21991E, |rng| {
+        let base = vec_of(rng, 0, 40, 1, 80);
         let col = Column::new(base.clone());
         let mut cracker = CrackerColumn::from_column(&col);
-        let mut reference: Vec<(Val, u32)> =
-            base.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        let mut reference: Vec<(Val, u32)> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
         let mut next_key = base.len() as u32;
-        for (op, v, w) in ops {
+        let nops = rng.gen_range(1usize..40);
+        for _ in 0..nops {
+            let op = rng.gen_range(0u32..3);
+            let v = rng.gen_range(0i64..40);
             match op {
                 0 => {
                     cracker.queue_insert(v, next_key);
@@ -110,7 +148,7 @@ proptest! {
                     }
                 }
                 _ => {
-                    let pred = RangePred::closed(v, v + w);
+                    let pred = RangePred::closed(v, v + rng.gen_range(0i64..20));
                     let mut got = cracker.select_keys(&pred);
                     got.sort_unstable();
                     let mut expected: Vec<u32> = reference
@@ -119,12 +157,12 @@ proptest! {
                         .map(|&(_, k)| k)
                         .collect();
                     expected.sort_unstable();
-                    prop_assert_eq!(got, expected);
+                    assert_eq!(got, expected);
                     cracker.array().check_partitioning();
                 }
             }
         }
         cracker.merge_all_pending();
-        prop_assert_eq!(cracker.len(), reference.len());
-    }
+        assert_eq!(cracker.len(), reference.len());
+    });
 }

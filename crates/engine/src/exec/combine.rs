@@ -1,0 +1,111 @@
+//! The §3.3 combining strategies, shared by every access path and the
+//! TPC-H access layer:
+//!
+//! * **intersection strategy** — positional refinement of key lists
+//!   (plain scans, selection cracking, row stores);
+//! * **union strategies** — ordered merge for sorted key lists,
+//!   hash-set union for unordered ones;
+//! * **bit-vector strategy** — create/refine qualifying bits over a
+//!   contiguous positionally-aligned area (presorted copies, sideways
+//!   maps).
+//!
+//! Engines supply only the value accessors; the strategy code exists
+//! exactly once here.
+
+use crackdb_columnstore::types::{RangePred, RowId, Val};
+use crackdb_core::BitVec;
+use std::collections::HashSet;
+
+/// Intersection strategy: keep the keys whose value (via `value_of`)
+/// satisfies `pred`. Preserves key order.
+pub fn refine_keys(keys: &mut Vec<RowId>, pred: &RangePred, value_of: impl Fn(RowId) -> Val) {
+    keys.retain(|&k| pred.matches(value_of(k)));
+}
+
+/// Union strategy for *unordered* key lists: append every key of `more`
+/// not already present (cracker-select disjunctions).
+pub fn union_keys_unordered(keys: &mut Vec<RowId>, more: impl IntoIterator<Item = RowId>) {
+    let mut seen: HashSet<RowId> = keys.iter().copied().collect();
+    for k in more {
+        if seen.insert(k) {
+            keys.push(k);
+        }
+    }
+}
+
+/// Bit-vector strategy, creation: bits over a positionally-aligned value
+/// slice, set where `pred` holds.
+pub fn create_bv(vals: &[Val], pred: &RangePred) -> BitVec {
+    BitVec::from_fn(vals.len(), |i| pred.matches(vals[i]))
+}
+
+/// Bit-vector strategy, refinement: clear bits whose aligned value fails
+/// `pred`.
+pub fn refine_bv(bv: &mut BitVec, vals: &[Val], pred: &RangePred) {
+    assert_eq!(bv.len(), vals.len(), "aligned area sizes must agree");
+    bv.refine(|i| pred.matches(vals[i]));
+}
+
+/// Create-or-refine in one call (the common residual-predicate loop).
+pub fn fold_bv(bv: &mut Option<BitVec>, vals: &[Val], pred: &RangePred) {
+    match bv {
+        None => *bv = Some(create_bv(vals, pred)),
+        Some(bv) => refine_bv(bv, vals, pred),
+    }
+}
+
+/// Materialize the values of an aligned slice under an optional
+/// qualifying-bit vector (projection over an area).
+pub fn project_area(vals: &[Val], bv: &Option<BitVec>) -> Vec<Val> {
+    match bv {
+        Some(bv) => bv.iter_ones().map(|i| vals[i]).collect(),
+        None => vals.to_vec(),
+    }
+}
+
+/// Materialize one projection column from a key list via a value
+/// accessor (positional reconstruction).
+pub fn project_keys(keys: &[RowId], value_of: impl Fn(RowId) -> Val) -> Vec<Val> {
+    keys.iter().map(|&k| value_of(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refine_keys_intersects() {
+        let vals = [10i64, 20, 30, 40];
+        let mut keys = vec![0u32, 1, 2, 3];
+        refine_keys(&mut keys, &RangePred::open(15, 35), |k| vals[k as usize]);
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn union_unordered_dedups() {
+        let mut keys = vec![5u32, 1, 9];
+        union_keys_unordered(&mut keys, [1, 2, 9, 3]);
+        assert_eq!(keys, vec![5, 1, 9, 2, 3]);
+    }
+
+    #[test]
+    fn bv_strategy_roundtrip() {
+        let vals = [1i64, 5, 9, 5, 1];
+        let mut bv = Some(create_bv(
+            &vals,
+            &RangePred::greater(crackdb_columnstore::types::Bound::inclusive(5)),
+        ));
+        fold_bv(
+            &mut bv,
+            &vals,
+            &RangePred::less(crackdb_columnstore::types::Bound::exclusive(9)),
+        );
+        assert_eq!(project_area(&vals, &bv), vec![5, 5]);
+    }
+
+    #[test]
+    fn project_keys_gathers() {
+        let vals = [7i64, 8, 9];
+        assert_eq!(project_keys(&[2, 0], |k| vals[k as usize]), vec![9, 7]);
+    }
+}

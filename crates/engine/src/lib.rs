@@ -14,15 +14,28 @@
 //! All implement the [`query::Engine`] trait over the same query shapes,
 //! so every experiment drives them identically and compares phase
 //! timings.
+//!
+//! Since the access-path refactor, each engine only implements the
+//! [`exec::AccessPath`] abstraction — producing the qualifying row set /
+//! contiguous area for a single `(attr, RangePred)` restriction and
+//! reading values back for it. Predicate ordering, conjunctive and
+//! disjunctive combining (the §3.3 bit-vector and intersection
+//! strategies), aggregation, projection materialization and phase timing
+//! live once in the shared executor [`exec::run_select`]. The
+//! [`exec::BatchRunner`] session layer executes query batches with the
+//! read-only scan/aggregate kernels data-parallel while cracking stays
+//! sequential.
 
-pub mod plain;
+pub mod exec;
 pub mod partial_engine;
+pub mod plain;
 pub mod presorted;
 pub mod query;
 pub mod selcrack;
 pub mod sideways;
 pub mod tpch;
 
+pub use exec::{AccessPath, BatchRunner, RestrictCtx, RowSet};
 pub use partial_engine::PartialEngine;
 pub use plain::PlainEngine;
 pub use presorted::PresortedEngine;

@@ -1,11 +1,11 @@
 //! Partial sideways cracking as an executor: the §4 system under a
 //! storage budget.
 
-use crate::query::{AggAcc, Engine, JoinQuery, QueryOutput, SelectQuery};
+use crate::exec::{self, AccessPath, RestrictCtx, RowSet};
+use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery};
 use crackdb_columnstore::column::Table;
-use crackdb_columnstore::types::{RowId, Val};
+use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_core::PartialStore;
-use std::time::Instant;
 
 /// Partial-sideways-cracking executor.
 pub struct PartialEngine {
@@ -33,50 +33,71 @@ impl PartialEngine {
     }
 }
 
-impl Engine for PartialEngine {
+impl AccessPath for PartialEngine {
     fn name(&self) -> &'static str {
         "Partial Sideways Cracking"
     }
 
-    fn select(&mut self, q: &SelectQuery) -> QueryOutput {
-        assert!(!q.disjunctive, "partial maps implement conjunctive plans (§4)");
-        let mut out = QueryOutput::default();
-        let mut accs: Vec<AggAcc> = q.aggs.iter().map(|&(_, f)| AggAcc::new(f)).collect();
-        let mut projs: Vec<Vec<Val>> = q.projs.iter().map(|_| Vec::new()).collect();
-        let aggs = q.aggs.clone();
-        let proj_attrs = q.projs.clone();
-        let mut attrs: Vec<usize> = Vec::new();
-        for a in aggs.iter().map(|&(a, _)| a).chain(proj_attrs.iter().copied()) {
-            if !attrs.contains(&a) {
-                attrs.push(a);
-            }
-        }
+    fn estimate(&self, attr: usize, pred: &RangePred) -> Option<f64> {
+        Some(self.store.estimate(&self.base, attr, pred))
+    }
 
-        let t0 = Instant::now();
-        self.store.conjunctive_project_with(&self.base, &q.preds, &attrs, |attr, v| {
-            for (i, &(a, _)) in aggs.iter().enumerate() {
-                if a == attr {
-                    accs[i].push(v);
-                }
-            }
-            for (i, &p) in proj_attrs.iter().enumerate() {
-                if p == attr {
-                    projs[i].push(v);
-                }
-            }
-        });
-        out.rows = accs
-            .first()
-            .map(|a| a.count())
-            .or_else(|| projs.first().map(|p| p.len()))
-            .unwrap_or(0);
-        out.aggs = accs.iter().map(|a| a.finish()).collect();
-        out.proj_values = projs;
+    fn restrict(&mut self, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) -> RowSet {
         // Partial maps interleave selection, alignment, fetching and
-        // reconstruction chunk-wise; the paper reports a single per-query
-        // cost for them.
-        out.timings.select = t0.elapsed();
-        out
+        // reconstruction chunk-wise (§4.1): no materialized row set ever
+        // exists, so the plan is recorded and executed fused in `fetch`.
+        RowSet::Deferred {
+            head: (attr, *pred),
+            residual: Vec::new(),
+        }
+    }
+
+    fn refine(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) {
+        let RowSet::Deferred { residual, .. } = rows else {
+            unreachable!("partial plans are deferred")
+        };
+        residual.push((attr, *pred));
+    }
+
+    fn extend(&mut self, _rows: &mut RowSet, _attr: usize, _pred: &RangePred, _ctx: &RestrictCtx) {
+        panic!("partial maps implement conjunctive plans (§4)");
+    }
+
+    fn unrestricted(&mut self, _ctx: &RestrictCtx) -> RowSet {
+        RowSet::Deferred {
+            head: (0, RangePred::all()),
+            residual: Vec::new(),
+        }
+    }
+
+    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+        let RowSet::Deferred { head, residual } = rows else {
+            unreachable!("partial plans are deferred")
+        };
+        // The fused chunk-wise pass: one traversal materializes, aligns
+        // and cracks the touched chunks of every attribute and streams
+        // the qualifying values.
+        self.store
+            .set_mut(head.0)
+            .conjunctive_project_with(&self.base, &head.1, residual, attrs, consume);
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+}
+
+impl Engine for PartialEngine {
+    fn name(&self) -> &'static str {
+        AccessPath::name(self)
+    }
+
+    fn select(&mut self, q: &SelectQuery) -> QueryOutput {
+        assert!(
+            !q.disjunctive,
+            "partial maps implement conjunctive plans (§4)"
+        );
+        exec::run_select(self, q)
     }
 
     fn join(&mut self, _q: &JoinQuery) -> QueryOutput {
@@ -104,7 +125,7 @@ impl Engine for PartialEngine {
 mod tests {
     use super::*;
     use crackdb_columnstore::column::Column;
-    use crackdb_columnstore::types::{AggFunc, RangePred};
+    use crackdb_columnstore::types::AggFunc;
 
     fn table() -> Table {
         let mut t = Table::new();
@@ -141,6 +162,10 @@ mod tests {
             );
             e.select(&q);
         }
-        assert!(e.aux_tuples() <= 50 + 25, "usage {} way over budget", e.aux_tuples());
+        assert!(
+            e.aux_tuples() <= 50 + 25,
+            "usage {} way over budget",
+            e.aux_tuples()
+        );
     }
 }

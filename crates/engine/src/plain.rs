@@ -1,9 +1,11 @@
 //! The plain-MonetDB baseline: full-column scans for selections,
 //! order-preserving results, positional in-order tuple reconstruction.
 
-use crate::query::{AggAcc, Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
+use crate::exec::{self, combine, AccessPath, RestrictCtx, RowSet};
+use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
+use crackdb_columnstore::ops::parallel::{self, PartialAgg};
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -30,7 +32,10 @@ impl PlainEngine {
     /// Two-table engine (join experiments). The left/outer table is
     /// `base`.
     pub fn with_second(base: Table, second: Table) -> Self {
-        PlainEngine { second: Some(second), ..PlainEngine::new(base) }
+        PlainEngine {
+            second: Some(second),
+            ..PlainEngine::new(base)
+        }
     }
 
     /// Read access to the primary table.
@@ -38,82 +43,105 @@ impl PlainEngine {
         &self.base
     }
 
-    /// Tombstone-aware full scan.
+    /// Tombstone-aware full scan (parallel kernel when a batch session
+    /// enabled workers; key order is preserved either way).
     fn scan(table: &Table, tomb: &HashSet<RowId>, attr: usize, pred: &RangePred) -> Vec<RowId> {
-        let col = table.column(attr);
-        let mut out = Vec::new();
-        for (i, &v) in col.values().iter().enumerate() {
-            let key = i as RowId;
-            if pred.matches(v) && (tomb.is_empty() || !tomb.contains(&key)) {
-                out.push(key);
-            }
+        let mut keys = parallel::par_select(table.column(attr), pred);
+        if !tomb.is_empty() {
+            keys.retain(|k| !tomb.contains(k));
         }
-        out
+        keys
     }
 
-    /// Conjunctive selection: scan the first predicate, positionally
-    /// refine with the rest (order-preserving throughout).
+    /// Conjunctive selection used by the join path: scan the first
+    /// predicate, positionally refine with the rest (order-preserving
+    /// throughout).
     fn select_keys(
         table: &Table,
         tomb: &HashSet<RowId>,
         preds: &[(usize, RangePred)],
-        disjunctive: bool,
     ) -> Vec<RowId> {
         if preds.is_empty() {
             return (0..table.num_rows() as RowId)
                 .filter(|k| tomb.is_empty() || !tomb.contains(k))
                 .collect();
         }
-        if disjunctive {
-            let mut keys = Self::scan(table, tomb, preds[0].0, &preds[0].1);
-            for (attr, pred) in &preds[1..] {
-                let col = table.column(*attr);
-                keys = crackdb_columnstore::ops::select::union_scan(col, &keys, pred)
-                    .into_iter()
-                    .filter(|k| tomb.is_empty() || !tomb.contains(k))
-                    .collect();
-            }
-            keys
-        } else {
-            let mut keys = Self::scan(table, tomb, preds[0].0, &preds[0].1);
-            for (attr, pred) in &preds[1..] {
-                let col = table.column(*attr);
-                keys.retain(|&k| pred.matches(col.get(k)));
-            }
-            keys
+        let mut keys = Self::scan(table, tomb, preds[0].0, &preds[0].1);
+        for (attr, pred) in &preds[1..] {
+            let col = table.column(*attr);
+            combine::refine_keys(&mut keys, pred, |k| col.get(k));
         }
+        keys
+    }
+}
+
+impl AccessPath for PlainEngine {
+    fn name(&self) -> &'static str {
+        "MonetDB"
+    }
+
+    fn restrict(&mut self, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) -> RowSet {
+        RowSet::keys(Self::scan(&self.base, &self.tombstones, attr, pred), true)
+    }
+
+    fn refine(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) {
+        let RowSet::Keys { keys, .. } = rows else {
+            unreachable!("plain scans produce key lists")
+        };
+        let col = self.base.column(attr);
+        combine::refine_keys(keys, pred, |k| col.get(k));
+    }
+
+    fn extend(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) {
+        let RowSet::Keys { keys, .. } = rows else {
+            unreachable!("plain scans produce key lists")
+        };
+        let col = self.base.column(attr);
+        let mut merged = crackdb_columnstore::ops::select::union_scan(col, keys, pred);
+        if !self.tombstones.is_empty() {
+            merged.retain(|k| !self.tombstones.contains(k));
+        }
+        *keys = merged;
+    }
+
+    fn unrestricted(&mut self, _ctx: &RestrictCtx) -> RowSet {
+        RowSet::keys(
+            (0..self.base.num_rows() as RowId)
+                .filter(|k| self.tombstones.is_empty() || !self.tombstones.contains(k))
+                .collect(),
+            true,
+        )
+    }
+
+    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+        let RowSet::Keys { keys, .. } = rows else {
+            unreachable!("plain scans produce key lists")
+        };
+        // In-order positional lookups per projected attribute (cache
+        // friendly — the ordered-reconstruction pattern of the baseline).
+        for &attr in attrs {
+            let col = self.base.column(attr);
+            for &k in keys {
+                consume(attr, col.get(k));
+            }
+        }
+    }
+
+    fn partial_agg(&mut self, rows: &RowSet, attr: usize) -> Option<PartialAgg> {
+        let RowSet::Keys { keys, .. } = rows else {
+            return None;
+        };
+        Some(parallel::par_agg_gather(self.base.column(attr), keys))
     }
 }
 
 impl Engine for PlainEngine {
     fn name(&self) -> &'static str {
-        "MonetDB"
+        AccessPath::name(self)
     }
 
     fn select(&mut self, q: &SelectQuery) -> QueryOutput {
-        let mut out = QueryOutput::default();
-        let t0 = Instant::now();
-        let keys = Self::select_keys(&self.base, &self.tombstones, &q.preds, q.disjunctive);
-        out.timings.select = t0.elapsed();
-        out.rows = keys.len();
-
-        // Tuple reconstruction: in-order positional lookups per projected
-        // attribute (cache friendly).
-        let t1 = Instant::now();
-        for &(attr, func) in &q.aggs {
-            let col = self.base.column(attr);
-            let mut acc = AggAcc::new(func);
-            for &k in &keys {
-                acc.push(col.get(k));
-            }
-            out.aggs.push(acc.finish());
-        }
-        for &attr in &q.projs {
-            let col = self.base.column(attr);
-            out.proj_values.push(keys.iter().map(|&k| col.get(k)).collect());
-        }
-        out.timings.reconstruct = t1.elapsed();
-        out
+        exec::run_select(self, q)
     }
 
     fn join(&mut self, q: &JoinQuery) -> QueryOutput {
@@ -123,8 +151,8 @@ impl Engine for PlainEngine {
 
         // Selections on both tables.
         let t0 = Instant::now();
-        let lkeys = Self::select_keys(&self.base, &self.tombstones, &q.left.preds, false);
-        let rkeys = Self::select_keys(second, &self.second_tombstones, &q.right.preds, false);
+        let lkeys = Self::select_keys(&self.base, &self.tombstones, &q.left.preds);
+        let rkeys = Self::select_keys(second, &self.second_tombstones, &q.right.preds);
         timings.select = t0.elapsed();
 
         // Pre-join tuple reconstruction: fetch join attributes (ordered
@@ -144,22 +172,13 @@ impl Engine for PlainEngine {
         // Post-join reconstruction: inner-side keys are in hash order →
         // random access into full base columns.
         let t3 = Instant::now();
-        for &(attr, func) in &q.left.aggs {
-            let col = self.base.column(attr);
-            let mut acc = AggAcc::new(func);
-            for &(lk, _) in &matched {
-                acc.push(col.get(lk));
-            }
-            out.aggs.push(acc.finish());
-        }
-        for &(attr, func) in &q.right.aggs {
-            let col = second.column(attr);
-            let mut acc = AggAcc::new(func);
-            for &(_, rk) in &matched {
-                acc.push(col.get(rk));
-            }
-            out.aggs.push(acc.finish());
-        }
+        out.aggs = exec::agg_matched(&matched, &q.left, true, |attr, k| {
+            self.base.column(attr).get(k)
+        });
+        out.aggs
+            .extend(exec::agg_matched(&matched, &q.right, false, |attr, k| {
+                second.column(attr).get(k)
+            }));
         timings.post_join = t3.elapsed();
         out.timings = timings;
         out
@@ -223,15 +242,36 @@ mod tests {
         let mut e = PlainEngine::with_second(r, s);
         let q = JoinQuery {
             left: JoinSide {
-                preds: vec![(0, RangePred::greater(crackdb_columnstore::types::Bound::inclusive(150)))],
+                preds: vec![(
+                    0,
+                    RangePred::greater(crackdb_columnstore::types::Bound::inclusive(150)),
+                )],
                 join_attr: 1,
                 aggs: vec![(0, AggFunc::Max)],
             },
-            right: JoinSide { preds: vec![], join_attr: 1, aggs: vec![(0, AggFunc::Sum)] },
+            right: JoinSide {
+                preds: vec![],
+                join_attr: 1,
+                aggs: vec![(0, AggFunc::Sum)],
+            },
         };
         let out = e.join(&q);
         assert_eq!(out.rows, 2);
         assert_eq!(out.aggs, vec![Some(300), Some(33)]);
+    }
+
+    #[test]
+    fn deleted_rows_stay_out_of_disjunctions() {
+        let mut e = PlainEngine::new(table());
+        e.delete(2); // removes a=9 / b=90
+        let q = SelectQuery {
+            preds: vec![(0, RangePred::open(0, 4)), (1, RangePred::open(60, 100))],
+            disjunctive: true,
+            aggs: vec![(0, AggFunc::Count)],
+            projs: vec![],
+        };
+        // a in {1,3} plus b=70 (b=90 is deleted) → 3 rows.
+        assert_eq!(e.select(&q).rows, 3);
     }
 
     use crate::query::JoinSide;

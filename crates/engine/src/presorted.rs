@@ -2,11 +2,13 @@
 //! copy of the table per selection attribute. Binary-search selections,
 //! slice-read reconstructions — and a heavy, measured preparation step.
 
-use crate::query::{AggAcc, Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
+use crate::exec::{self, combine, AccessPath, RestrictCtx, RowSet};
+use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
+use crackdb_columnstore::ops::parallel::{self, PartialAgg};
 use crackdb_columnstore::presorted::PresortedTable;
-use crackdb_columnstore::types::{RowId, Val};
+use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_core::BitVec;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -65,79 +67,110 @@ impl PresortedEngine {
             .unwrap_or_else(|| panic!("no presorted copy for attribute {attr}"))
     }
 
-    /// Selection over a presorted copy: binary search on the sort
-    /// attribute, then sequential residual filtering within the range.
-    /// Returns the copy, the range, and an optional residual bit vector.
+    /// Selection over a presorted copy (join path): binary search on the
+    /// sort attribute, then sequential residual filtering within the
+    /// range. Returns the copy, the range, and an optional residual bit
+    /// vector.
     fn select_on_copy<'a>(
         &'a self,
         second: bool,
-        preds: &[(usize, crackdb_columnstore::types::RangePred)],
+        preds: &[(usize, RangePred)],
     ) -> (&'a PresortedTable, (usize, usize), Option<BitVec>) {
-        assert!(!preds.is_empty(), "presorted engine needs at least one predicate");
+        assert!(
+            !preds.is_empty(),
+            "presorted engine needs at least one predicate"
+        );
         let (first_attr, first_pred) = preds[0];
         let copy = self.copy_for(second, first_attr);
         let range = copy.select_range(&first_pred);
-        let residual = &preds[1..];
-        if residual.is_empty() {
-            return (copy, range, None);
-        }
         let mut bv: Option<BitVec> = None;
-        for (attr, pred) in residual {
-            let vals = copy.project(*attr, range);
-            match &mut bv {
-                None => bv = Some(BitVec::from_fn(vals.len(), |i| pred.matches(vals[i]))),
-                Some(bv) => bv.refine(|i| pred.matches(vals[i])),
-            }
+        for (attr, pred) in &preds[1..] {
+            combine::fold_bv(&mut bv, copy.project(*attr, range), pred);
         }
         (copy, range, bv)
     }
 }
 
-impl Engine for PresortedEngine {
+impl AccessPath for PresortedEngine {
     fn name(&self) -> &'static str {
         "Presorted MonetDB"
     }
 
-    fn select(&mut self, q: &SelectQuery) -> QueryOutput {
-        assert!(!q.disjunctive, "presorted baseline implements conjunctions");
-        let mut out = QueryOutput::default();
-        let t0 = Instant::now();
-        let (copy, range, bv) = self.select_on_copy(false, &q.preds);
-        out.timings.select = t0.elapsed();
-        out.rows = match &bv {
-            Some(bv) => bv.count_ones(),
-            None => range.1 - range.0,
-        };
+    fn restrict(&mut self, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) -> RowSet {
+        let copy = self.copy_for(false, attr);
+        let range = copy.select_range(pred);
+        RowSet::Area {
+            head: (attr, *pred),
+            range,
+            bv: None,
+        }
+    }
 
+    fn refine(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) {
+        let RowSet::Area { head, range, bv } = rows else {
+            unreachable!("presorted selections produce areas")
+        };
+        // Residual filtering: sequential reads of the aligned copy slice
+        // into the qualifying-bit vector.
+        let copy = self.copy_for(false, head.0);
+        combine::fold_bv(bv, copy.project(attr, *range), pred);
+    }
+
+    fn extend(&mut self, _rows: &mut RowSet, _attr: usize, _pred: &RangePred, _ctx: &RestrictCtx) {
+        panic!("presorted baseline implements conjunctions");
+    }
+
+    fn unrestricted(&mut self, _ctx: &RestrictCtx) -> RowSet {
+        panic!("presorted engine needs at least one predicate");
+    }
+
+    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+        let RowSet::Area { head, range, bv } = rows else {
+            unreachable!("presorted selections produce areas")
+        };
         // Reconstruction: aligned slice reads.
-        let t1 = Instant::now();
-        for &(attr, func) in &q.aggs {
-            let vals = copy.project(attr, range);
-            let mut acc = AggAcc::new(func);
-            match &bv {
+        let copy = self.copy_for(false, head.0);
+        for &attr in attrs {
+            let vals = copy.project(attr, *range);
+            match bv {
                 Some(bv) => {
                     for i in bv.iter_ones() {
-                        acc.push(vals[i]);
+                        consume(attr, vals[i]);
                     }
                 }
                 None => {
                     for &v in vals {
-                        acc.push(v);
+                        consume(attr, v);
                     }
                 }
             }
-            out.aggs.push(acc.finish());
         }
-        for &attr in &q.projs {
-            let vals = copy.project(attr, range);
-            let collected: Vec<Val> = match &bv {
-                Some(bv) => bv.iter_ones().map(|i| vals[i]).collect(),
-                None => vals.to_vec(),
-            };
-            out.proj_values.push(collected);
-        }
-        out.timings.reconstruct = t1.elapsed();
-        out
+    }
+
+    fn partial_agg(&mut self, rows: &RowSet, attr: usize) -> Option<PartialAgg> {
+        // Contiguous slices hand straight to the parallel value kernel;
+        // bit-vector-filtered areas stream instead.
+        let RowSet::Area {
+            head,
+            range,
+            bv: None,
+        } = rows
+        else {
+            return None;
+        };
+        let copy = self.copy_for(false, head.0);
+        Some(parallel::par_agg_values(copy.project(attr, *range)))
+    }
+}
+
+impl Engine for PresortedEngine {
+    fn name(&self) -> &'static str {
+        AccessPath::name(self)
+    }
+
+    fn select(&mut self, q: &SelectQuery) -> QueryOutput {
+        assert!(!q.disjunctive, "presorted baseline implements conjunctions");
+        exec::run_select(self, q)
     }
 
     fn join(&mut self, q: &JoinQuery) -> QueryOutput {
@@ -153,26 +186,24 @@ impl Engine for PresortedEngine {
         // carry *positions in the sorted copy* as tuple identities so
         // post-join reconstruction stays within the clustered area.
         let t1 = Instant::now();
-        let collect_side = |copy: &PresortedTable,
-                            range: (usize, usize),
-                            bv: &Option<BitVec>,
-                            attr: usize| {
-            let vals = copy.project(attr, range);
-            let mut pairs: Vec<(RowId, Val)> = Vec::new();
-            match bv {
-                Some(bv) => {
-                    for i in bv.iter_ones() {
-                        pairs.push(((range.0 + i) as RowId, vals[i]));
+        let collect_side =
+            |copy: &PresortedTable, range: (usize, usize), bv: &Option<BitVec>, attr: usize| {
+                let vals = copy.project(attr, range);
+                let mut pairs: Vec<(RowId, Val)> = Vec::new();
+                match bv {
+                    Some(bv) => {
+                        for i in bv.iter_ones() {
+                            pairs.push(((range.0 + i) as RowId, vals[i]));
+                        }
+                    }
+                    None => {
+                        for (i, &v) in vals.iter().enumerate() {
+                            pairs.push(((range.0 + i) as RowId, v));
+                        }
                     }
                 }
-                None => {
-                    for (i, &v) in vals.iter().enumerate() {
-                        pairs.push(((range.0 + i) as RowId, v));
-                    }
-                }
-            }
-            pairs
-        };
+                pairs
+            };
         let lpairs = collect_side(lcopy, lrange, &lbv, q.left.join_attr);
         let rpairs = collect_side(rcopy, rrange, &rbv, q.right.join_attr);
         timings.reconstruct = t1.elapsed();
@@ -184,22 +215,13 @@ impl Engine for PresortedEngine {
 
         // Post-join: positions point into the clustered sorted-copy area.
         let t3 = Instant::now();
-        for &(attr, func) in &q.left.aggs {
-            let col = lcopy.column(attr);
-            let mut acc = AggAcc::new(func);
-            for &(lp, _) in &matched {
-                acc.push(col[lp as usize]);
-            }
-            out.aggs.push(acc.finish());
-        }
-        for &(attr, func) in &q.right.aggs {
-            let col = rcopy.column(attr);
-            let mut acc = AggAcc::new(func);
-            for &(_, rp) in &matched {
-                acc.push(col[rp as usize]);
-            }
-            out.aggs.push(acc.finish());
-        }
+        out.aggs = exec::agg_matched(&matched, &q.left, true, |attr, p| {
+            lcopy.column(attr)[p as usize]
+        });
+        out.aggs
+            .extend(exec::agg_matched(&matched, &q.right, false, |attr, p| {
+                rcopy.column(attr)[p as usize]
+            }));
         timings.post_join = t3.elapsed();
         out.timings = timings;
         out
@@ -227,7 +249,7 @@ mod tests {
     use super::*;
     use crate::query::JoinSide;
     use crackdb_columnstore::column::Column;
-    use crackdb_columnstore::types::{AggFunc, RangePred};
+    use crackdb_columnstore::types::AggFunc;
 
     fn table() -> Table {
         let mut t = Table::new();

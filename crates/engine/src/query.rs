@@ -23,12 +23,22 @@ impl SelectQuery {
     /// Conjunctive aggregation query (the `select max(..) where ...`
     /// shape of q1/q3).
     pub fn aggregate(preds: Vec<(usize, RangePred)>, aggs: Vec<(usize, AggFunc)>) -> Self {
-        SelectQuery { preds, disjunctive: false, aggs, projs: Vec::new() }
+        SelectQuery {
+            preds,
+            disjunctive: false,
+            aggs,
+            projs: Vec::new(),
+        }
     }
 
     /// Conjunctive projection query (the `Qi` shape).
     pub fn project(preds: Vec<(usize, RangePred)>, projs: Vec<usize>) -> Self {
-        SelectQuery { preds, disjunctive: false, aggs: Vec::new(), projs }
+        SelectQuery {
+            preds,
+            disjunctive: false,
+            aggs: Vec::new(),
+            projs,
+        }
     }
 }
 
@@ -116,48 +126,56 @@ pub trait Engine {
     }
 }
 
-/// Deterministic aggregate accumulator shared by all engines.
+/// Deterministic aggregate accumulator shared by all engines. The
+/// fold/merge semantics live in [`PartialAgg`] (shared with the
+/// data-parallel kernels), so serial and parallel aggregation cannot
+/// diverge.
 #[derive(Debug, Clone, Copy)]
 pub struct AggAcc {
     func: AggFunc,
-    count: i64,
-    sum: i64,
-    min: Option<Val>,
-    max: Option<Val>,
+    agg: PartialAgg,
 }
+
+use crackdb_columnstore::ops::parallel::PartialAgg;
 
 impl AggAcc {
     /// Fresh accumulator for `func`.
     pub fn new(func: AggFunc) -> Self {
-        AggAcc { func, count: 0, sum: 0, min: None, max: None }
+        AggAcc {
+            func,
+            agg: PartialAgg::default(),
+        }
     }
 
     /// Fold one value.
     #[inline(always)]
     pub fn push(&mut self, v: Val) {
-        self.count += 1;
-        self.sum = self.sum.wrapping_add(v);
-        self.min = Some(self.min.map_or(v, |m| m.min(v)));
-        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        self.agg.push(v);
     }
 
     /// Number of values folded so far.
     pub fn count(&self) -> usize {
-        self.count as usize
+        self.agg.count as usize
+    }
+
+    /// Merge a chunk-level partial aggregate produced by the parallel
+    /// kernels (`columnstore::ops::parallel`).
+    pub fn absorb(&mut self, p: &PartialAgg) {
+        self.agg.merge(p);
     }
 
     /// Final value (`None` for empty max/min; avg truncated to integer).
     pub fn finish(&self) -> Option<Val> {
         match self.func {
-            AggFunc::Max => self.max,
-            AggFunc::Min => self.min,
-            AggFunc::Sum => Some(self.sum),
-            AggFunc::Count => Some(self.count),
+            AggFunc::Max => self.agg.max,
+            AggFunc::Min => self.agg.min,
+            AggFunc::Sum => Some(self.agg.sum),
+            AggFunc::Count => Some(self.agg.count),
             AggFunc::Avg => {
-                if self.count == 0 {
+                if self.agg.count == 0 {
                     None
                 } else {
-                    Some(self.sum / self.count)
+                    Some(self.agg.sum / self.agg.count)
                 }
             }
         }

@@ -2,12 +2,14 @@
 //! selections via cracker columns — but unordered selection results, so
 //! tuple reconstruction random-accesses the full base columns.
 
-use crate::query::{AggAcc, Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
+use crate::exec::{self, combine, AccessPath, RestrictCtx, RowSet};
+use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
+use crackdb_columnstore::ops::parallel::{self, PartialAgg};
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_cracking::CrackerColumn;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Selection-cracking executor.
@@ -25,19 +27,23 @@ pub struct SelCrackEngine {
 impl SelCrackEngine {
     /// Single-table engine.
     pub fn new(base: Table, domain: (Val, Val)) -> Self {
-        SelCrackEngine { base, second: None, crackers: HashMap::new(), domain }
+        SelCrackEngine {
+            base,
+            second: None,
+            crackers: HashMap::new(),
+            domain,
+        }
     }
 
     /// Two-table engine.
     pub fn with_second(base: Table, second: Table, domain: (Val, Val)) -> Self {
-        SelCrackEngine { second: Some(second), ..SelCrackEngine::new(base, domain) }
+        SelCrackEngine {
+            second: Some(second),
+            ..SelCrackEngine::new(base, domain)
+        }
     }
 
-    fn order_preds(
-        &self,
-        preds: &[(usize, RangePred)],
-        n: usize,
-    ) -> Vec<(usize, RangePred)> {
+    fn order_preds(&self, preds: &[(usize, RangePred)], n: usize) -> Vec<(usize, RangePred)> {
         let mut ordered = preds.to_vec();
         ordered.sort_by(|a, b| {
             let ea = crackdb_core::set::uniform_estimate(&a.1, n, self.domain);
@@ -47,97 +53,142 @@ impl SelCrackEngine {
         ordered
     }
 
-    /// `crackers.select` for the first predicate, `crackers.rel_select`
-    /// (positional filtering against base columns) for the rest. Returns
-    /// unordered keys.
+    /// `crackers.select` over one attribute's cracker column (created on
+    /// first use). Returns unordered keys.
+    fn cracker_select(
+        crackers: &mut HashMap<(bool, usize), CrackerColumn>,
+        table: &Table,
+        second: bool,
+        attr: usize,
+        pred: &RangePred,
+    ) -> Vec<RowId> {
+        crackers
+            .entry((second, attr))
+            .or_insert_with(|| CrackerColumn::from_column(table.column(attr)))
+            .select_keys(pred)
+    }
+
+    /// Conjunctive selection used by the join path: `crackers.select` for
+    /// the first predicate, `rel_select` (positional filtering against
+    /// base columns) for the rest.
     fn select_keys(
         crackers: &mut HashMap<(bool, usize), CrackerColumn>,
         table: &Table,
         second: bool,
         preds: &[(usize, RangePred)],
-        disjunctive: bool,
     ) -> Vec<RowId> {
         if preds.is_empty() {
-            return (0..table.num_rows() as RowId).collect();
+            // No predicate: still answer through a cracker column so that
+            // queued (ripple) insertions and deletions are respected.
+            return Self::cracker_select(crackers, table, second, 0, &RangePred::all());
         }
-        let (first_attr, first_pred) = preds[0];
-        let cracker = crackers
-            .entry((second, first_attr))
-            .or_insert_with(|| CrackerColumn::from_column(table.column(first_attr)));
-        let mut keys = cracker.select_keys(&first_pred);
-        if disjunctive {
-            // Disjunctions fall back to per-predicate cracker selects and
-            // key-set union (no aligned bit vectors available here).
-            let mut seen: HashSet<RowId> = keys.iter().copied().collect();
-            for (attr, pred) in &preds[1..] {
-                let cracker = crackers
-                    .entry((second, *attr))
-                    .or_insert_with(|| CrackerColumn::from_column(table.column(*attr)));
-                for k in cracker.select_keys(pred) {
-                    if seen.insert(k) {
-                        keys.push(k);
-                    }
-                }
-            }
-        } else {
-            // rel_select: positional lookups into the base columns (random
-            // access — keys are unordered).
-            for (attr, pred) in &preds[1..] {
-                let col = table.column(*attr);
-                keys.retain(|&k| pred.matches(col.get(k)));
-            }
+        let mut keys = Self::cracker_select(crackers, table, second, preds[0].0, &preds[0].1);
+        for (attr, pred) in &preds[1..] {
+            let col = table.column(*attr);
+            combine::refine_keys(&mut keys, pred, |k| col.get(k));
         }
         keys
     }
 }
 
-impl Engine for SelCrackEngine {
+impl AccessPath for SelCrackEngine {
     fn name(&self) -> &'static str {
         "Selection Cracking"
     }
 
-    fn select(&mut self, q: &SelectQuery) -> QueryOutput {
-        let mut out = QueryOutput::default();
-        let n = self.base.num_rows();
-        let preds = self.order_preds(&q.preds, n);
+    fn estimate(&self, _attr: usize, pred: &RangePred) -> Option<f64> {
+        Some(crackdb_core::set::uniform_estimate(
+            pred,
+            self.base.num_rows(),
+            self.domain,
+        ))
+    }
 
-        let t0 = Instant::now();
-        let keys =
-            Self::select_keys(&mut self.crackers, &self.base, false, &preds, q.disjunctive);
-        out.timings.select = t0.elapsed();
-        out.rows = keys.len();
+    fn restrict(&mut self, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) -> RowSet {
+        RowSet::keys(
+            Self::cracker_select(&mut self.crackers, &self.base, false, attr, pred),
+            false,
+        )
+    }
 
+    fn refine(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) {
+        // rel_select: positional lookups into the base columns (random
+        // access — keys are unordered).
+        let RowSet::Keys { keys, .. } = rows else {
+            unreachable!("cracker selects produce key lists")
+        };
+        let col = self.base.column(attr);
+        combine::refine_keys(keys, pred, |k| col.get(k));
+    }
+
+    fn extend(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) {
+        // Disjunctions fall back to per-predicate cracker selects and
+        // key-set union (no aligned bit vectors available here).
+        let RowSet::Keys { keys, .. } = rows else {
+            unreachable!("cracker selects produce key lists")
+        };
+        let more = Self::cracker_select(&mut self.crackers, &self.base, false, attr, pred);
+        combine::union_keys_unordered(keys, more);
+    }
+
+    fn unrestricted(&mut self, _ctx: &RestrictCtx) -> RowSet {
+        RowSet::keys(
+            Self::select_keys(&mut self.crackers, &self.base, false, &[]),
+            false,
+        )
+    }
+
+    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+        let RowSet::Keys { keys, .. } = rows else {
+            unreachable!("cracker selects produce key lists")
+        };
         // Tuple reconstruction: random-order positional lookups into the
         // full base columns — the cost the paper attacks.
-        let t1 = Instant::now();
-        for &(attr, func) in &q.aggs {
+        for &attr in attrs {
             let col = self.base.column(attr);
-            let mut acc = AggAcc::new(func);
-            for &k in &keys {
-                acc.push(col.get(k));
+            for &k in keys {
+                consume(attr, col.get(k));
             }
-            out.aggs.push(acc.finish());
         }
-        for &attr in &q.projs {
-            let col = self.base.column(attr);
-            out.proj_values.push(keys.iter().map(|&k| col.get(k)).collect());
-        }
-        out.timings.reconstruct = t1.elapsed();
-        out
+    }
+
+    fn partial_agg(&mut self, rows: &RowSet, attr: usize) -> Option<PartialAgg> {
+        let RowSet::Keys { keys, .. } = rows else {
+            return None;
+        };
+        Some(parallel::par_agg_gather(self.base.column(attr), keys))
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+}
+
+impl Engine for SelCrackEngine {
+    fn name(&self) -> &'static str {
+        AccessPath::name(self)
+    }
+
+    fn select(&mut self, q: &SelectQuery) -> QueryOutput {
+        exec::run_select(self, q)
     }
 
     fn join(&mut self, q: &JoinQuery) -> QueryOutput {
         let mut out = QueryOutput::default();
         let mut timings = Timings::default();
         let n = self.base.num_rows();
-        let n2 = self.second.as_ref().expect("join needs a second table").num_rows();
+        let n2 = self
+            .second
+            .as_ref()
+            .expect("join needs a second table")
+            .num_rows();
 
         let t0 = Instant::now();
         let lpreds = self.order_preds(&q.left.preds, n);
         let rpreds = self.order_preds(&q.right.preds, n2);
-        let lkeys = Self::select_keys(&mut self.crackers, &self.base, false, &lpreds, false);
+        let lkeys = Self::select_keys(&mut self.crackers, &self.base, false, &lpreds);
         let second = self.second.as_ref().expect("checked above");
-        let rkeys = Self::select_keys(&mut self.crackers, second, true, &rpreds, false);
+        let rkeys = Self::select_keys(&mut self.crackers, second, true, &rpreds);
         timings.select = t0.elapsed();
 
         let t1 = Instant::now();
@@ -153,22 +204,13 @@ impl Engine for SelCrackEngine {
         out.rows = matched.len();
 
         let t3 = Instant::now();
-        for &(attr, func) in &q.left.aggs {
-            let col = self.base.column(attr);
-            let mut acc = AggAcc::new(func);
-            for &(lk, _) in &matched {
-                acc.push(col.get(lk));
-            }
-            out.aggs.push(acc.finish());
-        }
-        for &(attr, func) in &q.right.aggs {
-            let col = second.column(attr);
-            let mut acc = AggAcc::new(func);
-            for &(_, rk) in &matched {
-                acc.push(col.get(rk));
-            }
-            out.aggs.push(acc.finish());
-        }
+        out.aggs = exec::agg_matched(&matched, &q.left, true, |attr, k| {
+            self.base.column(attr).get(k)
+        });
+        out.aggs
+            .extend(exec::agg_matched(&matched, &q.right, false, |attr, k| {
+                second.column(attr).get(k)
+            }));
         timings.post_join = t3.elapsed();
         out.timings = timings;
         out
@@ -242,14 +284,22 @@ mod tests {
     #[test]
     fn updates_respected() {
         let mut e = SelCrackEngine::new(table(), (0, 100));
-        let q = SelectQuery::aggregate(
-            vec![(0, RangePred::all())],
-            vec![(0, AggFunc::Count)],
-        );
+        let q = SelectQuery::aggregate(vec![(0, RangePred::all())], vec![(0, AggFunc::Count)]);
         assert_eq!(e.select(&q).rows, 5);
         e.insert(&[6, 60]);
         e.delete(0);
         assert_eq!(e.select(&q).rows, 5);
+    }
+
+    #[test]
+    fn no_predicate_query_respects_updates() {
+        let mut e = SelCrackEngine::new(table(), (0, 100));
+        e.insert(&[6, 60]);
+        e.delete(0); // removes a=5 / b=50
+        let q = SelectQuery::aggregate(vec![], vec![(0, AggFunc::Count), (1, AggFunc::Sum)]);
+        let out = e.select(&q);
+        assert_eq!(out.rows, 5, "empty-predicate scans must see queued updates");
+        assert_eq!(out.aggs, vec![Some(5), Some(10 + 90 + 30 + 70 + 60)]);
     }
 
     #[test]

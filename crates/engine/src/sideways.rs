@@ -1,9 +1,10 @@
 //! The paper's system: sideways cracking with full maps.
 
-use crate::query::{AggAcc, Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
+use crate::exec::{self, AccessPath, RestrictCtx, RowSet};
+use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
-use crackdb_columnstore::types::{RowId, Val};
+use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_core::SidewaysStore;
 use std::collections::HashSet;
 use std::time::Instant;
@@ -32,7 +33,10 @@ impl SidewaysEngine {
 
     /// Two-table engine.
     pub fn with_second(base: Table, second: Table, domain: (Val, Val)) -> Self {
-        SidewaysEngine { second: Some(second), ..SidewaysEngine::new(base, domain) }
+        SidewaysEngine {
+            second: Some(second),
+            ..SidewaysEngine::new(base, domain)
+        }
     }
 
     /// Storage budget in tuples for maps (full-map storage management).
@@ -44,94 +48,175 @@ impl SidewaysEngine {
     pub fn store(&self) -> &SidewaysStore {
         &self.store
     }
+
+    /// Every map the query will touch under set `head_attr`: residual
+    /// selection attributes plus the attributes to fetch.
+    fn needed_attrs(head_attr: usize, ctx: &RestrictCtx) -> Vec<usize> {
+        let mut needed: Vec<usize> = ctx
+            .preds
+            .iter()
+            .map(|&(a, _)| a)
+            .filter(|&a| a != head_attr)
+            .collect();
+        for &a in ctx.fetch_attrs {
+            if !needed.contains(&a) {
+                needed.push(a);
+            }
+        }
+        needed
+    }
 }
 
-impl Engine for SidewaysEngine {
+impl AccessPath for SidewaysEngine {
     fn name(&self) -> &'static str {
         "Sideways Cracking"
     }
 
+    fn estimate(&self, attr: usize, pred: &RangePred) -> Option<f64> {
+        // §3.3 self-organizing histogram of the attribute's map set
+        // (uniform assumption before any knowledge exists).
+        Some(self.store.estimate(&self.base, attr, pred))
+    }
+
+    fn restrict(&mut self, attr: usize, pred: &RangePred, ctx: &RestrictCtx) -> RowSet {
+        let needed = Self::needed_attrs(attr, ctx);
+        self.store.reserve_for(&self.base, attr, &needed);
+        let s = self
+            .store
+            .set_mut_ensured(&self.base, attr, &self.tombstones);
+
+        if ctx.disjunctive {
+            // Disjunctive plans keep a bit vector over the *whole* map:
+            // the head predicate's cracked area is marked wholesale, and
+            // each further predicate scans the areas outside it (§3.3).
+            let first = needed.first().copied().unwrap_or(attr);
+            let (_, bv) = s.disj_create_bv(&self.base, first, pred);
+            let n = bv.len();
+            return RowSet::Area {
+                head: (attr, *pred),
+                range: (0, n),
+                bv: Some(bv),
+            };
+        }
+
+        if needed.is_empty() {
+            // Pure single-selection with nothing to reconstruct: answer
+            // from the key map.
+            return RowSet::keys(s.select_keys(&self.base, pred), false);
+        }
+
+        // One sideways.select per map the plan will touch (§3.2): crack
+        // the fetch maps now so reconstructions find them aligned; the
+        // residual selection maps crack during their own refine step.
+        let mut range = None;
+        for &fa in ctx.fetch_attrs {
+            range = Some(s.sideways_select(&self.base, fa, pred));
+        }
+        let range = range.unwrap_or_else(|| {
+            // No fetch attributes: derive the area from the first
+            // residual map (its refine re-uses the aligned map).
+            s.sideways_select(&self.base, needed[0], pred)
+        });
+        RowSet::Area {
+            head: (attr, *pred),
+            range,
+            bv: None,
+        }
+    }
+
+    fn refine(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) {
+        let RowSet::Area { head, range, bv } = rows else {
+            unreachable!("multi-predicate sideways plans operate on areas")
+        };
+        let s = self
+            .store
+            .set_mut_ensured(&self.base, head.0, &self.tombstones);
+        match bv {
+            None => {
+                let (r, b) = s.select_create_bv(&self.base, attr, &head.1, pred);
+                *range = r;
+                *bv = Some(b);
+            }
+            Some(bv) => s.select_refine_bv(&self.base, attr, &head.1, pred, bv),
+        }
+    }
+
+    fn extend(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) {
+        let RowSet::Area {
+            head, bv: Some(bv), ..
+        } = rows
+        else {
+            unreachable!("disjunctive sideways plans carry a whole-map bit vector")
+        };
+        let s = self
+            .store
+            .set_mut_ensured(&self.base, head.0, &self.tombstones);
+        s.disj_refine_bv(&self.base, attr, &head.1, pred, bv);
+    }
+
+    fn unrestricted(&mut self, ctx: &RestrictCtx) -> RowSet {
+        // No predicates: treat as an all-values restriction on the first
+        // fetched attribute's set (or the key map when nothing is
+        // fetched).
+        let all = RangePred::all();
+        match ctx.fetch_attrs.first() {
+            Some(&fa) => {
+                let s = self.store.set_mut_ensured(&self.base, fa, &self.tombstones);
+                let range = s.sideways_select(&self.base, fa, &all);
+                RowSet::Area {
+                    head: (fa, all),
+                    range,
+                    bv: None,
+                }
+            }
+            None => {
+                let s = self.store.set_mut_ensured(&self.base, 0, &self.tombstones);
+                RowSet::keys(s.select_keys(&self.base, &all), false)
+            }
+        }
+    }
+
+    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+        let RowSet::Area { head, range, bv } = rows else {
+            unreachable!("sideways reconstruction operates on areas")
+        };
+        let s = self
+            .store
+            .set_mut_ensured(&self.base, head.0, &self.tombstones);
+        for &attr in attrs {
+            // Align (and crack, first time) this attribute's map, then
+            // read the area — conjunctions use the head predicate's
+            // cracked area, disjunctions the whole map.
+            s.sideways_select(&self.base, attr, &head.1);
+            let tails = s.view_tail(attr, *range);
+            match bv {
+                Some(bv) => {
+                    assert_eq!(tails.len(), bv.len(), "aligned maps agree on the area");
+                    for i in bv.iter_ones() {
+                        consume(attr, tails[i]);
+                    }
+                }
+                None => {
+                    for &v in tails {
+                        consume(attr, v);
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_adaptive(&self) -> bool {
+        true
+    }
+}
+
+impl Engine for SidewaysEngine {
+    fn name(&self) -> &'static str {
+        AccessPath::name(self)
+    }
+
     fn select(&mut self, q: &SelectQuery) -> QueryOutput {
-        let mut out = QueryOutput::default();
-        let mut agg_attrs: Vec<usize> = Vec::new();
-        for &(a, _) in &q.aggs {
-            if !agg_attrs.contains(&a) {
-                agg_attrs.push(a);
-            }
-        }
-
-        if q.disjunctive {
-            let t0 = Instant::now();
-            let mut accs: Vec<AggAcc> =
-                q.aggs.iter().map(|&(_, f)| AggAcc::new(f)).collect();
-            let mut projs: Vec<Vec<Val>> = q.projs.iter().map(|_| Vec::new()).collect();
-            let proj_attrs = q.projs.clone();
-            let aggs = q.aggs.clone();
-            self.store.disjunctive_project_with(
-                &self.base,
-                &q.preds,
-                &{
-                    let mut attrs = agg_attrs.clone();
-                    for &p in &proj_attrs {
-                        if !attrs.contains(&p) {
-                            attrs.push(p);
-                        }
-                    }
-                    attrs
-                },
-                &self.tombstones,
-                |attr, v| {
-                    for (i, &(a, _)) in aggs.iter().enumerate() {
-                        if a == attr {
-                            accs[i].push(v);
-                        }
-                    }
-                    for (i, &p) in proj_attrs.iter().enumerate() {
-                        if p == attr {
-                            projs[i].push(v);
-                        }
-                    }
-                },
-            );
-            // Every projected attribute receives exactly one value per
-            // qualifying tuple.
-            out.rows = accs
-                .first()
-                .map(|a| a.count())
-                .or_else(|| projs.first().map(|p| p.len()))
-                .unwrap_or(0);
-            out.aggs = accs.iter().map(|a| a.finish()).collect();
-            out.proj_values = projs;
-            out.timings.select = t0.elapsed();
-            return out;
-        }
-
-        // Conjunctive: build the qualifying handle on the chosen set...
-        let t0 = Instant::now();
-        let mut extra: Vec<usize> = agg_attrs.clone();
-        for &p in &q.projs {
-            if !extra.contains(&p) {
-                extra.push(p);
-            }
-        }
-        let handle = self.store.conjunctive_bv(&self.base, &q.preds, &extra, &self.tombstones);
-        out.timings.select = t0.elapsed();
-        out.rows = handle.result_size();
-
-        // ...then reconstruct each projected attribute from its aligned map.
-        let t1 = Instant::now();
-        for &(attr, func) in &q.aggs {
-            let mut acc = AggAcc::new(func);
-            self.store.reconstruct_with(&self.base, &handle, attr, |v| acc.push(v));
-            out.aggs.push(acc.finish());
-        }
-        for &attr in &q.projs {
-            let mut vals = Vec::new();
-            self.store.reconstruct_with(&self.base, &handle, attr, |v| vals.push(v));
-            out.proj_values.push(vals);
-        }
-        out.timings.reconstruct = t1.elapsed();
-        out
+        exec::run_select(self, q)
     }
 
     fn join(&mut self, q: &JoinQuery) -> QueryOutput {
@@ -156,8 +241,12 @@ impl Engine for SidewaysEngine {
             .map(|&(a, _)| a)
             .chain([q.right.join_attr])
             .collect();
-        let lh = self.store.conjunctive_bv(&self.base, &q.left.preds, &lextra, &self.tombstones);
-        let rh = self.second_store.conjunctive_bv(second, &q.right.preds, &rextra, &none);
+        let lh = self
+            .store
+            .conjunctive_bv(&self.base, &q.left.preds, &lextra, &self.tombstones);
+        let rh = self
+            .second_store
+            .conjunctive_bv(second, &q.right.preds, &rextra, &none);
         timings.select = t0.elapsed();
 
         // Pre-join reconstruction: join-attribute values from the aligned
@@ -167,14 +256,22 @@ impl Engine for SidewaysEngine {
             let tails = self.store.tail_slice(&self.base, &lh, q.left.join_attr);
             match &lh.bv {
                 Some(bv) => bv.iter_ones().map(|i| (i as RowId, tails[i])).collect(),
-                None => tails.iter().enumerate().map(|(i, &v)| (i as RowId, v)).collect(),
+                None => tails
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (i as RowId, v))
+                    .collect(),
             }
         };
         let rpairs: Vec<(RowId, Val)> = {
             let tails = self.second_store.tail_slice(second, &rh, q.right.join_attr);
             match &rh.bv {
                 Some(bv) => bv.iter_ones().map(|i| (i as RowId, tails[i])).collect(),
-                None => tails.iter().enumerate().map(|(i, &v)| (i as RowId, v)).collect(),
+                None => tails
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (i as RowId, v))
+                    .collect(),
             }
         };
         timings.reconstruct = t1.elapsed();
@@ -189,7 +286,7 @@ impl Engine for SidewaysEngine {
         let t3 = Instant::now();
         for &(attr, func) in &q.left.aggs {
             let tails = self.store.tail_slice(&self.base, &lh, attr);
-            let mut acc = AggAcc::new(func);
+            let mut acc = crate::query::AggAcc::new(func);
             for &(lp, _) in &matched {
                 acc.push(tails[lp as usize]);
             }
@@ -197,7 +294,7 @@ impl Engine for SidewaysEngine {
         }
         for &(attr, func) in &q.right.aggs {
             let tails = self.second_store.tail_slice(second, &rh, attr);
-            let mut acc = AggAcc::new(func);
+            let mut acc = crate::query::AggAcc::new(func);
             for &(_, rp) in &matched {
                 acc.push(tails[rp as usize]);
             }
@@ -228,7 +325,7 @@ mod tests {
     use super::*;
     use crate::query::JoinSide;
     use crackdb_columnstore::column::Column;
-    use crackdb_columnstore::types::{AggFunc, RangePred};
+    use crackdb_columnstore::types::AggFunc;
 
     fn table() -> Table {
         let mut t = Table::new();

@@ -8,6 +8,7 @@
 
 pub mod queries;
 
+use crate::exec::combine;
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::presorted::PresortedTable;
 use crackdb_columnstore::rowstore::PresortedRowTable;
@@ -185,16 +186,18 @@ impl TpchExecutor {
         projs: &[usize],
     ) -> Vec<Vec<Val>> {
         let t = self.table(tbl);
-        let mut keys = crackdb_columnstore::ops::select::select(t.column(sel.0), &sel.1);
+        // Shared intersection strategy over scan keys (parallel scan
+        // kernel under a batch session).
+        let mut keys = crackdb_columnstore::ops::parallel::par_select(t.column(sel.0), &sel.1);
         for (attr, pred) in residual {
             let col = t.column(*attr);
-            keys.retain(|&k| pred.matches(col.get(k)));
+            combine::refine_keys(&mut keys, pred, |k| col.get(k));
         }
         projs
             .iter()
             .map(|&a| {
                 let col = t.column(a);
-                keys.iter().map(|&k| col.get(k)).collect()
+                combine::project_keys(&keys, |k| col.get(k))
             })
             .collect()
     }
@@ -212,23 +215,14 @@ impl TpchExecutor {
             return self.sp_plain(tbl, sel, residual, projs);
         };
         let range = copy.select_range(&sel.1);
+        // Shared bit-vector strategy over the aligned copy slices.
         let mut bv: Option<BitVec> = None;
         for (attr, pred) in residual {
-            let vals = copy.project(*attr, range);
-            match &mut bv {
-                None => bv = Some(BitVec::from_fn(vals.len(), |i| pred.matches(vals[i]))),
-                Some(bv) => bv.refine(|i| pred.matches(vals[i])),
-            }
+            combine::fold_bv(&mut bv, copy.project(*attr, range), pred);
         }
         projs
             .iter()
-            .map(|&a| {
-                let vals = copy.project(a, range);
-                match &bv {
-                    Some(bv) => bv.iter_ones().map(|i| vals[i]).collect(),
-                    None => vals.to_vec(),
-                }
-            })
+            .map(|&a| combine::project_area(copy.project(a, range), &bv))
             .collect()
     }
 
@@ -258,13 +252,13 @@ impl TpchExecutor {
         let t = self.table(tbl);
         for (attr, pred) in residual {
             let col = t.column(*attr);
-            keys.retain(|&k| pred.matches(col.get(k)));
+            combine::refine_keys(&mut keys, pred, |k| col.get(k));
         }
         projs
             .iter()
             .map(|&a| {
                 let col = t.column(a);
-                keys.iter().map(|&k| col.get(k)).collect()
+                combine::project_keys(&keys, |k| col.get(k))
             })
             .collect()
     }
@@ -285,7 +279,10 @@ impl TpchExecutor {
             Tbl::PartSupp => &self.data.partsupp,
             Tbl::Nation => &self.data.nation,
         };
-        let store = self.stores.get_mut(&tbl).expect("stores built for sideways mode");
+        let store = self
+            .stores
+            .get_mut(&tbl)
+            .expect("stores built for sideways mode");
         let none = HashSet::new();
         let mut preds = vec![sel];
         preds.extend_from_slice(residual);
@@ -348,12 +345,21 @@ mod tests {
         let residual = [(l::DISCOUNT, RangePred::closed(2, 6))];
         let projs = [l::ORDERKEY, l::EXTENDEDPRICE];
         let mut reference: Option<Vec<Vec<Val>>> = None;
-        for mode in [Mode::Plain, Mode::Presorted, Mode::SelCrack, Mode::Sideways, Mode::RowStore] {
+        for mode in [
+            Mode::Plain,
+            Mode::Presorted,
+            Mode::SelCrack,
+            Mode::Sideways,
+            Mode::RowStore,
+        ] {
             let mut e = exec(mode);
             let mut cols = e.select_project(Tbl::Lineitem, sel, &residual, &projs);
             // Sort rows for comparison (row order is mode-dependent).
-            let mut rows: Vec<(Val, Val)> =
-                cols[0].iter().zip(&cols[1]).map(|(&a, &b)| (a, b)).collect();
+            let mut rows: Vec<(Val, Val)> = cols[0]
+                .iter()
+                .zip(&cols[1])
+                .map(|(&a, &b)| (a, b))
+                .collect();
             rows.sort_unstable();
             cols[0] = rows.iter().map(|r| r.0).collect();
             cols[1] = rows.iter().map(|r| r.1).collect();

@@ -50,7 +50,14 @@ pub fn q1(exec: &mut TpchExecutor, prm: Params) -> Val {
         Tbl::Lineitem,
         (l::SHIPDATE, RangePred::less(Bound::inclusive(prm.date))),
         &[],
-        &[l::RETURNFLAG, l::LINESTATUS, l::QUANTITY, l::EXTENDEDPRICE, l::DISCOUNT, l::TAX],
+        &[
+            l::RETURNFLAG,
+            l::LINESTATUS,
+            l::QUANTITY,
+            l::EXTENDEDPRICE,
+            l::DISCOUNT,
+            l::TAX,
+        ],
     );
     /// Accumulator per (returnflag, linestatus) group: sum_qty,
     /// sum_base_price, sum_disc_price, sum_charge, count.
@@ -138,7 +145,11 @@ pub fn q4(exec: &mut TpchExecutor, prm: Params) -> Val {
             counts[*prio as usize] += 1;
         }
     }
-    counts.iter().enumerate().map(|(i, &v)| (i as Val + 1) * v).sum()
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as Val + 1) * v)
+        .sum()
 }
 
 /// Q6: forecasting revenue change — pure multi-selection on lineitem.
@@ -162,7 +173,13 @@ pub fn q7(exec: &mut TpchExecutor, prm: Params) -> Val {
         Tbl::Lineitem,
         (l::SHIPDATE, RangePred::closed(prm.date, prm.date2)),
         &[],
-        &[l::ORDERKEY, l::SUPPKEY, l::EXTENDEDPRICE, l::DISCOUNT, l::SHIPDATE],
+        &[
+            l::ORDERKEY,
+            l::SUPPKEY,
+            l::EXTENDEDPRICE,
+            l::DISCOUNT,
+            l::SHIPDATE,
+        ],
     );
     // Dimension maps (small scans, identical across modes).
     let sup = exec.table(Tbl::Supplier);
@@ -182,7 +199,10 @@ pub fn q7(exec: &mut TpchExecutor, prm: Params) -> Val {
             *volumes.entry((sn, cn, year)).or_default() += revenue(li[2][i], li[3][i]);
         }
     }
-    volumes.iter().map(|((sn, cn, y), v)| (sn + cn + y) ^ (v % 1_000_003)).sum()
+    volumes
+        .iter()
+        .map(|((sn, cn, y), v)| (sn + cn + y) ^ (v % 1_000_003))
+        .sum()
 }
 
 /// Q8: national market share — orders in 1995–96, part type filter,
@@ -194,8 +214,11 @@ pub fn q8(exec: &mut TpchExecutor, prm: Params) -> Val {
         &[],
         &[o::ORDERKEY, o::ORDERDATE],
     );
-    let order_year: HashMap<Val, Val> =
-        ord[0].iter().zip(&ord[1]).map(|(&k, &d)| (k, d / 365)).collect();
+    let order_year: HashMap<Val, Val> = ord[0]
+        .iter()
+        .zip(&ord[1])
+        .map(|(&k, &d)| (k, d / 365))
+        .collect();
     let part = exec.select_project(
         Tbl::Part,
         (p::PTYPE, RangePred::point(prm.k2)),
@@ -221,7 +244,9 @@ pub fn q8(exec: &mut TpchExecutor, prm: Params) -> Val {
         if !parts.contains(&pkc.get(i)) {
             continue;
         }
-        let Some(&year) = order_year.get(&okc.get(i)) else { continue };
+        let Some(&year) = order_year.get(&okc.get(i)) else {
+            continue;
+        };
         let vol = revenue(epc.get(i), dcc.get(i));
         *den.entry(year).or_default() += vol;
         if supp_nation[skc.get(i) as usize] == prm.k1 {
@@ -245,8 +270,11 @@ pub fn q10(exec: &mut TpchExecutor, prm: Params) -> Val {
         &[],
         &[o::ORDERKEY, o::CUSTKEY],
     );
-    let order_cust: HashMap<Val, Val> =
-        ord[0].iter().zip(&ord[1]).map(|(&k, &cu)| (k, cu)).collect();
+    let order_cust: HashMap<Val, Val> = ord[0]
+        .iter()
+        .zip(&ord[1])
+        .map(|(&k, &cu)| (k, cu))
+        .collect();
     let li = exec.select_project(
         Tbl::Lineitem,
         (l::RETURNFLAG, RangePred::point(2)), // 'R'
@@ -342,7 +370,11 @@ pub fn q19(exec: &mut TpchExecutor, prm: Params) -> Val {
         RangePred::closed(10, 19),
         RangePred::closed(20, 29),
     ];
-    let sizes = [RangePred::closed(1, 5), RangePred::closed(1, 10), RangePred::closed(1, 15)];
+    let sizes = [
+        RangePred::closed(1, 5),
+        RangePred::closed(1, 10),
+        RangePred::closed(1, 15),
+    ];
     let mut total = 0 as Val;
     for b in 0..3 {
         let parts = exec.select_project(
@@ -357,8 +389,8 @@ pub fn q19(exec: &mut TpchExecutor, prm: Params) -> Val {
             Tbl::Lineitem,
             (l::QUANTITY, RangePred::half_open(qlo, qlo + 10)),
             &[
-                (l::SHIPMODE, RangePred::closed(0, 1)),     // AIR, AIR REG
-                (l::SHIPINSTRUCT, RangePred::point(0)),     // DELIVER IN PERSON
+                (l::SHIPMODE, RangePred::closed(0, 1)), // AIR, AIR REG
+                (l::SHIPINSTRUCT, RangePred::point(0)), // DELIVER IN PERSON
             ],
             &[l::PARTKEY, l::EXTENDEDPRICE, l::DISCOUNT],
         );
@@ -455,8 +487,13 @@ mod tests {
             })
             .collect();
         let mut reference: Option<Vec<Val>> = None;
-        for mode in [Mode::Plain, Mode::Presorted, Mode::SelCrack, Mode::Sideways, Mode::RowStore]
-        {
+        for mode in [
+            Mode::Plain,
+            Mode::Presorted,
+            Mode::SelCrack,
+            Mode::Sideways,
+            Mode::RowStore,
+        ] {
             let mut e = TpchExecutor::new(data.clone(), mode);
             // Run twice: the second pass exercises cracked structures.
             let mut digests: Vec<Val> = Vec::new();

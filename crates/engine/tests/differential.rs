@@ -4,8 +4,8 @@
 use crackdb_columnstore::column::{Column, Table};
 use crackdb_columnstore::types::{AggFunc, RangePred, Val};
 use crackdb_engine::{
-    Engine, JoinQuery, JoinSide, PartialEngine, PlainEngine, PresortedEngine, SelCrackEngine,
-    SelectQuery, SidewaysEngine,
+    BatchRunner, Engine, JoinQuery, JoinSide, PartialEngine, PlainEngine, PresortedEngine,
+    SelCrackEngine, SelectQuery, SidewaysEngine,
 };
 
 const DOMAIN: (Val, Val) = (0, 1000);
@@ -13,7 +13,10 @@ const DOMAIN: (Val, Val) = (0, 1000);
 struct Lcg(u64);
 impl Lcg {
     fn next(&mut self, m: i64) -> i64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((self.0 >> 33) as i64).rem_euclid(m)
     }
 }
@@ -126,8 +129,7 @@ fn engines_agree_on_joins() {
     let left = random_table(4, 200, 5);
     let right = random_table(4, 150, 6);
     let mut plain = PlainEngine::with_second(left.clone(), right.clone());
-    let mut presorted =
-        PresortedEngine::with_second(left.clone(), &[1], right.clone(), &[1]);
+    let mut presorted = PresortedEngine::with_second(left.clone(), &[1], right.clone(), &[1]);
     let mut selcrack = SelCrackEngine::with_second(left.clone(), right.clone(), DOMAIN);
     let mut sideways = SidewaysEngine::with_second(left.clone(), right.clone(), DOMAIN);
 
@@ -182,6 +184,127 @@ fn disjunctive_agreement() {
         assert_eq!(sw.rows, expected.rows, "disj {i}: rows");
         assert_eq!(sw.aggs, expected.aggs, "disj {i}: aggs");
     }
+}
+
+/// A randomized mixed workload (conjunctions, varying predicate counts,
+/// aggregates *and* raw projections) through all five engines via the
+/// shared access-path executor: every `QueryOutput` must be identical up
+/// to row order of projections.
+#[test]
+fn all_engines_agree_on_projections_via_shared_executor() {
+    let table = random_table(4, 400, 17);
+    let mut plain = PlainEngine::new(table.clone());
+    let mut presorted = PresortedEngine::new(table.clone(), &[0, 1, 2, 3]);
+    let mut selcrack = SelCrackEngine::new(table.clone(), DOMAIN);
+    let mut sideways = SidewaysEngine::new(table.clone(), DOMAIN);
+    let mut partial = PartialEngine::new(table.clone(), DOMAIN, None);
+
+    let mut rng = Lcg(2024);
+    for i in 0..30 {
+        let mut q = random_select(&mut rng, 4);
+        // Project two attributes (possibly equal) on top of the aggregates.
+        let p1 = rng.next(4) as usize;
+        let p2 = rng.next(4) as usize;
+        q.projs = vec![p1, p2];
+        let expected = plain.select(&q);
+        let mut expected_projs: Vec<Vec<Val>> = expected.proj_values.clone();
+        for v in &mut expected_projs {
+            v.sort_unstable();
+        }
+        for (name, out) in [
+            ("presorted", presorted.select(&q)),
+            ("selcrack", selcrack.select(&q)),
+            ("sideways", sideways.select(&q)),
+            ("partial", partial.select(&q)),
+        ] {
+            assert_eq!(out.rows, expected.rows, "query {i}: {name} row count");
+            assert_eq!(out.aggs, expected.aggs, "query {i}: {name} aggregates");
+            assert_eq!(out.proj_values.len(), expected_projs.len());
+            for (j, vals) in out.proj_values.iter().enumerate() {
+                let mut vals = vals.clone();
+                vals.sort_unstable();
+                assert_eq!(vals, expected_projs[j], "query {i}: {name} projection {j}");
+            }
+        }
+    }
+}
+
+/// Disjunctions through every engine that supports them (plain scans,
+/// selection cracking, sideways cracking).
+#[test]
+fn disjunctive_engines_agree() {
+    let table = random_table(3, 400, 88);
+    let mut plain = PlainEngine::new(table.clone());
+    let mut selcrack = SelCrackEngine::new(table.clone(), DOMAIN);
+    let mut sideways = SidewaysEngine::new(table.clone(), DOMAIN);
+    let mut rng = Lcg(404);
+    for i in 0..20 {
+        let lo1 = rng.next(900);
+        let lo2 = rng.next(900);
+        let q = SelectQuery {
+            preds: vec![
+                (0, RangePred::open(lo1, lo1 + 150)),
+                (1, RangePred::open(lo2, lo2 + 150)),
+            ],
+            disjunctive: true,
+            aggs: vec![(2, AggFunc::Count), (2, AggFunc::Sum), (2, AggFunc::Min)],
+            projs: vec![],
+        };
+        let expected = plain.select(&q);
+        for (name, out) in [
+            ("selcrack", selcrack.select(&q)),
+            ("sideways", sideways.select(&q)),
+        ] {
+            assert_eq!(out.rows, expected.rows, "disj {i}: {name} rows");
+            assert_eq!(out.aggs, expected.aggs, "disj {i}: {name} aggs");
+        }
+    }
+}
+
+/// The batch-execution layer must be answer-identical to serial
+/// execution for every engine — including the adaptive ones, whose
+/// cracking sequence stays serial inside a batch.
+#[test]
+fn batch_runner_matches_serial_for_all_engines() {
+    // Large enough that the parallel scan/aggregate kernels engage.
+    let table = random_table(3, 20_000, 3);
+    let mut rng = Lcg(909);
+    let queries: Vec<SelectQuery> = (0..12).map(|_| random_select(&mut rng, 3)).collect();
+
+    fn check<E: Engine>(serial: &mut E, parallel: E, queries: &[SelectQuery], name: &str) {
+        let expected: Vec<_> = queries.iter().map(|q| serial.select(q)).collect();
+        let mut runner = BatchRunner::new(parallel, 4);
+        let outs = runner.run(queries);
+        for (i, (o, e)) in outs.iter().zip(&expected).enumerate() {
+            assert_eq!(o.rows, e.rows, "{name} query {i}: batch rows");
+            assert_eq!(o.aggs, e.aggs, "{name} query {i}: batch aggs");
+        }
+    }
+
+    check(
+        &mut PlainEngine::new(table.clone()),
+        PlainEngine::new(table.clone()),
+        &queries,
+        "plain",
+    );
+    check(
+        &mut SelCrackEngine::new(table.clone(), DOMAIN),
+        SelCrackEngine::new(table.clone(), DOMAIN),
+        &queries,
+        "selcrack",
+    );
+    check(
+        &mut SidewaysEngine::new(table.clone(), DOMAIN),
+        SidewaysEngine::new(table.clone(), DOMAIN),
+        &queries,
+        "sideways",
+    );
+    check(
+        &mut PartialEngine::new(table.clone(), DOMAIN, None),
+        PartialEngine::new(table, DOMAIN, None),
+        &queries,
+        "partial",
+    );
 }
 
 #[test]

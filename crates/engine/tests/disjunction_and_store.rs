@@ -9,7 +9,10 @@ use crackdb_engine::{Engine, PlainEngine, SelectQuery, SidewaysEngine};
 struct Lcg(u64);
 impl Lcg {
     fn next(&mut self, m: i64) -> i64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((self.0 >> 33) as i64).rem_euclid(m)
     }
 }
@@ -141,5 +144,8 @@ fn repeated_identical_queries_are_stable() {
     // No new cracks after the first evaluation.
     let cracks = sideways.store().set(0).map(|s| s.stats.query_cracks);
     sideways.select(&q);
-    assert_eq!(sideways.store().set(0).map(|s| s.stats.query_cracks), cracks);
+    assert_eq!(
+        sideways.store().set(0).map(|s| s.stats.query_cracks),
+        cracks
+    );
 }

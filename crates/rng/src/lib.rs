@@ -1,0 +1,287 @@
+#![warn(missing_docs)]
+//! # crackdb-rng
+//!
+//! A self-contained, deterministic pseudo-random number generator with a
+//! `rand`-like API surface. The build environment for this workspace is
+//! fully offline, so instead of depending on the `rand` crate the
+//! workloads and tests use this drop-in subset: [`rngs::StdRng`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`] and [`seq::SliceRandom`].
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! statistically solid for workload generation, and reproducible across
+//! platforms. It makes no cryptographic claims.
+
+/// Generator implementations.
+pub mod rngs {
+    /// The standard workspace PRNG: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Seeding interface (mirrors `rand::SeedableRng` for the one
+/// constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state is invalid for xoshiro; SplitMix64 cannot
+        // produce four zeros from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        StdRng { s }
+    }
+}
+
+impl StdRng {
+    /// Next raw 64-bit output (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` below `bound` (> 0) via Lemire's multiply-shift with
+    /// rejection, so small bounds are exactly uniform.
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Reject the biased low fringe: (2^64 - bound) mod bound values.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let m = (self.next_u64() as u128) * (bound as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// A value range `gen_range` can sample from uniformly.
+pub trait SampleRange<T> {
+    /// Inclusive sampling bounds `(low, high)`; panics when empty.
+    fn bounds(&self) -> (T, T);
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn bounds(&self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "cannot sample empty range");
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+impl_sample_range!(i64, i32, u64, u32, usize);
+
+/// Uniform sampling of one integer type from a low/high pair.
+pub trait UniformInt: Copy {
+    /// Sample uniformly from `[lo, hi]`.
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self;
+}
+
+impl UniformInt for i64 {
+    #[inline]
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        if span > u64::MAX as u128 {
+            // Full-width range: any u64 reinterpreted is uniform.
+            return rng.next_u64() as i64;
+        }
+        lo.wrapping_add(rng.below(span as u64) as i64)
+    }
+}
+
+impl UniformInt for u64 {
+    #[inline]
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.below(span + 1)
+    }
+}
+
+impl UniformInt for i32 {
+    #[inline]
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        lo.wrapping_add(rng.below((hi as i64 - lo as i64) as u64 + 1) as i32)
+    }
+}
+
+impl UniformInt for u32 {
+    #[inline]
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        lo + rng.below((hi - lo) as u64 + 1) as u32
+    }
+}
+
+impl UniformInt for usize {
+    #[inline]
+    fn sample(rng: &mut StdRng, lo: Self, hi: Self) -> Self {
+        lo + rng.below((hi - lo) as u64 + 1) as usize
+    }
+}
+
+/// Sampling interface (mirrors the `rand::Rng` methods the workspace
+/// uses).
+pub trait Rng {
+    /// Uniform sample from `range` (e.g. `0..n`, `1..=domain`).
+    fn gen_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// Bernoulli trial with success probability `p` in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool;
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64;
+}
+
+impl Rng for StdRng {
+    #[inline]
+    fn gen_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        T::sample(self, lo, hi)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.gen_f64() < p
+    }
+
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Slice helpers (mirrors `rand::seq::SliceRandom`).
+pub mod seq {
+    use super::{Rng, StdRng};
+
+    /// Random slice reordering and choice.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle(&mut self, rng: &mut StdRng) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let u: usize = rng.gen_range(0usize..10);
+            assert!(u < 10);
+            let w: i64 = rng.gen_range(1i64..=1);
+            assert_eq!(w, 1);
+        }
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (8_000..12_000).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!(
+            (25_000..35_000).contains(&hits),
+            "got {hits} hits for p=0.3"
+        );
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely to shuffle to identity");
+    }
+}

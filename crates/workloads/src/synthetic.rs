@@ -2,8 +2,8 @@
 
 use crackdb_columnstore::column::{Column, Table};
 use crackdb_columnstore::types::{RangePred, Val};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crackdb_rng::rngs::StdRng;
+use crackdb_rng::{Rng, SeedableRng};
 
 /// A relational table of `attrs` integer attributes, each holding `n`
 /// values uniformly distributed in `[1, domain]` (the paper's tables use
@@ -18,6 +18,26 @@ pub fn random_table(attrs: usize, n: usize, domain: Val, seed: u64) -> Table {
     t
 }
 
+/// The query-location patterns of the paper's experiments (§3.6 Exp5,
+/// §4.2): where in the domain successive range queries land.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pattern {
+    /// Uniformly random locations (the default workload).
+    Random,
+    /// Consecutive non-overlapping ranges marching left-to-right across
+    /// the domain, wrapping at the end (worst case for adaptation: every
+    /// query touches a cold region).
+    Sequential,
+    /// With probability `hot_prob` the range falls inside the hot zone
+    /// (first `hot_frac` of the domain), otherwise in the remainder.
+    Skewed {
+        /// Probability of hitting the hot zone.
+        hot_prob: f64,
+        /// Fraction of the domain forming the hot zone.
+        hot_frac: f64,
+    },
+}
+
 /// Generator of random range predicates with a fixed result-size target.
 #[derive(Debug)]
 pub struct RangeGen {
@@ -25,6 +45,8 @@ pub struct RangeGen {
     domain: Val,
     /// Width of the requested value range (0 = point queries).
     pub width: Val,
+    /// Cursor of the sequential pattern.
+    cursor: Val,
 }
 
 impl RangeGen {
@@ -32,12 +54,17 @@ impl RangeGen {
     /// domain]` attribute.
     pub fn with_selectivity(domain: Val, selectivity: f64, seed: u64) -> Self {
         let width = ((domain as f64) * selectivity).round() as Val;
-        RangeGen { rng: StdRng::seed_from_u64(seed), domain, width }
+        Self::with_width(domain, width, seed)
     }
 
     /// Ranges of a fixed value width (`width = 0` gives point queries).
     pub fn with_width(domain: Val, width: Val, seed: u64) -> Self {
-        RangeGen { rng: StdRng::seed_from_u64(seed), domain, width }
+        RangeGen {
+            rng: StdRng::seed_from_u64(seed),
+            domain,
+            width,
+            cursor: 0,
+        }
     }
 
     /// Next random range, uniformly located in the domain.
@@ -70,6 +97,35 @@ impl RangeGen {
         } else {
             self.next_in(split, self.domain)
         }
+    }
+
+    /// Sequential workload: the next non-overlapping range to the right
+    /// of the previous one, wrapping at the end of the domain.
+    pub fn next_sequential(&mut self) -> RangePred {
+        let w = self.width.max(1);
+        // open(lo, lo+w+1) covers values lo+1 ..= lo+w; wrap only once
+        // the stripe would reach past the domain's top value.
+        if self.cursor + w > self.domain {
+            self.cursor = 0;
+        }
+        let lo = self.cursor;
+        self.cursor += w;
+        RangePred::open(lo, lo + w + 1)
+    }
+
+    /// Next range following `pattern`.
+    pub fn next_pattern(&mut self, pattern: Pattern) -> RangePred {
+        match pattern {
+            Pattern::Random => self.next(),
+            Pattern::Sequential => self.next_sequential(),
+            Pattern::Skewed { hot_prob, hot_frac } => self.next_skewed(hot_prob, hot_frac),
+        }
+    }
+
+    /// A batch of `n` predicates following `pattern` (the shape consumed
+    /// by the batch-execution benchmarks).
+    pub fn batch(&mut self, pattern: Pattern, n: usize) -> Vec<RangePred> {
+        (0..n).map(|_| self.next_pattern(pattern)).collect()
     }
 
     /// Random value in the domain (update streams).
@@ -115,7 +171,11 @@ impl QiGen {
     /// yields ≈ `S`.
     pub fn new(domain: Val, n: usize, result_size: usize, types: usize, seed: u64) -> Self {
         let sel_a = (2.0 * result_size as f64 / n as f64).min(1.0);
-        QiGen { range: RangeGen::with_selectivity(domain, sel_a, seed), domain, types }
+        QiGen {
+            range: RangeGen::with_selectivity(domain, sel_a, seed),
+            domain,
+            types,
+        }
     }
 
     /// Query of type `ty` (0-based) with fresh random ranges.
@@ -210,7 +270,45 @@ mod tests {
                 hot += 1;
             }
         }
-        assert!(hot > 150, "≈90% of queries should hit the hot zone, got {hot}");
+        assert!(
+            hot > 150,
+            "≈90% of queries should hit the hot zone, got {hot}"
+        );
+    }
+
+    #[test]
+    fn sequential_ranges_march_and_wrap() {
+        let mut g = RangeGen::with_width(100, 10, 8);
+        let mut covered = std::collections::HashSet::new();
+        let mut prev_lo = -1;
+        for _ in 0..10 {
+            let p = g.next_pattern(Pattern::Sequential);
+            let lo = p.lo.unwrap().value;
+            assert!(lo > prev_lo, "ranges must march right before wrapping");
+            assert_eq!(p.hi.unwrap().value - lo, 11);
+            covered.extend(lo + 1..=lo + 10);
+            prev_lo = lo;
+        }
+        // 10 stripes of width 10 cover the whole value domain [1, 100] —
+        // including the top stripe — and the 11th query wraps.
+        assert_eq!(covered.len(), 100);
+        assert!(covered.contains(&100), "top of the domain must be queried");
+        let p = g.next_pattern(Pattern::Sequential);
+        assert_eq!(p.lo.unwrap().value, 0);
+    }
+
+    #[test]
+    fn batch_produces_n_patterned_predicates() {
+        let mut g = RangeGen::with_selectivity(1000, 0.01, 9);
+        assert_eq!(g.batch(Pattern::Random, 7).len(), 7);
+        let skewed = g.batch(
+            Pattern::Skewed {
+                hot_prob: 1.0,
+                hot_frac: 0.2,
+            },
+            20,
+        );
+        assert!(skewed.iter().all(|p| p.lo.unwrap().value < 200));
     }
 
     #[test]

@@ -10,8 +10,8 @@
 
 use crackdb_columnstore::column::{Column, Table};
 use crackdb_columnstore::types::Val;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crackdb_rng::rngs::StdRng;
+use crackdb_rng::{Rng, SeedableRng};
 
 /// Days per month prefix sums (no leap years — consistent between data
 /// and parameters, which is all that matters for range shapes).
@@ -163,22 +163,38 @@ impl TpchData {
         supplier.add_column("suppkey", Column::new((0..n_supp as i64).collect()));
         supplier.add_column(
             "nationkey",
-            Column::new((0..n_supp).map(|_| rng.gen_range(0..dict::NATION)).collect()),
+            Column::new(
+                (0..n_supp)
+                    .map(|_| rng.gen_range(0..dict::NATION))
+                    .collect(),
+            ),
         );
 
         let mut customer = Table::new();
         customer.add_column("custkey", Column::new((0..n_cust as i64).collect()));
         customer.add_column(
             "nationkey",
-            Column::new((0..n_cust).map(|_| rng.gen_range(0..dict::NATION)).collect()),
+            Column::new(
+                (0..n_cust)
+                    .map(|_| rng.gen_range(0..dict::NATION))
+                    .collect(),
+            ),
         );
         customer.add_column(
             "mktsegment",
-            Column::new((0..n_cust).map(|_| rng.gen_range(0..dict::MKTSEGMENT)).collect()),
+            Column::new(
+                (0..n_cust)
+                    .map(|_| rng.gen_range(0..dict::MKTSEGMENT))
+                    .collect(),
+            ),
         );
         customer.add_column(
             "acctbal",
-            Column::new((0..n_cust).map(|_| rng.gen_range(-99_999..1_000_000)).collect()),
+            Column::new(
+                (0..n_cust)
+                    .map(|_| rng.gen_range(-99_999..1_000_000))
+                    .collect(),
+            ),
         );
 
         let mut part = Table::new();
@@ -197,11 +213,19 @@ impl TpchData {
         );
         part.add_column(
             "container",
-            Column::new((0..n_part).map(|_| rng.gen_range(0..dict::CONTAINER)).collect()),
+            Column::new(
+                (0..n_part)
+                    .map(|_| rng.gen_range(0..dict::CONTAINER))
+                    .collect(),
+            ),
         );
         part.add_column(
             "retailprice",
-            Column::new((0..n_part).map(|_| rng.gen_range(90_000..200_000)).collect()),
+            Column::new(
+                (0..n_part)
+                    .map(|_| rng.gen_range(90_000..200_000))
+                    .collect(),
+            ),
         );
 
         let mut partsupp = Table::new();
@@ -243,10 +267,10 @@ impl TpchData {
             let lines = rng.gen_range(1..=7);
             for _ in 0..lines {
                 let quantity = rng.gen_range(1..=50);
-                let price = rng.gen_range(90_000..105_000) * quantity;
-                let shipdate = odate + rng.gen_range(1..=121);
-                let commitdate = odate + rng.gen_range(30..=90);
-                let receiptdate = shipdate + rng.gen_range(1..=30);
+                let price = rng.gen_range(90_000i64..105_000) * quantity;
+                let shipdate = odate + rng.gen_range(1i64..=121);
+                let commitdate = odate + rng.gen_range(30i64..=90);
+                let receiptdate = shipdate + rng.gen_range(1i64..=30);
                 li[l::ORDERKEY].push(okey);
                 li[l::PARTKEY].push(rng.gen_range(0..n_part as i64));
                 li[l::SUPPKEY].push(rng.gen_range(0..n_supp as i64));
@@ -295,7 +319,16 @@ impl TpchData {
             lineitem.add_column(*name, Column::new(col));
         }
 
-        TpchData { sf, lineitem, orders, customer, part, supplier, partsupp, nation }
+        TpchData {
+            sf,
+            lineitem,
+            orders,
+            customer,
+            part,
+            supplier,
+            partsupp,
+            nation,
+        }
     }
 }
 
@@ -325,7 +358,9 @@ pub struct Params {
 impl TpchParams {
     /// Deterministic parameter stream.
     pub fn new(seed: u64) -> Self {
-        TpchParams { rng: StdRng::seed_from_u64(seed) }
+        TpchParams {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     fn year(&mut self) -> Val {
@@ -335,7 +370,13 @@ impl TpchParams {
     /// Q1: DELTA in [60, 120] days before 1998-12-01.
     pub fn q1(&mut self) -> Params {
         let delta = self.rng.gen_range(60..=120);
-        Params { date: date(1998, 8, 2) - delta, date2: 0, k1: 0, k2: 0, q: 0 }
+        Params {
+            date: date(1998, 8, 2) - delta as i64,
+            date2: 0,
+            k1: 0,
+            k2: 0,
+            q: 0,
+        }
     }
 
     /// Q3: segment + date in March 1995.
@@ -352,9 +393,15 @@ impl TpchParams {
     /// Q4: a random quarter.
     pub fn q4(&mut self) -> Params {
         let y = self.year();
-        let m = 1 + 3 * self.rng.gen_range(0..4);
+        let m = 1 + 3 * self.rng.gen_range(0i64..4);
         let d = date(y, m, 1);
-        Params { date: d, date2: d + 90, k1: 0, k2: 0, q: 0 }
+        Params {
+            date: d,
+            date2: d + 90,
+            k1: 0,
+            k2: 0,
+            q: 0,
+        }
     }
 
     /// Q6: a year, discount ± 1, quantity in [24, 25].
@@ -376,7 +423,13 @@ impl TpchParams {
         if n2 == n1 {
             n2 = (n2 + 1) % dict::NATION;
         }
-        Params { date: date(1995, 1, 1), date2: date(1996, 12, 31), k1: n1, k2: n2, q: 0 }
+        Params {
+            date: date(1995, 1, 1),
+            date2: date(1996, 12, 31),
+            k1: n1,
+            k2: n2,
+            q: 0,
+        }
     }
 
     /// Q8: nation + part type.
@@ -393,9 +446,15 @@ impl TpchParams {
     /// Q10: a quarter in 1993–1994.
     pub fn q10(&mut self) -> Params {
         let y = self.rng.gen_range(1993..=1994);
-        let m = 1 + 3 * self.rng.gen_range(0..4);
+        let m = 1 + 3 * self.rng.gen_range(0i64..4);
         let d = date(y, m, 1);
-        Params { date: d, date2: d + 90, k1: 0, k2: 0, q: 0 }
+        Params {
+            date: d,
+            date2: d + 90,
+            k1: 0,
+            k2: 0,
+            q: 0,
+        }
     }
 
     /// Q12: two ship modes + a year of receipt dates.
@@ -406,7 +465,13 @@ impl TpchParams {
         if m2 == m1 {
             m2 = (m2 + 1) % dict::SHIPMODE;
         }
-        Params { date: date(y, 1, 1), date2: date(y + 1, 1, 1), k1: m1, k2: m2, q: 0 }
+        Params {
+            date: date(y, 1, 1),
+            date2: date(y + 1, 1, 1),
+            k1: m1,
+            k2: m2,
+            q: 0,
+        }
     }
 
     /// Q14: one month.
@@ -414,15 +479,27 @@ impl TpchParams {
         let y = self.year();
         let m = self.rng.gen_range(1..=12);
         let d = date(y, m, 1);
-        Params { date: d, date2: d + 30, k1: 0, k2: 0, q: 0 }
+        Params {
+            date: d,
+            date2: d + 30,
+            k1: 0,
+            k2: 0,
+            q: 0,
+        }
     }
 
     /// Q15: one quarter.
     pub fn q15(&mut self) -> Params {
         let y = self.year();
-        let m = 1 + 3 * self.rng.gen_range(0..4);
+        let m = 1 + 3 * self.rng.gen_range(0i64..4);
         let d = date(y, m, 1);
-        Params { date: d, date2: d + 90, k1: 0, k2: 0, q: 0 }
+        Params {
+            date: d,
+            date2: d + 90,
+            k1: 0,
+            k2: 0,
+            q: 0,
+        }
     }
 
     /// Q19: brands and quantity thresholds.

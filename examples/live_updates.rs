@@ -8,8 +8,8 @@
 use crackdb::columnstore::{AggFunc, RangePred, Val};
 use crackdb::engine::{Engine, PlainEngine, SelectQuery, SidewaysEngine};
 use crackdb::workloads::random_table;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crackdb_rng::rngs::StdRng;
+use crackdb_rng::{Rng, SeedableRng};
 use std::time::Instant;
 
 const N: usize = 300_000;
@@ -25,7 +25,10 @@ fn main() {
     let mut next_key = N as u32;
 
     println!("300 queries with a burst of 50 updates every 25 queries\n");
-    println!("{:>6}{:>16}{:>16}{:>10}", "query", "sideways_us", "plain_us", "agree");
+    println!(
+        "{:>6}{:>16}{:>16}{:>10}",
+        "query", "sideways_us", "plain_us", "agree"
+    );
     let mut t_side = 0.0;
     let mut t_plain = 0.0;
     for i in 0..300 {

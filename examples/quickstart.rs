@@ -26,7 +26,10 @@ fn main() {
         projs: vec![1],
     };
     let out = engine.select(&q1);
-    println!("Q1  select B where 10 < A < 15  -> B = {:?}", out.proj_values[0]);
+    println!(
+        "Q1  select B where 10 < A < 15  -> B = {:?}",
+        out.proj_values[0]
+    );
 
     // Query 2: select B from R where 5 <= A < 17. The middle piece from
     // Q1 is already known to qualify; only the outer pieces are cracked.

@@ -11,8 +11,8 @@
 
 use crackdb::columnstore::{AggFunc, Column, RangePred, Table};
 use crackdb::engine::{Engine, PlainEngine, PresortedEngine, SelectQuery, SidewaysEngine};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crackdb_rng::rngs::StdRng;
+use crackdb_rng::{Rng, SeedableRng};
 use std::time::Instant;
 
 const N: usize = 500_000;
@@ -69,7 +69,10 @@ fn main() {
     println!("Exploration session: 60 ad-hoc queries over {N} sensor readings\n");
     let mut engines: Vec<(Box<dyn Engine>, f64)> = vec![
         (Box::new(PlainEngine::new(table.clone())), 0.0),
-        (Box::new(SidewaysEngine::new(table.clone(), (0, 604_800))), 0.0),
+        (
+            Box::new(SidewaysEngine::new(table.clone(), (0, 604_800))),
+            0.0,
+        ),
         {
             let t0 = Instant::now();
             let e = PresortedEngine::new(table.clone(), &[0, 1]);
@@ -78,7 +81,10 @@ fn main() {
         },
     ];
 
-    println!("{:<22}{:>12}{:>12}{:>12}{:>14}", "system", "first_ms", "q10_ms", "q60_ms", "total_ms");
+    println!(
+        "{:<22}{:>12}{:>12}{:>12}{:>14}",
+        "system", "first_ms", "q10_ms", "q60_ms", "total_ms"
+    );
     for (engine, prep) in engines.iter_mut() {
         let mut times = Vec::new();
         let mut reference: Option<Vec<Option<i64>>> = None;

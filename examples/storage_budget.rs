@@ -7,8 +7,8 @@
 use crackdb::columnstore::{RangePred, Val};
 use crackdb::engine::{Engine, PartialEngine, SelectQuery, SidewaysEngine};
 use crackdb::workloads::random_table;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crackdb_rng::rngs::StdRng;
+use crackdb_rng::{Rng, SeedableRng};
 use std::time::Instant;
 
 const N: usize = 400_000;
@@ -32,8 +32,14 @@ fn main() {
         .map(|i| make_query(1 + (i / 50) % (ATTRS - 1)))
         .collect();
 
-    println!("Workload: 400 selective queries cycling over {} projection attributes", ATTRS - 1);
-    println!("Budget:   {budget} tuples (full maps would need {})\n", N * (ATTRS - 1));
+    println!(
+        "Workload: 400 selective queries cycling over {} projection attributes",
+        ATTRS - 1
+    );
+    println!(
+        "Budget:   {budget} tuples (full maps would need {})\n",
+        N * (ATTRS - 1)
+    );
 
     let mut partial = PartialEngine::new(table.clone(), (0, domain), Some(budget));
     let mut full = SidewaysEngine::new(table.clone(), (0, domain));

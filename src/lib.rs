@@ -17,10 +17,16 @@
 //! * [`core`] — the paper's contribution: cracker maps, map sets, tapes,
 //!   adaptive alignment, bit-vector multi-selection plans, self-organizing
 //!   histograms, and §4's chunked partial maps with storage management.
-//! * [`workloads`] — synthetic workload generators and the TPC-H
-//!   substrate (data + query parameters).
-//! * [`engine`] — one query executor per physical design, plus the twelve
-//!   TPC-H query plans over a mode-parametric access layer.
+//! * [`workloads`] — synthetic workload generators (random / sequential
+//!   / skewed patterns) and the TPC-H substrate (data + query
+//!   parameters).
+//! * [`engine`] — one query executor per physical design behind a shared
+//!   access-path + batch-execution layer (`engine::exec`), plus the
+//!   twelve TPC-H query plans over a mode-parametric access layer.
+//!
+//! The workspace builds fully offline with zero external dependencies;
+//! `crackdb-rng` (a dev-dependency here) provides the deterministic PRNG
+//! the workloads and tests use in place of `rand`.
 //!
 //! ## Quickstart
 //!

@@ -65,7 +65,10 @@ fn qi_workload_full_vs_partial_vs_plain() {
         assert_eq!(va, vb);
         assert_eq!(va, vc);
     }
-    assert!(partial.aux_tuples() <= n * 2 + n, "partial budget respected");
+    assert!(
+        partial.aux_tuples() <= n * 2 + n,
+        "partial budget respected"
+    );
 }
 
 #[test]
@@ -98,9 +101,18 @@ fn tpch_tiny_all_modes_agree_over_sequences() {
         })
         .collect();
     let mut reference: Option<Vec<Val>> = None;
-    for mode in [Mode::Plain, Mode::Presorted, Mode::SelCrack, Mode::Sideways, Mode::RowStore] {
+    for mode in [
+        Mode::Plain,
+        Mode::Presorted,
+        Mode::SelCrack,
+        Mode::Sideways,
+        Mode::RowStore,
+    ] {
         let mut exec = TpchExecutor::new(data.clone(), mode);
-        let digests: Vec<Val> = plan.iter().map(|&(q, prm)| run(&mut exec, q, prm)).collect();
+        let digests: Vec<Val> = plan
+            .iter()
+            .map(|&(q, prm)| run(&mut exec, q, prm))
+            .collect();
         match &reference {
             None => reference = Some(digests),
             Some(r) => assert_eq!(&digests, r, "mode {mode:?}"),
@@ -157,7 +169,12 @@ fn skewed_workload_converges() {
             .map(|s| s.stats.query_cracks)
             .unwrap_or(0);
         sideways.select(&q);
-        let after = sideways.store().set(0).expect("set exists").stats.query_cracks;
+        let after = sideways
+            .store()
+            .set(0)
+            .expect("set exists")
+            .stats
+            .query_cracks;
         if i < 10 {
             early_cracks += after - before;
         }

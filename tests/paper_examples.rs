@@ -33,7 +33,10 @@ fn figure1_trace() {
 
     // select B from R where 5 <= A < 17 → {b3,b4,b7,b1,b12,b5,b13}.
     let r = s.sideways_select(&t, 1, &RangePred::half_open(5, 17));
-    assert_eq!(sorted(s.view_tail(1, r).to_vec()), vec![1, 3, 4, 5, 7, 12, 13]);
+    assert_eq!(
+        sorted(s.view_tail(1, r).to_vec()),
+        vec![1, 3, 4, 5, 7, 12, 13]
+    );
     // Two more boundaries (5 and 17); the middle piece was reused as is.
     assert_eq!(s.map(1).unwrap().arr.index().len(), 4);
 }
