@@ -1,0 +1,118 @@
+//! Shard-scaling benchmark: queries/sec vs shard count for all five
+//! engines behind the `ShardedEngine` router.
+//!
+//! Unlike `batch_parallel` (which parallelizes only the read-only
+//! kernels), sharding parallelizes *adaptation itself*: every shard
+//! cracks its own fraction of the table concurrently. The sweep runs
+//! the same conjunctive aggregate workload at each shard count (1 =
+//! effectively unsharded) and reports throughput; expect the adaptive
+//! engines to scale on multi-core hardware until per-shard work gets
+//! too small (this container may have few cores — run with ≥4 for
+//! meaningful scaling numbers). Every sweep's total result rows are
+//! asserted identical across shard counts.
+//!
+//! Usage: `cargo run --release --bin shard_scaling [--n=…] [--queries=…]
+//! [--shards=…] [--seed=…]`
+
+use crackdb_bench::{fmt_ms, header, time_ms, Args};
+use crackdb_columnstore::column::Table;
+use crackdb_columnstore::types::{AggFunc, Val};
+use crackdb_engine::{
+    Engine, PartialEngine, PlainEngine, PresortedEngine, SelCrackEngine, SelectQuery,
+    ShardedEngine, SidewaysEngine,
+};
+use crackdb_workloads::{random_table, RangeGen};
+
+fn main() {
+    let args = Args::parse(500_000, 128);
+    let threads = args.threads_or_auto();
+    let domain: Val = args.n as Val;
+    let table = random_table(4, args.n, domain, args.seed);
+    let sweep = args.shard_sweep();
+
+    // The §3.6 query shape: a selective range on the cracked attribute,
+    // a residual range on a second one, aggregates over two more — so
+    // every query cracks, aligns and reconstructs.
+    let mut sel = RangeGen::with_selectivity(domain, 0.02, args.seed + 1);
+    let mut res = RangeGen::with_selectivity(domain, 0.5, args.seed + 2);
+    let queries: Vec<SelectQuery> = (0..args.queries)
+        .map(|_| {
+            SelectQuery::aggregate(
+                vec![(0, sel.next()), (1, res.next())],
+                vec![(2, AggFunc::Max), (3, AggFunc::Sum), (3, AggFunc::Count)],
+            )
+        })
+        .collect();
+
+    println!(
+        "shard_scaling: {} rows x 4 attrs, {} queries, {} fan-out threads, shard sweep {:?}",
+        args.n, args.queries, threads, sweep
+    );
+    header(&["engine", "shards", "total_ms", "queries_per_sec"]);
+
+    run_series(
+        &table,
+        &queries,
+        &sweep,
+        threads,
+        "MonetDB",
+        PlainEngine::new,
+    );
+    run_series(
+        &table,
+        &queries,
+        &sweep,
+        threads,
+        "Presorted MonetDB",
+        |p| PresortedEngine::new(p, &[0, 1]),
+    );
+    run_series(
+        &table,
+        &queries,
+        &sweep,
+        threads,
+        "Selection Cracking",
+        |p| SelCrackEngine::new(p, (0, domain)),
+    );
+    run_series(
+        &table,
+        &queries,
+        &sweep,
+        threads,
+        "Sideways Cracking",
+        |p| SidewaysEngine::new(p, (0, domain)),
+    );
+    run_series(
+        &table,
+        &queries,
+        &sweep,
+        threads,
+        "Partial Sideways Cracking",
+        |p| PartialEngine::new(p, (0, domain), None),
+    );
+}
+
+/// Run the workload at every shard count and print one throughput row
+/// per count. Result cardinalities must not depend on the shard count.
+fn run_series<E: Engine + Send>(
+    table: &Table,
+    queries: &[SelectQuery],
+    sweep: &[usize],
+    threads: usize,
+    name: &str,
+    mut make: impl FnMut(Table) -> E,
+) {
+    let mut reference_rows: Option<usize> = None;
+    for &shards in sweep {
+        let mut engine = ShardedEngine::build(table.clone(), shards, |_, part| make(part));
+        engine.set_threads(threads);
+        let (ms, total_rows) =
+            time_ms(|| queries.iter().map(|q| engine.select(q).rows).sum::<usize>());
+        match reference_rows {
+            None => reference_rows = Some(total_rows),
+            Some(r) => assert_eq!(r, total_rows, "{name}: rows must not depend on shards"),
+        }
+        let qps = queries.len() as f64 / (ms / 1e3);
+        println!("{name}\t{shards}\t{}\t{qps:.1}", fmt_ms(ms));
+    }
+}

@@ -28,6 +28,9 @@ pub struct Args {
     /// Worker threads for the batch-execution benchmarks (0 = one per
     /// hardware thread).
     pub threads: usize,
+    /// Maximum shard count for the sharding benchmarks (0 = sweep up to
+    /// twice the hardware threads).
+    pub shards: usize,
 }
 
 impl Args {
@@ -39,6 +42,7 @@ impl Args {
             sf: 0.01,
             seed: 42,
             threads: 0,
+            shards: 0,
         };
         for arg in std::env::args().skip(1) {
             if let Some(v) = arg.strip_prefix("--n=") {
@@ -51,6 +55,8 @@ impl Args {
                 a.seed = v.parse().expect("--seed takes an integer");
             } else if let Some(v) = arg.strip_prefix("--threads=") {
                 a.threads = v.parse().expect("--threads takes an integer");
+            } else if let Some(v) = arg.strip_prefix("--shards=") {
+                a.shards = v.parse().expect("--shards takes an integer");
             } else {
                 eprintln!("ignoring unknown argument {arg}");
             }
@@ -65,6 +71,26 @@ impl Args {
         } else {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         }
+    }
+
+    /// Shard counts to sweep: doubling steps up to (and always
+    /// including) the resolved maximum — `--shards=` when given, else
+    /// twice the hardware threads (oversharding shows where the fan-out
+    /// overhead starts to dominate).
+    pub fn shard_sweep(&self) -> Vec<usize> {
+        let max = if self.shards > 0 {
+            self.shards
+        } else {
+            2 * std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        let mut sweep = Vec::new();
+        let mut s = 1;
+        while s < max {
+            sweep.push(s);
+            s *= 2;
+        }
+        sweep.push(max);
+        sweep
     }
 }
 
@@ -118,6 +144,17 @@ mod tests {
         assert!(picks.contains(&100));
         assert!(picks.contains(&1000));
         assert!(picks.len() < 300);
+    }
+
+    #[test]
+    fn shard_sweep_doubles_up_to_max() {
+        let mut a = Args::parse(10, 10);
+        a.shards = 6;
+        assert_eq!(a.shard_sweep(), vec![1, 2, 4, 6]);
+        a.shards = 8;
+        assert_eq!(a.shard_sweep(), vec![1, 2, 4, 8]);
+        a.shards = 1;
+        assert_eq!(a.shard_sweep(), vec![1]);
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! * a **row-store** baseline ([`rowstore`]) standing in for MySQL in the
 //!   TPC-H experiments;
 //! * cache-conscious [`radix`] clustering of unordered intermediates
-//!   (Exp3's reordering strategies).
+//!   (Exp3's reordering strategies);
+//! * row-wise [`shard`] partitioning helpers ([`shard::ShardCuts`],
+//!   [`shard::partition_table`]) — the arithmetic behind the horizontal
+//!   sharding layer (`crackdb-engine`'s `ShardedEngine`).
 //!
 //! Everything here is deliberately simple and allocation-transparent: the
 //! experiments measure *access patterns* (sequential vs random positional
@@ -30,9 +33,11 @@ pub mod ops;
 pub mod presorted;
 pub mod radix;
 pub mod rowstore;
+pub mod shard;
 pub mod types;
 
 pub use column::{Column, Table};
 pub use presorted::PresortedTable;
 pub use rowstore::{PresortedRowTable, RowTable};
+pub use shard::{partition_table, ShardCuts};
 pub use types::{AggFunc, AggResult, Bound, RangePred, RowId, Val};

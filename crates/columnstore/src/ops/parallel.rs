@@ -68,7 +68,13 @@ fn scatter<R: Send>(n: usize, f: impl Fn(usize, usize) -> R + Sync) -> Vec<R> {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("kernel worker panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // Re-raise the worker's own payload so callers (tests,
+                // batch sessions) see the original panic message instead
+                // of a generic harness one.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }
@@ -258,6 +264,28 @@ mod tests {
             let pred = RangePred::all();
             assert_eq!(par_select(&c, &pred).len(), 100);
             assert_eq!(par_agg_values(c.values()).count, 100);
+        });
+    }
+
+    #[test]
+    fn scatter_preserves_panic_payload() {
+        with_threads(4, || {
+            let caught = std::panic::catch_unwind(|| {
+                scatter(MIN_PARALLEL_ROWS * 4, |lo, _hi| {
+                    if lo > 0 {
+                        panic!("worker exploded at {lo}");
+                    }
+                    lo
+                })
+            })
+            .expect_err("a worker panicked");
+            let msg = caught
+                .downcast_ref::<String>()
+                .expect("payload is the worker's formatted message");
+            assert!(
+                msg.starts_with("worker exploded at "),
+                "original payload must survive the join, got {msg:?}"
+            );
         });
     }
 

@@ -29,18 +29,23 @@ pub struct BatchRunner<E> {
 
 impl<E: Engine> BatchRunner<E> {
     /// Wrap `engine`, using `threads` workers for the read-only kernels
-    /// (1 = fully serial; values are clamped to ≥ 1).
-    pub fn new(engine: E, threads: usize) -> Self {
-        BatchRunner {
-            engine,
-            threads: threads.max(1),
-        }
+    /// (1 = fully serial; values are clamped to ≥ 1). The budget is also
+    /// propagated into the engine via [`Engine::set_workers`], so a
+    /// serial runner over a sharded engine really runs serially — note
+    /// the budget applies to each layer, not their product: a sharded
+    /// engine may fan out `threads` shard workers each of which uses up
+    /// to `threads` kernel workers.
+    pub fn new(mut engine: E, threads: usize) -> Self {
+        let threads = threads.max(1);
+        engine.set_workers(threads);
+        BatchRunner { engine, threads }
     }
 
-    /// Wrap `engine` with one worker per available hardware thread.
+    /// Wrap `engine` with the session default worker count: the
+    /// `CRACKDB_THREADS` environment override when set, else one worker
+    /// per available hardware thread (see [`super::auto_threads`]).
     pub fn auto(engine: E) -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        Self::new(engine, threads)
+        Self::new(engine, super::auto_threads())
     }
 
     /// Worker count used for the read-only kernels.
@@ -160,6 +165,49 @@ mod tests {
             1,
             "panic must not leave parallelism on"
         );
+    }
+
+    /// A query that panics mid-batch must surface its *own* payload to
+    /// the caller — nothing in the batch layer or the parallel kernels
+    /// may swallow it and re-raise a generic message.
+    #[test]
+    fn panic_payload_survives_the_batch_layer() {
+        let _lock = GLOBAL_THREADS.lock().unwrap();
+        struct Bomb;
+        impl Engine for Bomb {
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+            fn select(&mut self, _q: &SelectQuery) -> QueryOutput {
+                panic!("query 3 failed: predicate on dropped column");
+            }
+            fn join(&mut self, _q: &crate::query::JoinQuery) -> QueryOutput {
+                unreachable!()
+            }
+            fn insert(&mut self, _row: &[crackdb_columnstore::types::Val]) {}
+            fn delete(&mut self, _key: crackdb_columnstore::types::RowId) {}
+        }
+        let mut runner = BatchRunner::new(Bomb, 4);
+        let batch = vec![SelectQuery::aggregate(vec![], vec![])];
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner.run(&batch)))
+            .expect_err("the query panicked");
+        assert_eq!(
+            caught.downcast_ref::<&'static str>(),
+            Some(&"query 3 failed: predicate on dropped column"),
+            "original payload must survive"
+        );
+        assert_eq!(parallel::threads(), 1, "guard must restore worker count");
+    }
+
+    /// `auto` resolves through [`super::super::auto_threads`]; the
+    /// `CRACKDB_THREADS` parsing itself is unit-tested in `exec` without
+    /// mutating the process environment (unsynchronized `set_var` races
+    /// concurrent `env::var` readers on other test threads).
+    #[test]
+    fn auto_yields_a_positive_worker_count() {
+        let _lock = GLOBAL_THREADS.lock().unwrap();
+        let runner = BatchRunner::auto(PlainEngine::new(table(5)));
+        assert!(runner.threads() >= 1);
     }
 
     #[test]

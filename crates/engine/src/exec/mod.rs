@@ -17,18 +17,40 @@
 //!   kernels).
 //!
 //! The [`batch::BatchRunner`] session layer sits on top, running query
-//! batches with the read-only kernels fanned out over worker threads.
+//! batches with the read-only kernels fanned out over worker threads,
+//! and the [`shard::ShardedEngine`] router shards the table itself so
+//! that cracking, too, runs partition-parallel.
 
 pub mod batch;
 pub mod combine;
 pub mod path;
+pub mod shard;
 
 pub use batch::BatchRunner;
 pub use path::{AccessPath, RestrictCtx, RowSet};
+pub use shard::ShardedEngine;
 
 use crate::query::{AggAcc, JoinSide, QueryOutput, SelectQuery};
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use std::time::Instant;
+
+/// The session-wide default worker count: the `CRACKDB_THREADS`
+/// environment override when set (CI runs the whole suite at 1 and 4 so
+/// the serial and parallel paths are both exercised), else one worker
+/// per available hardware thread. Consumed by [`BatchRunner::auto`] and
+/// the [`ShardedEngine`] fan-out.
+pub fn auto_threads() -> usize {
+    threads_override(std::env::var("CRACKDB_THREADS").ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Parse a `CRACKDB_THREADS`-style override value; unset, garbage and
+/// non-positive values mean "no override". Separated from the env read
+/// so it is testable without process-global `set_var` (unsynchronized
+/// with concurrent `env::var` readers on other test threads).
+fn threads_override(value: Option<&str>) -> Option<usize> {
+    value?.trim().parse().ok().filter(|&n: &usize| n > 0)
+}
 
 /// Order predicates by the path's selectivity estimates: ascending
 /// (most selective first) for conjunctions, descending for disjunctions.
@@ -317,6 +339,18 @@ mod tests {
         let mut vals = out.proj_values[0].clone();
         vals.sort_unstable();
         assert_eq!(vals, vec![30, 50, 70]);
+    }
+
+    #[test]
+    fn threads_override_parses_strictly() {
+        assert_eq!(threads_override(None), None);
+        assert_eq!(threads_override(Some("")), None);
+        assert_eq!(threads_override(Some("abc")), None);
+        assert_eq!(threads_override(Some("0")), None);
+        assert_eq!(threads_override(Some("-2")), None);
+        assert_eq!(threads_override(Some("4")), Some(4));
+        assert_eq!(threads_override(Some(" 8 ")), Some(8));
+        assert!(auto_threads() >= 1);
     }
 
     #[test]

@@ -25,6 +25,24 @@
 //! [`exec::BatchRunner`] session layer executes query batches with the
 //! read-only scan/aggregate kernels data-parallel while cracking stays
 //! sequential.
+//!
+//! On top of both sits the horizontal sharding layer
+//! [`exec::ShardedEngine`]: the base table is partitioned row-wise into
+//! `N` contiguous shards, each owning a complete, independent inner
+//! engine (its own columns, cracker indexes, cracker maps and chunk
+//! sets). Queries fan out to every shard on scoped threads — so the
+//! *cracking itself* runs in parallel, not just the read-only kernels —
+//! and results merge deterministically: aggregates fold through the
+//! shared [`query::AggAcc`]/`PartialAgg` semantics (averages from merged
+//! sums and counts, never from per-shard averages), projections
+//! concatenate in shard order, row counts sum, and per-phase
+//! [`query::Timings`] take the max across shards. Round-robin insert and
+//! cut-based delete routing keep the sharded engine answer-identical to
+//! an unsharded one under the §5 update workloads; the differential
+//! suite (`tests/shard_differential.rs`) enforces exactly that for all
+//! five engines at several shard counts. Because the router only needs
+//! the [`query::Engine`] trait, every scenario composes: 5 engines ×
+//! sharded/unsharded × serial/batch execution.
 
 pub mod exec;
 pub mod partial_engine;
@@ -35,7 +53,7 @@ pub mod selcrack;
 pub mod sideways;
 pub mod tpch;
 
-pub use exec::{AccessPath, BatchRunner, RestrictCtx, RowSet};
+pub use exec::{AccessPath, BatchRunner, RestrictCtx, RowSet, ShardedEngine};
 pub use partial_engine::PartialEngine;
 pub use plain::PlainEngine;
 pub use presorted::PresortedEngine;

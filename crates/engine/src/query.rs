@@ -124,6 +124,15 @@ pub trait Engine {
     fn aux_tuples(&self) -> usize {
         0
     }
+
+    /// Propagate a session worker budget into the engine (`1` = fully
+    /// serial). Plain executors have no internal parallelism and ignore
+    /// it; routers (the sharded engine) cap their fan-out with it. The
+    /// batch layer calls this so that `BatchRunner::new(engine, 1)`
+    /// means serial *everywhere*, not just in the scan kernels.
+    fn set_workers(&mut self, workers: usize) {
+        let _ = workers;
+    }
 }
 
 /// Deterministic aggregate accumulator shared by all engines. The

@@ -1,0 +1,427 @@
+//! Sharded-vs-unsharded differential testing: for every physical
+//! design, `ShardedEngine<E>` at shard counts 1, 2 and 7 must return
+//! results identical (up to projection row order, which is unordered by
+//! contract) to the unsharded engine over seeded-PRNG workloads covering
+//! conjunctions, disjunctions, projections and aggregates.
+
+use crackdb_columnstore::column::Table;
+use crackdb_columnstore::types::{AggFunc, RangePred, Val};
+use crackdb_engine::{
+    BatchRunner, Engine, JoinQuery, JoinSide, PartialEngine, PlainEngine, PresortedEngine,
+    SelCrackEngine, SelectQuery, ShardedEngine, SidewaysEngine,
+};
+use crackdb_rng::{rngs::StdRng, Rng, SeedableRng};
+use crackdb_workloads::{random_table, random_table_shards};
+
+const DOMAIN: (Val, Val) = (0, 1000);
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+fn table(cols: usize, n: usize, seed: u64) -> Table {
+    random_table(cols, n, DOMAIN.1, seed)
+}
+
+/// A random aggregate query: 1–2 conjunctive open-range predicates over
+/// distinct attributes, the full function set (count/max/min/sum/avg)
+/// over a random attribute.
+fn random_select(rng: &mut StdRng, cols: usize) -> SelectQuery {
+    let npreds = rng.gen_range(1usize..3);
+    let mut preds: Vec<(usize, RangePred)> = Vec::new();
+    for _ in 0..npreds {
+        let attr = rng.gen_range(0..cols);
+        if preds.iter().any(|&(a, _)| a == attr) {
+            continue;
+        }
+        let lo = rng.gen_range(0..DOMAIN.1 - 1);
+        let hi = lo + 1 + rng.gen_range(1..=DOMAIN.1 - lo);
+        preds.push((attr, RangePred::open(lo, hi)));
+    }
+    let agg_attr = rng.gen_range(0..cols);
+    SelectQuery::aggregate(
+        preds,
+        vec![
+            (agg_attr, AggFunc::Count),
+            (agg_attr, AggFunc::Max),
+            (agg_attr, AggFunc::Min),
+            (agg_attr, AggFunc::Sum),
+            (agg_attr, AggFunc::Avg),
+        ],
+    )
+}
+
+/// Assert `out` equals `expected` up to projection row order.
+fn assert_same(
+    out: &crackdb_engine::QueryOutput,
+    expected: &crackdb_engine::QueryOutput,
+    ctx: &str,
+) {
+    assert_eq!(out.rows, expected.rows, "{ctx}: row count");
+    assert_eq!(out.aggs, expected.aggs, "{ctx}: aggregates");
+    assert_eq!(
+        out.proj_values.len(),
+        expected.proj_values.len(),
+        "{ctx}: projection arity"
+    );
+    for (j, (got, want)) in out
+        .proj_values
+        .iter()
+        .zip(&expected.proj_values)
+        .enumerate()
+    {
+        let mut got = got.clone();
+        let mut want = want.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want, "{ctx}: projection {j} (sorted)");
+    }
+}
+
+/// Drive `queries` through an unsharded engine and its sharded variants
+/// at every shard count; results must agree query by query.
+fn check_select_differential<E: Engine + Send>(
+    name: &str,
+    queries: &[SelectQuery],
+    mut unsharded: E,
+    mut make_sharded: impl FnMut(usize) -> ShardedEngine<E>,
+) {
+    let expected: Vec<_> = queries.iter().map(|q| unsharded.select(q)).collect();
+    for shards in SHARD_COUNTS {
+        let mut sharded = make_sharded(shards);
+        for (i, (q, e)) in queries.iter().zip(&expected).enumerate() {
+            let out = sharded.select(q);
+            assert_same(&out, e, &format!("{name}, {shards} shards, query {i}"));
+        }
+    }
+}
+
+#[test]
+fn plain_sharded_agrees_on_mixed_workload() {
+    let t = table(4, 503, 11);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut queries: Vec<SelectQuery> = (0..30).map(|_| random_select(&mut rng, 4)).collect();
+    // Mix in projections.
+    for (i, q) in queries.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            q.projs = vec![i % 4, (i + 1) % 4];
+        }
+    }
+    check_select_differential("plain", &queries, PlainEngine::new(t.clone()), |s| {
+        ShardedEngine::build(t.clone(), s, |_, part| PlainEngine::new(part))
+    });
+}
+
+#[test]
+fn presorted_sharded_agrees_on_mixed_workload() {
+    let t = table(4, 490, 13);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut queries: Vec<SelectQuery> = (0..30).map(|_| random_select(&mut rng, 4)).collect();
+    for (i, q) in queries.iter_mut().enumerate() {
+        if i % 4 == 1 {
+            q.projs = vec![i % 4];
+        }
+    }
+    check_select_differential(
+        "presorted",
+        &queries,
+        PresortedEngine::new(t.clone(), &[0, 1, 2, 3]),
+        |s| {
+            ShardedEngine::build(t.clone(), s, |_, part| {
+                PresortedEngine::new(part, &[0, 1, 2, 3])
+            })
+        },
+    );
+}
+
+#[test]
+fn selcrack_sharded_agrees_on_mixed_workload() {
+    let t = table(4, 511, 17);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut queries: Vec<SelectQuery> = (0..30).map(|_| random_select(&mut rng, 4)).collect();
+    for (i, q) in queries.iter_mut().enumerate() {
+        if i % 5 == 2 {
+            q.projs = vec![(i + 2) % 4];
+        }
+    }
+    check_select_differential(
+        "selcrack",
+        &queries,
+        SelCrackEngine::new(t.clone(), DOMAIN),
+        |s| ShardedEngine::build(t.clone(), s, |_, part| SelCrackEngine::new(part, DOMAIN)),
+    );
+}
+
+#[test]
+fn sideways_sharded_agrees_on_mixed_workload() {
+    let t = table(4, 497, 19);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut queries: Vec<SelectQuery> = (0..30).map(|_| random_select(&mut rng, 4)).collect();
+    for (i, q) in queries.iter_mut().enumerate() {
+        if i % 3 == 1 {
+            q.projs = vec![i % 4, (i + 3) % 4];
+        }
+    }
+    check_select_differential(
+        "sideways",
+        &queries,
+        SidewaysEngine::new(t.clone(), DOMAIN),
+        |s| ShardedEngine::build(t.clone(), s, |_, part| SidewaysEngine::new(part, DOMAIN)),
+    );
+}
+
+#[test]
+fn partial_sharded_agrees_on_mixed_workload() {
+    let t = table(4, 509, 23);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut queries: Vec<SelectQuery> = (0..30).map(|_| random_select(&mut rng, 4)).collect();
+    for (i, q) in queries.iter_mut().enumerate() {
+        if i % 4 == 3 {
+            q.projs = vec![(i + 1) % 4];
+        }
+    }
+    check_select_differential(
+        "partial",
+        &queries,
+        PartialEngine::new(t.clone(), DOMAIN, None),
+        |s| {
+            ShardedEngine::build(t.clone(), s, |_, part| {
+                PartialEngine::new(part, DOMAIN, None)
+            })
+        },
+    );
+}
+
+/// Partial sideways cracking under a storage budget must also shard
+/// cleanly (each shard gets its own budgeted chunk store).
+#[test]
+fn partial_with_budget_sharded_agrees() {
+    let t = table(3, 450, 29);
+    let mut rng = StdRng::seed_from_u64(6);
+    let queries: Vec<SelectQuery> = (0..25).map(|_| random_select(&mut rng, 3)).collect();
+    check_select_differential(
+        "partial+budget",
+        &queries,
+        PartialEngine::new(t.clone(), DOMAIN, Some(300)),
+        |s| {
+            ShardedEngine::build(t.clone(), s, |_, part| {
+                PartialEngine::new(part, DOMAIN, Some(300))
+            })
+        },
+    );
+}
+
+/// Disjunctions through every engine that implements them.
+#[test]
+fn disjunctive_sharded_agreement() {
+    let t = table(3, 480, 31);
+    let mut rng = StdRng::seed_from_u64(7);
+    let queries: Vec<SelectQuery> = (0..20)
+        .map(|_| {
+            let lo1 = rng.gen_range(0..850);
+            let lo2 = rng.gen_range(0..850);
+            SelectQuery {
+                preds: vec![
+                    (0, RangePred::open(lo1, lo1 + 150)),
+                    (1, RangePred::open(lo2, lo2 + 150)),
+                ],
+                disjunctive: true,
+                aggs: vec![
+                    (2, AggFunc::Count),
+                    (2, AggFunc::Sum),
+                    (2, AggFunc::Min),
+                    (2, AggFunc::Avg),
+                ],
+                projs: vec![2],
+            }
+        })
+        .collect();
+    check_select_differential("plain/disj", &queries, PlainEngine::new(t.clone()), |s| {
+        ShardedEngine::build(t.clone(), s, |_, part| PlainEngine::new(part))
+    });
+    check_select_differential(
+        "selcrack/disj",
+        &queries,
+        SelCrackEngine::new(t.clone(), DOMAIN),
+        |s| ShardedEngine::build(t.clone(), s, |_, part| SelCrackEngine::new(part, DOMAIN)),
+    );
+    check_select_differential(
+        "sideways/disj",
+        &queries,
+        SidewaysEngine::new(t.clone(), DOMAIN),
+        |s| ShardedEngine::build(t.clone(), s, |_, part| SidewaysEngine::new(part, DOMAIN)),
+    );
+}
+
+/// Join queries: the primary table is sharded, the second replicated, so
+/// per-shard joins must union to exactly the unsharded join.
+#[test]
+fn joins_sharded_agree() {
+    let left = table(4, 240, 37);
+    let right = table(4, 160, 41);
+    let mut rng = StdRng::seed_from_u64(8);
+    let queries: Vec<JoinQuery> = (0..10)
+        .map(|_| {
+            let llo = rng.gen_range(0..700);
+            let rlo = rng.gen_range(0..700);
+            JoinQuery {
+                left: JoinSide {
+                    preds: vec![(1, RangePred::open(llo, llo + 300))],
+                    join_attr: 3,
+                    aggs: vec![(0, AggFunc::Max), (0, AggFunc::Count), (0, AggFunc::Avg)],
+                },
+                right: JoinSide {
+                    preds: vec![(1, RangePred::open(rlo, rlo + 300))],
+                    join_attr: 3,
+                    aggs: vec![(0, AggFunc::Sum), (0, AggFunc::Min)],
+                },
+            }
+        })
+        .collect();
+
+    let mut plain = PlainEngine::with_second(left.clone(), right.clone());
+    let mut selcrack = SelCrackEngine::with_second(left.clone(), right.clone(), DOMAIN);
+    let mut sideways = SidewaysEngine::with_second(left.clone(), right.clone(), DOMAIN);
+    let expected: Vec<_> = queries.iter().map(|q| plain.join(q)).collect();
+    // Unsharded engines agree with each other first.
+    for (i, (q, e)) in queries.iter().zip(&expected).enumerate() {
+        let sc = selcrack.join(q);
+        let sw = sideways.join(q);
+        assert_eq!(sc.rows, e.rows, "selcrack join {i} rows");
+        assert_eq!(sc.aggs, e.aggs, "selcrack join {i} aggs");
+        assert_eq!(sw.rows, e.rows, "sideways join {i} rows");
+        assert_eq!(sw.aggs, e.aggs, "sideways join {i} aggs");
+    }
+    for shards in SHARD_COUNTS {
+        let mut sp = ShardedEngine::build_with_second(
+            left.clone(),
+            right.clone(),
+            shards,
+            |_, part, second| PlainEngine::with_second(part, second),
+        );
+        let mut ssc = ShardedEngine::build_with_second(
+            left.clone(),
+            right.clone(),
+            shards,
+            |_, part, second| SelCrackEngine::with_second(part, second, DOMAIN),
+        );
+        let mut ssw = ShardedEngine::build_with_second(
+            left.clone(),
+            right.clone(),
+            shards,
+            |_, part, second| SidewaysEngine::with_second(part, second, DOMAIN),
+        );
+        for (i, (q, e)) in queries.iter().zip(&expected).enumerate() {
+            for (name, out) in [
+                ("plain", sp.join(q)),
+                ("selcrack", ssc.join(q)),
+                ("sideways", ssw.join(q)),
+            ] {
+                assert_eq!(out.rows, e.rows, "{name} sharded x{shards} join {i} rows");
+                assert_eq!(out.aggs, e.aggs, "{name} sharded x{shards} join {i} aggs");
+            }
+        }
+    }
+}
+
+/// The shard-aware workload builder composes with the pre-partitioned
+/// constructor: `random_table_shards` + `ShardedEngine::from_shards`
+/// must be answer- and key-stream-identical to partitioning the
+/// unsharded table through `ShardedEngine::build` — including update
+/// routing through the derived cuts.
+#[test]
+fn prepartitioned_workload_tables_match_build() {
+    let mut rng = StdRng::seed_from_u64(12);
+    let whole = random_table(3, 317, DOMAIN.1, 59);
+    for shards in SHARD_COUNTS {
+        let parts = random_table_shards(3, 317, DOMAIN.1, 59, shards);
+        let mut from_parts =
+            ShardedEngine::from_shards(parts, |_, p| SidewaysEngine::new(p, DOMAIN));
+        let mut built =
+            ShardedEngine::build(whole.clone(), shards, |_, p| SidewaysEngine::new(p, DOMAIN));
+        assert_eq!(from_parts.cuts(), built.cuts(), "derived cuts must agree");
+        for step in 0..20 {
+            if step % 4 == 3 {
+                let row = [rng.gen_range(1..=DOMAIN.1), 77, 88];
+                from_parts.insert(&row);
+                built.insert(&row);
+                let victim = rng.gen_range(0..300) as u32;
+                from_parts.delete(victim);
+                built.delete(victim);
+            }
+            let q = random_select(&mut rng, 3);
+            let a = from_parts.select(&q);
+            let b = built.select(&q);
+            assert_eq!(a.rows, b.rows, "x{shards} step {step} rows");
+            assert_eq!(a.aggs, b.aggs, "x{shards} step {step} aggs");
+        }
+    }
+}
+
+/// More shards than rows: the router must tolerate empty shards for
+/// every engine.
+#[test]
+fn more_shards_than_rows() {
+    let t = table(3, 5, 43);
+    let q = SelectQuery::aggregate(
+        vec![(0, RangePred::all())],
+        vec![
+            (1, AggFunc::Count),
+            (1, AggFunc::Sum),
+            (1, AggFunc::Min),
+            (1, AggFunc::Max),
+        ],
+    );
+    let expected = PlainEngine::new(t.clone()).select(&q);
+    let mut outs = vec![
+        ShardedEngine::build(t.clone(), 7, |_, p| PlainEngine::new(p)).select(&q),
+        ShardedEngine::build(t.clone(), 7, |_, p| SelCrackEngine::new(p, DOMAIN)).select(&q),
+        ShardedEngine::build(t.clone(), 7, |_, p| SidewaysEngine::new(p, DOMAIN)).select(&q),
+        ShardedEngine::build(t.clone(), 7, |_, p| PartialEngine::new(p, DOMAIN, None)).select(&q),
+    ];
+    for out in outs.drain(..) {
+        assert_eq!(out.rows, expected.rows);
+        assert_eq!(out.aggs, expected.aggs);
+    }
+}
+
+/// The sharded router composes with the batch-execution session layer:
+/// `BatchRunner<ShardedEngine<E>>` must match serial unsharded answers.
+#[test]
+fn batch_runner_over_sharded_engines_matches_serial() {
+    let t = table(3, 20_000, 47);
+    let mut rng = StdRng::seed_from_u64(9);
+    let queries: Vec<SelectQuery> = (0..8).map(|_| random_select(&mut rng, 3)).collect();
+
+    let mut serial = PlainEngine::new(t.clone());
+    let expected: Vec<_> = queries.iter().map(|q| serial.select(q)).collect();
+
+    for shards in [2, 4] {
+        let sharded =
+            ShardedEngine::build(t.clone(), shards, |_, p| SidewaysEngine::new(p, DOMAIN));
+        let mut runner = BatchRunner::new(sharded, 2);
+        let outs = runner.run(&queries);
+        for (i, (o, e)) in outs.iter().zip(&expected).enumerate() {
+            assert_eq!(o.rows, e.rows, "batch+shard x{shards} query {i} rows");
+            assert_eq!(o.aggs, e.aggs, "batch+shard x{shards} query {i} aggs");
+        }
+    }
+}
+
+/// Shard counts must not depend on fan-out threading: forcing the
+/// sequential fan-out path must give the same answers as the threaded
+/// one (CI runs the whole suite at CRACKDB_THREADS=1 and =4, which
+/// exercises both defaults).
+#[test]
+fn fan_out_threading_does_not_change_answers() {
+    let t = table(3, 400, 53);
+    let mut rng = StdRng::seed_from_u64(10);
+    let queries: Vec<SelectQuery> = (0..15).map(|_| random_select(&mut rng, 3)).collect();
+    let mut threaded = ShardedEngine::build(t.clone(), 4, |_, p| SelCrackEngine::new(p, DOMAIN));
+    threaded.set_threads(4);
+    let mut sequential = ShardedEngine::build(t.clone(), 4, |_, p| SelCrackEngine::new(p, DOMAIN));
+    sequential.set_threads(1);
+    for (i, q) in queries.iter().enumerate() {
+        let a = threaded.select(q);
+        let b = sequential.select(q);
+        assert_eq!(a.rows, b.rows, "query {i} rows");
+        assert_eq!(a.aggs, b.aggs, "query {i} aggs");
+    }
+}

@@ -8,5 +8,5 @@
 pub mod synthetic;
 pub mod tpch;
 
-pub use synthetic::{random_table, Pattern, QiGen, QiQuery, RangeGen};
+pub use synthetic::{random_table, random_table_shards, Pattern, QiGen, QiQuery, RangeGen};
 pub use tpch::{TpchData, TpchParams};

@@ -18,6 +18,25 @@ pub fn random_table(attrs: usize, n: usize, domain: Val, seed: u64) -> Table {
     t
 }
 
+/// The rows of [`random_table`] split into `shards` near-equal
+/// contiguous row-wise partitions: shard `s` holds global rows
+/// `[cuts[s], cuts[s+1])` in their original order, so concatenating the
+/// parts in shard order reproduces the unsharded table exactly. This is
+/// the table builder for `ShardedEngine` setups — a sharded and an
+/// unsharded engine built from the same `(n, domain, seed)` triple see
+/// the same logical relation.
+pub fn random_table_shards(
+    attrs: usize,
+    n: usize,
+    domain: Val,
+    seed: u64,
+    shards: usize,
+) -> Vec<Table> {
+    let table = random_table(attrs, n, domain, seed);
+    let cuts = crackdb_columnstore::shard::ShardCuts::even(n, shards);
+    crackdb_columnstore::shard::partition_table(&table, &cuts)
+}
+
 /// The query-location patterns of the paper's experiments (§3.6 Exp5,
 /// §4.2): where in the domain successive range queries land.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -233,6 +252,22 @@ mod tests {
         let a = random_table(2, 50, 100, 9);
         let b = random_table(2, 50, 100, 9);
         assert_eq!(a.column(0).values(), b.column(0).values());
+    }
+
+    #[test]
+    fn sharded_table_concatenates_to_the_unsharded_one() {
+        let whole = random_table(3, 101, 500, 12);
+        for shards in [1usize, 2, 7] {
+            let parts = random_table_shards(3, 101, 500, 12, shards);
+            assert_eq!(parts.len(), shards);
+            for c in 0..3 {
+                let concat: Vec<Val> = parts
+                    .iter()
+                    .flat_map(|p| p.column(c).values().iter().copied())
+                    .collect();
+                assert_eq!(concat, whole.column(c).values(), "{shards} shards, col {c}");
+            }
+        }
     }
 
     #[test]

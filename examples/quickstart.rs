@@ -3,7 +3,7 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use crackdb::columnstore::{AggFunc, Column, RangePred, Table};
-use crackdb::engine::{Engine, SelectQuery, SidewaysEngine};
+use crackdb::engine::{Engine, SelectQuery, ShardedEngine, SidewaysEngine};
 
 fn main() {
     // The example relation R(A, B) of the paper's Figure 1.
@@ -13,7 +13,7 @@ fn main() {
     table.add_column("A", Column::new(a));
     table.add_column("B", Column::new(b));
 
-    let mut engine = SidewaysEngine::new(table, (0, 30));
+    let mut engine = SidewaysEngine::new(table.clone(), (0, 30));
 
     // Query 1: select B from R where 10 < A < 15.
     // The first query creates the cracker map M_AB and cracks it into
@@ -56,4 +56,17 @@ fn main() {
     );
     println!("\nEach query physically reorganized the cracker map a little more;");
     println!("future queries over A reuse that knowledge (self-organization).");
+
+    // The same engine scales out behind the sharding router: the table
+    // is split row-wise, every shard cracks its own fraction in
+    // parallel, and answers merge deterministically (sums of counts,
+    // min/max of min/max, averages from merged sums and counts).
+    let mut sharded = ShardedEngine::build(table, 3, |_, part| SidewaysEngine::new(part, (0, 30)));
+    let out = sharded.select(&q3);
+    println!(
+        "\nSharded x3 ({}): max = {:?}, count = {:?}  (identical answers)",
+        sharded.name(),
+        out.aggs[0],
+        out.aggs[1]
+    );
 }
