@@ -31,6 +31,10 @@ pub struct Args {
     /// Maximum shard count for the sharding benchmarks (0 = sweep up to
     /// twice the hardware threads).
     pub shards: usize,
+    /// Engine-set selector for benchmarks that support it (exp6:
+    /// "default" = the paper's update-capable trio, "all" = all five
+    /// engines including presorted and budgeted partial maps).
+    pub engines: String,
 }
 
 impl Args {
@@ -43,6 +47,7 @@ impl Args {
             seed: 42,
             threads: 0,
             shards: 0,
+            engines: "default".to_string(),
         };
         for arg in std::env::args().skip(1) {
             if let Some(v) = arg.strip_prefix("--n=") {
@@ -57,6 +62,12 @@ impl Args {
                 a.threads = v.parse().expect("--threads takes an integer");
             } else if let Some(v) = arg.strip_prefix("--shards=") {
                 a.shards = v.parse().expect("--shards takes an integer");
+            } else if let Some(v) = arg.strip_prefix("--engines=") {
+                assert!(
+                    matches!(v, "default" | "all"),
+                    "--engines takes 'default' or 'all', got {v:?}"
+                );
+                a.engines = v.to_string();
             } else {
                 eprintln!("ignoring unknown argument {arg}");
             }

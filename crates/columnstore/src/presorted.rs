@@ -111,6 +111,34 @@ impl PresortedTable {
     pub fn column(&self, col: usize) -> &[Val] {
         &self.columns[col]
     }
+
+    /// Insert a tuple (values in column order, original key `key`),
+    /// keeping the copy sorted: a binary search finds the slot, then
+    /// every column shifts — O(n) per copy, the §3.6 Exp6 maintenance
+    /// cost the paper dismisses presorting for. Kept correct here so the
+    /// presorted baseline can run the same update streams as the
+    /// adaptive engines.
+    pub fn insert_row(&mut self, row: &[Val], key: RowId) {
+        let v = row[self.sort_col];
+        let pos = self.columns[self.sort_col].partition_point(|&x| x <= v);
+        for (c, col) in self.columns.iter_mut().enumerate() {
+            col.insert(pos, row[c]);
+        }
+        self.orig_keys.insert(pos, key);
+    }
+
+    /// Remove the tuple with original key `key` (O(n) scan + shift per
+    /// copy). Returns `false` when the key is not present.
+    pub fn delete_key(&mut self, key: RowId) -> bool {
+        let Some(pos) = self.orig_keys.iter().position(|&k| k == key) else {
+            return false;
+        };
+        for col in &mut self.columns {
+            col.remove(pos);
+        }
+        self.orig_keys.remove(pos);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +197,21 @@ mod tests {
         let p = PresortedTable::build(&table(), 0);
         let r = p.select_range(&RangePred::open(15, 16));
         assert_eq!(r.0, r.1);
+    }
+
+    #[test]
+    fn insert_and_delete_keep_the_copy_sorted() {
+        let t = table();
+        let mut p = PresortedTable::build(&t, 0);
+        p.insert_row(&[8, 28], 7);
+        assert_eq!(p.column(0), &[3, 5, 7, 8, 9, 12, 15, 22]);
+        assert_eq!(p.column(1), &[10, 20, 25, 28, 30, 70, 50, 60]);
+        assert!(p.delete_key(0)); // original key 0: a=12, b=70
+        assert_eq!(p.column(0), &[3, 5, 7, 8, 9, 15, 22]);
+        assert!(!p.delete_key(0), "already removed");
+        // Keys still map back for the surviving tuples.
+        let r = p.select_range(&RangePred::closed(8, 9));
+        assert_eq!(p.keys(r), &[7, 3]);
     }
 
     #[test]

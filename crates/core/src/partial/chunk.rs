@@ -8,6 +8,8 @@
 //! deterministically by re-seeding from the chunk map and replaying the
 //! area tape up to the chunk's cursor.
 
+use super::AreaEntry;
+use crackdb_columnstore::column::Column;
 use crackdb_columnstore::types::{RangePred, Val};
 use crackdb_cracking::index::pred_keys;
 use crackdb_cracking::{BoundaryKey, CrackedArray, CrackerIndex};
@@ -123,19 +125,39 @@ impl Chunk {
         r
     }
 
-    /// Apply one area-tape entry (a crack predicate).
-    pub fn apply(&mut self, pred: &RangePred) {
-        self.with_array(|a| {
-            a.crack_range(pred);
-        });
+    /// Apply one area-tape entry. Cracks reorganize; the §3.5 update
+    /// entries ripple one tuple in or out, reading the inserted tuple's
+    /// head/tail values from the base columns (`head_col`, `tail_col`).
+    pub fn apply(&mut self, entry: &AreaEntry, head_col: &Column, tail_col: &Column) {
+        match *entry {
+            AreaEntry::Crack(pred) => {
+                self.with_array(|a| {
+                    a.crack_range(&pred);
+                });
+            }
+            AreaEntry::Insert(key) => {
+                self.with_array(|a| a.ripple_insert(head_col.get(key), tail_col.get(key)));
+            }
+            AreaEntry::Delete { pos, .. } => {
+                self.with_array(|a| {
+                    a.ripple_delete_at(pos);
+                });
+            }
+        }
     }
 
     /// Replay tape entries `[cursor, target)` — *partial alignment*.
-    pub fn align_to(&mut self, tape: &[RangePred], target: usize) -> usize {
+    pub fn align_to(
+        &mut self,
+        tape: &[AreaEntry],
+        target: usize,
+        head_col: &Column,
+        tail_col: &Column,
+    ) -> usize {
         let mut replayed = 0;
         while self.cursor < target.min(tape.len()) {
-            let pred = tape[self.cursor];
-            self.apply(&pred);
+            let entry = tape[self.cursor];
+            self.apply(&entry, head_col, tail_col);
             self.cursor += 1;
             replayed += 1;
         }
@@ -147,13 +169,15 @@ impl Chunk {
     /// Returns `(entries_replayed, still_missing)`.
     pub fn align_until_boundaries(
         &mut self,
-        tape: &[RangePred],
+        tape: &[AreaEntry],
         needed: &[BoundaryKey],
+        head_col: &Column,
+        tail_col: &Column,
     ) -> (usize, bool) {
         let mut replayed = 0;
         while !self.has_boundaries(needed) && self.cursor < tape.len() {
-            let pred = tape[self.cursor];
-            self.apply(&pred);
+            let entry = tape[self.cursor];
+            self.apply(&entry, head_col, tail_col);
             self.cursor += 1;
             replayed += 1;
         }
@@ -205,6 +229,16 @@ mod tests {
         )
     }
 
+    /// Placeholder base column for crack-only tapes (update entries read
+    /// values from the base; cracks never do).
+    fn no_col() -> Column {
+        Column::new(Vec::new())
+    }
+
+    fn cracks(preds: &[RangePred]) -> Vec<AreaEntry> {
+        preds.iter().map(|&p| AreaEntry::Crack(p)).collect()
+    }
+
     #[test]
     fn crack_and_view() {
         let mut c = chunk();
@@ -216,14 +250,15 @@ mod tests {
 
     #[test]
     fn align_replays_tape() {
-        let tape = vec![RangePred::open(4, 13), RangePred::open(8, 20)];
+        let tape = cracks(&[RangePred::open(4, 13), RangePred::open(8, 20)]);
+        let nc = no_col();
         let mut a = chunk();
         let mut b = chunk();
         // a applies entries as queries; b aligns later.
-        a.apply(&tape[0]);
-        a.apply(&tape[1]);
+        a.apply(&tape[0], &nc, &nc);
+        a.apply(&tape[1], &nc, &nc);
         a.cursor = 2;
-        let replayed = b.align_to(&tape, 2);
+        let replayed = b.align_to(&tape, 2, &nc, &nc);
         assert_eq!(replayed, 2);
         assert_eq!(a.head().unwrap(), b.head().unwrap());
         assert_eq!(a.tail(), b.tail());
@@ -231,16 +266,17 @@ mod tests {
 
     #[test]
     fn monitored_alignment_stops_early() {
-        let tape = vec![
+        let tape = cracks(&[
             RangePred::open(4, 13),
             RangePred::open(8, 20),
             RangePred::open(1, 6),
-        ];
+        ]);
+        let nc = no_col();
         let mut c = chunk();
         // Boundary for "A > 8" appears in entry 1; alignment must stop
         // after applying it, leaving entry 2 unapplied.
         let needed = [(8, BoundKind::Le)];
-        let (replayed, missing) = c.align_until_boundaries(&tape, &needed);
+        let (replayed, missing) = c.align_until_boundaries(&tape, &needed, &nc, &nc);
         assert_eq!(replayed, 2);
         assert!(!missing);
         assert_eq!(c.cursor, 2);
@@ -248,12 +284,38 @@ mod tests {
 
     #[test]
     fn monitored_alignment_exhausts_tape() {
-        let tape = vec![RangePred::open(4, 13)];
+        let tape = cracks(&[RangePred::open(4, 13)]);
+        let nc = no_col();
         let mut c = chunk();
         let needed = [(100, BoundKind::Lt)];
-        let (_, missing) = c.align_until_boundaries(&tape, &needed);
+        let (_, missing) = c.align_until_boundaries(&tape, &needed, &nc, &nc);
         assert!(missing);
         assert_eq!(c.cursor, 1);
+    }
+
+    #[test]
+    fn update_entries_replay_like_siblings() {
+        // Two chunks of the same area replaying a tape with merged
+        // updates end up physically identical.
+        let head_col = Column::new(vec![0, 0, 0, 0, 0, 0, 0, 6]);
+        let tail_col = Column::new(vec![0, 0, 0, 0, 0, 0, 0, 60]);
+        let tape = vec![
+            AreaEntry::Crack(RangePred::open(4, 13)),
+            AreaEntry::Insert(7),
+            AreaEntry::Delete {
+                val: 9,
+                key: 3,
+                pos: 3,
+            },
+        ];
+        let mut a = chunk();
+        let mut b = chunk();
+        a.align_to(&tape, 3, &head_col, &tail_col);
+        b.align_to(&tape, 3, &head_col, &tail_col);
+        assert_eq!(a.head().unwrap(), b.head().unwrap());
+        assert_eq!(a.tail(), b.tail());
+        assert_eq!(a.len(), 7); // 7 original + 1 insert - 1 delete
+        assert!(a.tail().contains(&60));
     }
 
     #[test]

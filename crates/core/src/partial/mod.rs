@@ -18,6 +18,20 @@
 //! *partial* — a chunk not being cracked only needs to reach the maximum
 //! cursor of the chunks used together with it, and even a to-be-cracked
 //! chunk stops early when a tape entry already provides its boundary.
+//!
+//! **Updates (§3.5, chunk-wise):** insertions and deletions are staged
+//! globally on the set and merged on access — when a query next touches
+//! the area a pending tuple belongs to, the update becomes an area-tape
+//! entry ([`AreaEntry::Insert`] / [`AreaEntry::Delete`]) that every chunk
+//! of the area replays during alignment, exactly like a crack. Deletion
+//! positions are resolved once per area by a *resolver* (the area's
+//! `(head, key)` pairs aligned through the same tape — the chunk-wise
+//! analogue of the key map `M_A,key`), so sibling chunks stay physically
+//! identical. Partial alignment may skip trailing cracks (they only
+//! reorganize) but never a merged update (it changes content). When an
+//! area's last chunk is dropped the area reverts to unfetched, its tape
+//! is discarded and its merged updates return to the staged lists — a
+//! chunk recreated from the base later picks them up for free.
 
 pub mod chunk;
 
@@ -34,19 +48,64 @@ use std::collections::{HashMap, HashSet};
 /// the leftmost area). Stable while the area is fetched.
 pub type AreaId = Option<BoundaryKey>;
 
+/// One entry of an area tape: the reorganization-and-update log every
+/// chunk of the area replays during alignment (§3.5 applied per chunk).
+#[derive(Debug, Clone, Copy)]
+pub enum AreaEntry {
+    /// A chunk-level crack.
+    Crack(RangePred),
+    /// Tuple `key` (appended to the base table) ripple-inserted into the
+    /// area; replaying chunks read its values from the base columns.
+    Insert(RowId),
+    /// Tuple `key` with head value `val` ripple-deleted at physical
+    /// position `pos` (resolved by the area resolver at merge time, so
+    /// every sibling chunk deletes the same slot).
+    Delete {
+        /// Head-attribute value of the deleted tuple.
+        val: Val,
+        /// Base-table key of the deleted tuple.
+        key: RowId,
+        /// Physical position within the area at this tape point.
+        pos: usize,
+    },
+}
+
+/// Position just past the last update entry of a tape: chunks may stop
+/// partial alignment short of trailing cracks, never short of a merged
+/// update.
+fn update_floor(tape: &[AreaEntry]) -> usize {
+    tape.iter()
+        .rposition(|e| !matches!(e, AreaEntry::Crack(_)))
+        .map_or(0, |i| i + 1)
+}
+
+/// The §3.5 position resolver of one area: the area's `(head, key)`
+/// pairs, kept aligned to the tape end. It resolves a staged deletion
+/// (head value + key) to the physical position all sibling chunks must
+/// replay. Infrastructure like the chunk map — not counted against the
+/// storage budget.
+#[derive(Debug, Clone)]
+struct Resolver {
+    arr: CrackedArray<RowId>,
+    cursor: usize,
+}
+
 /// Per-area metadata.
 #[derive(Debug, Clone, Default)]
 struct AreaInfo {
     fetched: bool,
-    /// Chunk-level cracks logged for this area, replayed by sibling
-    /// chunks during (partial) alignment.
-    tape: Vec<RangePred>,
+    /// Chunk-level cracks and merged updates logged for this area,
+    /// replayed by sibling chunks during (partial) alignment.
+    tape: Vec<AreaEntry>,
     /// Tail attributes whose partial map currently holds a chunk of this
     /// area.
     refs: HashSet<usize>,
     /// Lazily deleted cracker-index shells of dropped chunks, reusable at
     /// recreation (§4.1 "lazy deletion").
     shells: HashMap<usize, CrackerIndex>,
+    /// Delete-position resolver, created at the area's first update
+    /// merge.
+    resolver: Option<Resolver>,
 }
 
 /// A partial map: the workload-selected subset of `M_AB`, one chunk per
@@ -76,6 +135,8 @@ pub struct PartialStats {
     pub heads_dropped: u64,
     /// Head columns recovered (rebuilt) for further cracking.
     pub heads_recovered: u64,
+    /// Staged updates merged into area tapes (§3.5).
+    pub updates_merged: u64,
 }
 
 /// A reference to one area of the chunk map at query time.
@@ -95,9 +156,12 @@ pub struct PartialSet {
     chunk_map: Option<CrackedArray<RowId>>,
     areas: HashMap<AreaId, AreaInfo>,
     maps: HashMap<usize, PartialMap>,
+    /// Inserted base keys not yet merged into any area.
+    staged_inserts: Vec<RowId>,
+    /// Deleted `(head value, key)` pairs not yet merged into any area.
+    staged_deletes: Vec<(Val, RowId)>,
     /// Storage budget in tuples across all chunks (`None` = unlimited).
     pub budget: Option<usize>,
-    usage: usize,
     clock: u64,
     /// When set, chunks whose largest piece is at most this many tuples
     /// drop their head column after use (§4.1 head dropping).
@@ -114,18 +178,44 @@ impl PartialSet {
             chunk_map: None,
             areas: HashMap::new(),
             maps: HashMap::new(),
+            staged_inserts: Vec::new(),
+            staged_deletes: Vec::new(),
             budget: None,
-            usage: 0,
             clock: 0,
             head_drop_threshold: None,
             stats: PartialStats::default(),
         }
     }
 
-    /// Current chunk storage in tuples (the chunk map, like a cracker
-    /// column, is infrastructure and not counted against the budget).
+    /// Current chunk storage in tuples (the chunk map and the per-area
+    /// resolvers are infrastructure, like a cracker column, and not
+    /// counted against the budget). Computed from live chunk lengths so
+    /// merged inserts and deletes are reflected exactly.
     pub fn usage(&self) -> usize {
-        self.usage
+        self.maps
+            .values()
+            .flat_map(|m| m.chunks.values())
+            .map(Chunk::len)
+            .sum()
+    }
+
+    // ----- updates (§3.5) ---------------------------------------------
+
+    /// Stage an insertion: the tuple with key `key` was appended to the
+    /// base table. Merged into an area when a query next touches it.
+    pub fn stage_insert(&mut self, key: RowId) {
+        self.staged_inserts.push(key);
+    }
+
+    /// Stage a deletion of tuple `key` whose head-attribute value is
+    /// `head_val`.
+    pub fn stage_delete(&mut self, head_val: Val, key: RowId) {
+        self.staged_deletes.push((head_val, key));
+    }
+
+    /// Number of staged (unmerged) updates.
+    pub fn staged(&self) -> usize {
+        self.staged_inserts.len() + self.staged_deletes.len()
     }
 
     /// Number of materialized chunks across all maps.
@@ -140,10 +230,23 @@ impl PartialSet {
 
     fn ensure_chunk_map(&mut self, base: &Table) {
         if self.chunk_map.is_none() {
+            // The seed is the *current* live snapshot: inserted rows are
+            // already part of the base; rows with a staged deletion are
+            // excluded. Everything staged so far is therefore subsumed by
+            // the seed and cleared.
             let col = base.column(self.head_attr);
-            let head = col.values().to_vec();
-            let keys: Vec<RowId> = (0..col.len() as RowId).collect();
+            let dead: HashSet<RowId> = self.staged_deletes.iter().map(|&(_, k)| k).collect();
+            let mut head = Vec::with_capacity(col.len());
+            let mut keys = Vec::with_capacity(col.len());
+            for key in 0..col.len() as RowId {
+                if !dead.contains(&key) {
+                    head.push(col.get(key));
+                    keys.push(key);
+                }
+            }
             self.chunk_map = Some(CrackedArray::new(head, keys));
+            self.staged_inserts.clear();
+            self.staged_deletes.clear();
         }
     }
 
@@ -180,7 +283,14 @@ impl PartialSet {
     }
 
     /// Enumerate areas overlapping the predicate's qualifying region.
-    fn overlapping_areas(&self, pred: &RangePred) -> Vec<AreaRef> {
+    ///
+    /// Zero-row areas (two chunk-map boundaries at the same position)
+    /// are skipped *unless* they carry state a query must still visit:
+    /// an area with merged updates (fetched), or one a staged update's
+    /// head value falls into — an inserted tuple may be the only content
+    /// of an otherwise empty area, and skipping it would lose the merge.
+    fn overlapping_areas(&self, base: &Table, pred: &RangePred) -> Vec<AreaRef> {
+        let head_col = base.column(self.head_attr);
         let cm = self.chunk_map.as_ref().expect("chunk map ensured");
         let bs = cm.index().boundaries();
         let n = cm.len();
@@ -204,18 +314,115 @@ impl PartialSet {
                 (Some(s), Some(h)) => s >= h,
                 _ => false,
             };
-            if !below && !above && end_pos > start_pos {
-                out.push(AreaRef {
+            if !below && !above {
+                let area = AreaRef {
                     id: start_key,
                     start: start_pos,
                     end: end_pos,
                     end_key,
-                });
+                };
+                let keep = end_pos > start_pos
+                    || self.areas.get(&area.id).is_some_and(|a| a.fetched)
+                    || self
+                        .staged_inserts
+                        .iter()
+                        .any(|&k| Self::area_contains(&area, head_col.get(k)))
+                    || self
+                        .staged_deletes
+                        .iter()
+                        .any(|&(v, _)| Self::area_contains(&area, v));
+                if keep {
+                    out.push(area);
+                }
             }
             start_key = end_key;
             start_pos = end_pos;
         }
         out
+    }
+
+    /// Does head value `v` fall inside `area`'s value range?
+    fn area_contains(area: &AreaRef, v: Val) -> bool {
+        let right_of_start = area.id.is_none_or(|(bv, kind)| !kind.belongs_left(v, bv));
+        let left_of_end = area
+            .end_key
+            .is_none_or(|(bv, kind)| kind.belongs_left(v, bv));
+        right_of_start && left_of_end
+    }
+
+    /// Merge staged updates whose head value falls inside `area` (§3.5
+    /// merge-on-access at chunk granularity): inserts first, then
+    /// deletes, each logged as an area-tape entry so every chunk of the
+    /// area — including future recreations — replays the change during
+    /// alignment. Deletion positions are resolved by the area resolver,
+    /// seeded from the frozen chunk-map segment (the same seed every
+    /// chunk starts from) and kept aligned to the tape end.
+    fn flush_staged_for_area(&mut self, base: &Table, area: &AreaRef) {
+        let head_col = base.column(self.head_attr);
+        let mut ins = Vec::new();
+        let mut i = 0;
+        while i < self.staged_inserts.len() {
+            let key = self.staged_inserts[i];
+            if Self::area_contains(area, head_col.get(key)) {
+                ins.push(self.staged_inserts.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        let mut dels = Vec::new();
+        let mut i = 0;
+        while i < self.staged_deletes.len() {
+            if Self::area_contains(area, self.staged_deletes[i].0) {
+                dels.push(self.staged_deletes.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if ins.is_empty() && dels.is_empty() {
+            return;
+        }
+        let cm = self.chunk_map.as_ref().expect("chunk map ensured");
+        let (heads, keys) = cm.view((area.start, area.end));
+        let info = self.areas.entry(area.id).or_default();
+        // Merging freezes the area exactly like a fetch: the tape now
+        // carries entries every future chunk must replay from this seed.
+        info.fetched = true;
+        let resolver = info.resolver.get_or_insert_with(|| Resolver {
+            arr: CrackedArray::new(heads.to_vec(), keys.to_vec()),
+            cursor: 0,
+        });
+        // Catch the resolver up with cracks logged since the last merge.
+        while resolver.cursor < info.tape.len() {
+            match info.tape[resolver.cursor] {
+                AreaEntry::Crack(pred) => {
+                    resolver.arr.crack_range(&pred);
+                }
+                AreaEntry::Insert(key) => {
+                    resolver.arr.ripple_insert(head_col.get(key), key);
+                }
+                AreaEntry::Delete { pos, .. } => {
+                    resolver.arr.ripple_delete_at(pos);
+                }
+            }
+            resolver.cursor += 1;
+        }
+        for key in ins {
+            resolver.arr.ripple_insert(head_col.get(key), key);
+            resolver.cursor += 1;
+            info.tape.push(AreaEntry::Insert(key));
+            self.stats.updates_merged += 1;
+        }
+        for (val, key) in dels {
+            // A key the resolver no longer holds (e.g. a repeated delete
+            // of the same key) is skipped silently — every engine treats
+            // deletes idempotently, so the partial path must too.
+            let Some(pos) = resolver.arr.ripple_delete(val, |&k| k == key) else {
+                continue;
+            };
+            resolver.cursor += 1;
+            info.tape.push(AreaEntry::Delete { val, key, pos });
+            self.stats.updates_merged += 1;
+        }
     }
 
     /// Predicate boundaries falling strictly inside an area (those require
@@ -245,7 +452,6 @@ impl PartialSet {
         info.fetched = true;
         info.refs.insert(tail_attr);
         let shell = info.shells.remove(&tail_attr);
-        self.usage += head.len();
         self.stats.chunks_created += 1;
         self.stats.tuples_fetched += head.len() as u64;
         let mut chunk = Chunk::seed(head, tail, shell);
@@ -264,7 +470,15 @@ impl PartialSet {
     /// chunks that are really necessary for the workload hot-set").
     fn make_room(&mut self, extra: usize, pinned: &HashSet<(usize, AreaId)>) {
         let Some(budget) = self.budget else { return };
-        while self.usage + extra > budget {
+        // One scan establishes the current usage; each eviction then
+        // subtracts the freed tuples, so the loop stays O(chunks) per
+        // eviction (the victim scan) instead of rescanning every chunk
+        // length per iteration.
+        let mut usage = self.usage();
+        while usage + extra > budget {
+            // The (attr, area) identity breaks score ties so the victim
+            // never depends on hash-map iteration order — eviction (and
+            // therefore every downstream answer) stays deterministic.
             let victim = self
                 .maps
                 .iter()
@@ -274,34 +488,52 @@ impl PartialSet {
                         .map(move |(&aid, c)| ((attr, aid), (c.last_access, c.accesses)))
                 })
                 .filter(|(key, _)| !pinned.contains(key))
-                .min_by_key(|(_, score)| *score)
+                .min_by_key(|&((attr, aid), score)| (score, attr, aid))
                 .map(|(key, _)| key);
             let Some((attr, aid)) = victim else { break };
-            self.drop_chunk(attr, aid);
+            usage = usage.saturating_sub(self.drop_chunk(attr, aid));
         }
     }
 
     /// Drop one chunk, keeping its index as a lazily deleted shell; if it
     /// was the area's last chunk, the area reverts to unfetched and its
-    /// tape is removed (§4.1).
-    pub fn drop_chunk(&mut self, tail_attr: usize, area_id: AreaId) {
+    /// tape is removed (§4.1) — merged updates return to the staged
+    /// lists, so chunks recreated from the base later pick them up for
+    /// free. Returns the tuples freed.
+    pub fn drop_chunk(&mut self, tail_attr: usize, area_id: AreaId) -> usize {
         let Some(map) = self.maps.get_mut(&tail_attr) else {
-            return;
+            return 0;
         };
         let Some(chunk) = map.chunks.remove(&area_id) else {
-            return;
+            return 0;
         };
-        self.usage -= chunk.len();
+        let freed = chunk.len();
         self.stats.chunks_dropped += 1;
         let info = self.areas.entry(area_id).or_default();
         info.refs.remove(&tail_attr);
         if info.refs.is_empty() {
             info.fetched = false;
-            info.tape.clear();
             info.shells.clear();
+            info.resolver = None;
+            for entry in info.tape.drain(..) {
+                match entry {
+                    AreaEntry::Insert(key) => self.staged_inserts.push(key),
+                    AreaEntry::Delete { val, key, .. } => self.staged_deletes.push((val, key)),
+                    AreaEntry::Crack(_) => {}
+                }
+            }
         } else {
             info.shells.insert(tail_attr, chunk.into_shell());
         }
+        freed
+    }
+
+    /// Post-query budget enforcement: with nothing pinned, evict until
+    /// `usage() <= budget` holds exactly. A single query may transiently
+    /// exceed the budget while its own chunks are pinned; it must never
+    /// *leave* it exceeded.
+    fn enforce_budget(&mut self) {
+        self.make_room(0, &HashSet::new());
     }
 
     /// Deterministically rebuild the head column of a head-dropped chunk:
@@ -316,6 +548,7 @@ impl PartialSet {
     ) -> Vec<Val> {
         let cm = self.chunk_map.as_ref().expect("chunk map ensured");
         let (heads, keys) = cm.view((area.start, area.end));
+        let head_col = base.column(self.head_attr);
         let tail_col = base.column(tail_attr);
         let head: Vec<Val> = heads.to_vec();
         let tail: Vec<Val> = keys.iter().map(|&k| tail_col.get(k)).collect();
@@ -325,7 +558,7 @@ impl PartialSet {
             .get(&area.id)
             .map(|a| a.tape.clone())
             .unwrap_or_default();
-        tmp.align_to(&tape, cursor);
+        tmp.align_to(&tape, cursor, head_col, tail_col);
         self.stats.heads_recovered += 1;
         tmp.head().expect("fresh chunk has a head").to_vec()
     }
@@ -367,7 +600,7 @@ impl PartialSet {
                 attrs.push(p);
             }
         }
-        let areas = self.overlapping_areas(head_pred);
+        let areas = self.overlapping_areas(base, head_pred);
         for area in areas {
             self.process_area(
                 base,
@@ -379,21 +612,68 @@ impl PartialSet {
                 &mut consume,
             );
         }
+        self.enforce_budget();
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn process_area<F: FnMut(usize, Val)>(
+    /// Disjunctive multi-selection (§3.3 executed chunk-wise): predicates
+    /// on distinct attributes combined with OR. A disjunction needs every
+    /// tuple examined, so the pass covers *all* areas of the chunk map,
+    /// builds a per-area OR bit vector over the predicate chunks, and
+    /// streams the projection attributes' qualifying values.
+    pub fn disjunctive_project_with<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        preds: &[(usize, RangePred)],
+        projs: &[usize],
+        mut consume: F,
+    ) {
+        if preds.is_empty() || projs.is_empty() {
+            return;
+        }
+        self.ensure_chunk_map(base);
+        // Adaptation still happens on the set's own predicate: its cut
+        // points refine the chunk map for later conjunctive queries.
+        if let Some((_, own)) = preds.iter().find(|(a, _)| *a == self.head_attr) {
+            self.crack_chunk_map_for(own);
+        }
+        self.clock += 1;
+        let mut attrs: Vec<usize> = Vec::new();
+        for a in preds.iter().map(|(a, _)| *a).chain(projs.iter().copied()) {
+            if !attrs.contains(&a) {
+                attrs.push(a);
+            }
+        }
+        let areas = self.overlapping_areas(base, &RangePred::all());
+        for area in areas {
+            self.process_area_disj(base, &area, preds, projs, &attrs, &mut consume);
+        }
+        self.enforce_budget();
+    }
+
+    /// Check the chunks of `attrs` out of one area for processing — the
+    /// steps the conjunctive and disjunctive passes share:
+    ///
+    /// 1. materialize missing chunks (budget-checked, pinning the chunks
+    ///    this query needs);
+    /// 2. merge staged updates belonging to the area (§3.5) — this must
+    ///    follow materialization: with the query's chunks holding
+    ///    references the area can no longer revert to unfetched
+    ///    mid-query (an eviction of the last sibling chunk would
+    ///    un-merge the tape back to the staged lists);
+    /// 3. take the chunks out of the maps;
+    /// 4. partial alignment — bring every chunk to the maximum cursor
+    ///    among them, and always past the last merged update (cracks
+    ///    only reorganize; updates change content), recovering dropped
+    ///    heads as needed.
+    ///
+    /// Returns the checked-out `(attr, chunk)` pairs plus the area-tape
+    /// clone; hand the chunks back with [`Self::reinstall_chunks`].
+    fn checkout_area_chunks(
         &mut self,
         base: &Table,
         area: &AreaRef,
-        head_pred: &RangePred,
-        tail_sels: &[(usize, RangePred)],
-        projs: &[usize],
         attrs: &[usize],
-        consume: &mut F,
-    ) {
-        // 1. Materialize missing chunks (budget-checked, pinning the
-        //    chunks this query needs).
+    ) -> (Vec<(usize, Chunk)>, Vec<AreaEntry>) {
         let pinned: HashSet<(usize, AreaId)> = attrs.iter().map(|&a| (a, area.id)).collect();
         for &attr in attrs {
             let present = self
@@ -410,8 +690,7 @@ impl PartialSet {
                     .insert(area.id, chunk);
             }
         }
-
-        // 2. Take the chunks out for processing.
+        self.flush_staged_for_area(base, area);
         let mut chunks: Vec<(usize, Chunk)> = attrs
             .iter()
             .map(|&attr| {
@@ -425,26 +704,107 @@ impl PartialSet {
                 (attr, c)
             })
             .collect();
-
         let tape = self
             .areas
             .get(&area.id)
             .map(|a| a.tape.clone())
             .unwrap_or_default();
-        let needed = Self::keys_inside(head_pred, area);
-
-        // 3. Partial alignment: bring every used chunk to the maximum
-        //    cursor among them.
-        let target = chunks.iter().map(|(_, c)| c.cursor).max().unwrap_or(0);
+        let head_col = base.column(self.head_attr);
+        let target = chunks
+            .iter()
+            .map(|(_, c)| c.cursor)
+            .max()
+            .unwrap_or(0)
+            .max(update_floor(&tape));
         for (attr, c) in chunks.iter_mut() {
             if c.cursor < target && c.head_dropped() {
                 let head = self.rebuild_head(base, *attr, area, c.cursor);
                 c.restore_head(head);
             }
-            self.stats.entries_replayed += c.align_to(&tape, target) as u64;
+            self.stats.entries_replayed +=
+                c.align_to(&tape, target, head_col, base.column(*attr)) as u64;
+        }
+        (chunks, tape)
+    }
+
+    /// Hand processed chunks back: access bookkeeping, the optional
+    /// head-drop policy, and reinsertion into the maps.
+    fn reinstall_chunks(&mut self, area_id: AreaId, chunks: Vec<(usize, Chunk)>) {
+        let clock = self.clock;
+        let threshold = self.head_drop_threshold;
+        for (attr, mut c) in chunks {
+            c.accesses += 1;
+            c.last_access = clock;
+            if let Some(t) = threshold {
+                if !c.head_dropped() && c.max_piece() <= t {
+                    c.drop_head();
+                    self.stats.heads_dropped += 1;
+                }
+            }
+            self.maps.entry(attr).or_default().chunks.insert(area_id, c);
+        }
+    }
+
+    /// One area of a disjunctive pass: check out, OR-filter, stream.
+    fn process_area_disj<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        area: &AreaRef,
+        preds: &[(usize, RangePred)],
+        projs: &[usize],
+        attrs: &[usize],
+        consume: &mut F,
+    ) {
+        let (chunks, _tape) = self.checkout_area_chunks(base, area, attrs);
+
+        // OR bit vector over the whole (aligned) area.
+        let len = chunks.first().map_or(0, |(_, c)| c.len());
+        let mut bv = BitVec::zeros(len);
+        for (attr, pred) in preds {
+            let (_, c) = chunks
+                .iter()
+                .find(|(a, _)| a == attr)
+                .expect("predicate chunk present");
+            let tails = c.tail();
+            for (i, &v) in tails.iter().enumerate() {
+                if pred.matches(v) {
+                    bv.set(i);
+                }
+            }
         }
 
-        // 4. Boundary handling with monitored alignment: replay further
+        for &p in projs {
+            let (_, c) = chunks
+                .iter()
+                .find(|(a, _)| *a == p)
+                .expect("projection chunk");
+            let tails = c.tail();
+            for i in bv.iter_ones() {
+                consume(p, tails[i]);
+            }
+        }
+
+        self.reinstall_chunks(area.id, chunks);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_area<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        area: &AreaRef,
+        head_pred: &RangePred,
+        tail_sels: &[(usize, RangePred)],
+        projs: &[usize],
+        attrs: &[usize],
+        consume: &mut F,
+    ) {
+        // Materialize, merge staged updates, take out and align (§3.5 /
+        // §4.1 shared machinery).
+        let (mut chunks, tape) = self.checkout_area_chunks(base, area, attrs);
+        let needed = Self::keys_inside(head_pred, area);
+        let head_col = base.column(self.head_attr);
+
+        // Boundary handling with monitored alignment: replay further
         //    entries until the needed boundaries appear; crack only if the
         //    tape never provides them.
         let mut range = (0, chunks.first().map_or(0, |(_, c)| c.len()));
@@ -455,7 +815,8 @@ impl PartialSet {
                     let head = self.rebuild_head(base, *attr, area, c.cursor);
                     c.restore_head(head);
                 }
-                let (replayed, m) = c.align_until_boundaries(&tape, &needed);
+                let (replayed, m) =
+                    c.align_until_boundaries(&tape, &needed, head_col, base.column(*attr));
                 self.stats.entries_replayed += replayed as u64;
                 missing = m;
             }
@@ -469,7 +830,7 @@ impl PartialSet {
                     self.stats.query_cracks += 1;
                 }
                 let info = self.area_info(area.id);
-                info.tape.push(*head_pred);
+                info.tape.push(AreaEntry::Crack(*head_pred));
                 let new_len = info.tape.len();
                 for (_, c) in chunks.iter_mut() {
                     c.cursor = new_len;
@@ -481,7 +842,7 @@ impl PartialSet {
             }
         }
 
-        // 5. Bit-vector filtering over the qualifying local range.
+        // Bit-vector filtering over the qualifying local range.
         let bv = if tail_sels.is_empty() {
             None
         } else {
@@ -502,7 +863,7 @@ impl PartialSet {
             bv
         };
 
-        // 6. Stream projections.
+        // Stream projections.
         for &p in projs {
             let (_, c) = chunks
                 .iter()
@@ -523,20 +884,7 @@ impl PartialSet {
             }
         }
 
-        // 7. Bookkeeping, optional head dropping, and reinstalling.
-        let clock = self.clock;
-        let threshold = self.head_drop_threshold;
-        for (attr, mut c) in chunks {
-            c.accesses += 1;
-            c.last_access = clock;
-            if let Some(t) = threshold {
-                if !c.head_dropped() && c.max_piece() <= t {
-                    c.drop_head();
-                    self.stats.heads_dropped += 1;
-                }
-            }
-            self.maps.entry(attr).or_default().chunks.insert(area.id, c);
-        }
+        self.reinstall_chunks(area.id, chunks);
     }
 }
 

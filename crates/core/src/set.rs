@@ -485,9 +485,15 @@ impl MapSet {
 }
 
 /// Uniform-distribution estimate of qualifying tuples with no index
-/// knowledge at all.
+/// knowledge at all. Total for degenerate inputs: empty tables yield
+/// `0.0`, single-value and inverted domains are treated as unit spans —
+/// never NaN, which would poison the executor's predicate ordering.
 pub fn uniform_estimate(pred: &RangePred, n: usize, domain: (Val, Val)) -> f64 {
-    let (d_lo, d_hi) = domain;
+    let (d_lo, d_hi) = if domain.0 <= domain.1 {
+        domain
+    } else {
+        (domain.1, domain.0)
+    };
     let span = (d_hi - d_lo).max(1) as f64;
     let lo = pred.lo.map_or(d_lo, |b| b.value).clamp(d_lo, d_hi);
     let hi = pred.hi.map_or(d_hi, |b| b.value).clamp(d_lo, d_hi);

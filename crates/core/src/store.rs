@@ -138,7 +138,9 @@ impl SidewaysStore {
             |&(attr, pred): &(usize, RangePred)| -> f64 { self.estimate(base, attr, &pred) };
         let best = preds.iter().enumerate().min_by(|a, b| {
             let (sa, sb) = (score(a.1), score(b.1));
-            let ord = sa.partial_cmp(&sb).expect("estimates are finite");
+            // total_cmp: a NaN estimate (degenerate domain statistics)
+            // must never panic the planner; it just sorts last.
+            let ord = sa.total_cmp(&sb);
             if largest {
                 ord.reverse()
             } else {
@@ -159,6 +161,8 @@ impl SidewaysStore {
             if usage + needed <= budget {
                 return;
             }
+            // Tie-break on the (set, tail) identity: eviction must not
+            // depend on hash-map iteration order.
             let victim = self
                 .sets
                 .iter()
@@ -169,7 +173,7 @@ impl SidewaysStore {
                     })
                 })
                 .filter(|(key, _)| !pinned.contains(key))
-                .min_by_key(|(_, acc)| *acc)
+                .min_by_key(|&((sa, ta), acc)| (acc, sa, ta))
                 .map(|(key, _)| key);
             let Some((sa, ta)) = victim else { return };
             self.sets.get_mut(&sa).expect("set exists").drop_map(ta);
@@ -404,6 +408,10 @@ pub struct PartialStore {
     pub head_drop_threshold: Option<usize>,
     domains: HashMap<usize, (Val, Val)>,
     default_domain: (Val, Val),
+    /// Every key deleted so far: sets created later must exclude them
+    /// from their chunk-map seed (existing sets merge them lazily per
+    /// area, §3.5).
+    deleted: HashSet<RowId>,
 }
 
 impl PartialStore {
@@ -444,9 +452,29 @@ impl PartialStore {
         self.sets.get(&head_attr)
     }
 
+    /// Stage an insertion (tuple `key` appended to the base) into every
+    /// existing set; sets created later see the row in their seed.
+    pub fn stage_insert(&mut self, key: RowId) {
+        for s in self.sets.values_mut() {
+            s.stage_insert(key);
+        }
+    }
+
+    /// Stage a deletion of tuple `key` into every existing set (head
+    /// values read from the base table) and remember it for the seeds of
+    /// sets created later.
+    pub fn stage_delete(&mut self, base: &Table, key: RowId) {
+        for s in self.sets.values_mut() {
+            let v = base.column(s.head_attr).get(key);
+            s.stage_delete(v, key);
+        }
+        self.deleted.insert(key);
+    }
+
     /// Mutable access (creating on demand) with the budget share updated
-    /// to the global remainder.
-    pub fn set_mut(&mut self, head_attr: usize) -> &mut PartialSet {
+    /// to the global remainder. `base` provides head values for deletions
+    /// a newly created set must still exclude.
+    pub fn set_mut(&mut self, base: &Table, head_attr: usize) -> &mut PartialSet {
         let other: usize = self
             .sets
             .iter()
@@ -455,10 +483,16 @@ impl PartialStore {
             .sum();
         let budget = self.budget.map(|b| b.saturating_sub(other));
         let hd = self.head_drop_threshold;
-        let s = self
-            .sets
-            .entry(head_attr)
-            .or_insert_with(|| PartialSet::new(head_attr));
+        let deleted = &self.deleted;
+        let s = self.sets.entry(head_attr).or_insert_with(|| {
+            let mut s = PartialSet::new(head_attr);
+            // Pre-stage past deletions: the set's chunk-map seed (taken
+            // at its first query) subsumes staged deletes by exclusion.
+            for &k in deleted {
+                s.stage_delete(base.column(head_attr).get(k), k);
+            }
+            s
+        });
         s.budget = budget;
         s.head_drop_threshold = hd;
         s
@@ -479,7 +513,7 @@ impl PartialStore {
             .min_by(|a, b| {
                 let sa = uniform_estimate(&a.1, n, self.domain(a.0));
                 let sb = uniform_estimate(&b.1, n, self.domain(b.0));
-                sa.partial_cmp(&sb).expect("finite")
+                sa.total_cmp(&sb)
             })
             .expect("non-empty predicates")
             .0;
@@ -489,8 +523,32 @@ impl PartialStore {
             .filter(|(a, _)| *a != chosen)
             .cloned()
             .collect();
-        self.set_mut(chosen)
+        self.set_mut(base, chosen)
             .conjunctive_project_with(base, &head_pred, &tails, projs, consume);
+    }
+
+    /// Disjunctive query executed chunk-wise on the *least* selective
+    /// predicate's set (so its own cracked areas stay large and the scan
+    /// outside them small — the §3.3 disjunctive set choice).
+    pub fn disjunctive_project_with<F: FnMut(usize, Val)>(
+        &mut self,
+        base: &Table,
+        preds: &[(usize, RangePred)],
+        projs: &[usize],
+        consume: F,
+    ) {
+        let n = base.num_rows();
+        let chosen = preds
+            .iter()
+            .max_by(|a, b| {
+                let sa = uniform_estimate(&a.1, n, self.domain(a.0));
+                let sb = uniform_estimate(&b.1, n, self.domain(b.0));
+                sa.total_cmp(&sb)
+            })
+            .expect("non-empty predicates")
+            .0;
+        self.set_mut(base, chosen)
+            .disjunctive_project_with(base, preds, projs, consume);
     }
 }
 
@@ -571,6 +629,45 @@ mod tests {
         store.select_project_with(&base, 1, &pred, &[2], &none, |_, _| {});
         assert!(store.tuples() <= 250 + 100);
         assert!(store.maps_dropped >= 1);
+    }
+
+    #[test]
+    fn partial_store_updates_reach_late_created_sets() {
+        let mut store = PartialStore::new((0, 100));
+        let mut base = table();
+        // Query set 0 first so it exists before the updates.
+        let preds0 = vec![(0usize, RangePred::open(10, 30))];
+        store.conjunctive_project_with(&base, &preds0, &[2], |_, _| {});
+        // Insert one row, delete one original row (key 20: a=20, b=79).
+        let key = base.append_row(&[25, 60, 999]);
+        store.stage_insert(key);
+        store.stage_delete(&base, 20);
+        // Set 0 (existing) merges lazily.
+        let mut out = Vec::new();
+        store.conjunctive_project_with(&base, &preds0, &[2], |_, v| out.push(v));
+        assert!(out.contains(&999), "staged insert merged on access");
+        assert!(!out.contains(&40), "staged delete merged on access");
+        // Set 1 is created only now: its seed must exclude the deleted
+        // key and include the inserted row.
+        let preds1 = vec![(1usize, RangePred::open(55, 80))];
+        let mut out = Vec::new();
+        store.conjunctive_project_with(&base, &preds1, &[2], |_, v| out.push(v));
+        assert!(out.contains(&999), "late set sees the inserted row");
+        assert!(!out.contains(&40), "late set excludes the deleted row");
+    }
+
+    #[test]
+    fn partial_store_disjunctive_matches_naive() {
+        let mut store = PartialStore::new((0, 100));
+        let base = table();
+        let preds = vec![
+            (0usize, RangePred::open(-1, 5)),   // rows 0..=4
+            (1usize, RangePred::open(94, 100)), // b = 99-row in (94,100) → rows 0..=4
+        ];
+        let mut out = Vec::new();
+        store.disjunctive_project_with(&base, &preds, &[2], |_, v| out.push(v));
+        out.sort_unstable();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
     }
 
     #[test]

@@ -255,6 +255,33 @@ mod tests {
     }
 
     #[test]
+    fn estimate_is_finite_on_degenerate_inputs() {
+        // Empty array: every estimate is 0 and finite.
+        let idx = CrackerIndex::new();
+        let e = idx.estimate_size(&RangePred::open(1, 9), 0, (0, 10));
+        assert_eq!((e.lower, e.upper), (0, 0));
+        assert!(e.estimate.is_finite() && e.estimate == 0.0);
+
+        // Single-value domain: the interpolation denominator collapses;
+        // the estimate must stay finite (never NaN — a NaN would poison
+        // the executor's predicate ordering).
+        let e = idx.estimate_size(&RangePred::open(5, 5), 100, (5, 5));
+        assert!(e.estimate.is_finite());
+        let e = idx.estimate_size(&RangePred::closed(5, 5), 100, (5, 5));
+        assert!(e.estimate.is_finite());
+        assert!(e.estimate >= 0.0 && e.estimate <= 100.0);
+
+        // Cracked index over identical values, degenerate domain.
+        let mut idx = CrackerIndex::new();
+        idx.record((5, BoundKind::Lt), 0);
+        idx.record((5, BoundKind::Le), 100);
+        let e = idx.estimate_size(&RangePred::closed(5, 5), 100, (5, 5));
+        assert!(e.exact);
+        assert_eq!(e.upper, 100);
+        assert!(e.estimate.is_finite());
+    }
+
+    #[test]
     fn lazy_deletion_reopens_pieces() {
         let mut idx = CrackerIndex::new();
         idx.record((10, BoundKind::Lt), 40);

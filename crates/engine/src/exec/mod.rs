@@ -72,7 +72,10 @@ fn order_preds<P: AccessPath + ?Sized>(
     let mut order: Vec<usize> = (0..preds.len()).collect();
     order.sort_by(|&a, &b| {
         let (ea, eb) = (estimates[a].unwrap(), estimates[b].unwrap());
-        let ord = ea.partial_cmp(&eb).expect("estimates are finite");
+        // total_cmp: degenerate statistics (empty tables, single-value
+        // domains) must never panic the planner — a NaN simply sorts
+        // last and the plan stays valid.
+        let ord = ea.total_cmp(&eb);
         if disjunctive {
             ord.reverse()
         } else {
@@ -138,7 +141,7 @@ pub fn run_select<P: AccessPath + ?Sized>(path: &mut P, q: &SelectQuery) -> Quer
     // fast path (parallel kernels); everything else streams.
     let mut stream_attrs: Vec<usize> = Vec::new();
     let mut partial_filled = vec![false; q.aggs.len()];
-    let deferred = matches!(rows, RowSet::Deferred { .. });
+    let deferred = matches!(rows, RowSet::Deferred { .. } | RowSet::DeferredUnion { .. });
     if !deferred {
         for &attr in &fetch_attrs {
             let agg_idxs: Vec<usize> = (0..q.aggs.len()).filter(|&i| q.aggs[i].0 == attr).collect();
@@ -160,8 +163,12 @@ pub fn run_select<P: AccessPath + ?Sized>(path: &mut P, q: &SelectQuery) -> Quer
             // Nothing to reconstruct, but the result cardinality (and the
             // adaptive reorganization) still require the fused pass: count
             // via the head attribute itself.
-            if let RowSet::Deferred { head, .. } = &rows {
-                stream_attrs.push(head.0);
+            match &rows {
+                RowSet::Deferred { head, .. } => stream_attrs.push(head.0),
+                RowSet::DeferredUnion { preds } => {
+                    stream_attrs.push(preds.first().map_or(0, |p| p.0))
+                }
+                _ => {}
             }
         }
     }

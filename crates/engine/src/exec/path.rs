@@ -50,6 +50,15 @@ pub enum RowSet {
         /// The remaining conjunctive restrictions.
         residual: Vec<(usize, RangePred)>,
     },
+    /// The union form of a deferred plan: OR-combined restrictions for
+    /// chunk-wise engines, executed fused during [`AccessPath::fetch`]
+    /// (a disjunction examines every tuple, so the pass covers all
+    /// chunks).
+    DeferredUnion {
+        /// All OR-combined restrictions, in executor order (least
+        /// selective first).
+        preds: Vec<(usize, RangePred)>,
+    },
 }
 
 impl RowSet {
@@ -67,7 +76,7 @@ impl RowSet {
                 Some(bv) => bv.count_ones(),
                 None => range.1 - range.0,
             }),
-            RowSet::Deferred { .. } => None,
+            RowSet::Deferred { .. } | RowSet::DeferredUnion { .. } => None,
         }
     }
 

@@ -379,14 +379,26 @@ impl<E: Engine + Send> Engine for ShardedEngine<E> {
 /// Intern a dynamically built engine name: `Engine::name` returns
 /// `&'static str`, and routers over the same inner engine and shard
 /// count should share one allocation instead of leaking per instance.
+///
+/// The registry is a hashed set, so lookups are O(1) in the number of
+/// distinct names rather than a linear scan under the lock. Leak bound:
+/// exactly one `Box::leak` allocation per distinct `(inner engine name,
+/// shard count)` pair over the process lifetime — a small constant for
+/// any real deployment (five engine names × the handful of shard counts
+/// in use), never per router instance or per query.
 fn interned_name(name: String) -> &'static str {
-    static NAMES: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
-    let mut names = NAMES.lock().expect("name registry poisoned");
-    if let Some(&n) = names.iter().find(|&&n| n == name) {
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut names = NAMES
+        .get_or_init(Default::default)
+        .lock()
+        .expect("name registry poisoned");
+    if let Some(&n) = names.get(name.as_str()) {
         return n;
     }
     let leaked: &'static str = Box::leak(name.into_boxed_str());
-    names.push(leaked);
+    names.insert(leaked);
     leaked
 }
 

@@ -13,7 +13,7 @@ use crackdb_columnstore::column::Table;
 use crackdb_columnstore::presorted::PresortedTable;
 use crackdb_columnstore::rowstore::PresortedRowTable;
 use crackdb_columnstore::types::{RangePred, Val};
-use crackdb_core::{BitVec, SidewaysStore};
+use crackdb_core::{BitVec, PartialStore, SidewaysStore};
 use crackdb_cracking::CrackerColumn;
 use crackdb_workloads::tpch::{l, o, TpchData};
 use std::collections::{HashMap, HashSet};
@@ -30,6 +30,8 @@ pub enum Mode {
     SelCrack,
     /// Sideways cracking (full maps).
     Sideways,
+    /// Partial sideways cracking (§4 chunk-wise maps).
+    Partial,
     /// Presorted row-store ("MySQL presorted").
     RowStore,
 }
@@ -62,6 +64,7 @@ pub struct TpchExecutor {
     rowstores: HashMap<(Tbl, usize), PresortedRowTable>,
     crackers: HashMap<(Tbl, usize), CrackerColumn>,
     stores: HashMap<Tbl, SidewaysStore>,
+    partial_stores: HashMap<Tbl, PartialStore>,
     /// Preparation cost (presorted copies / row tables); the paper
     /// reports it separately from per-query times.
     pub prep_cost: Duration,
@@ -87,6 +90,7 @@ impl TpchExecutor {
             rowstores: HashMap::new(),
             crackers: HashMap::new(),
             stores: HashMap::new(),
+            partial_stores: HashMap::new(),
             prep_cost: Duration::ZERO,
         };
         let t0 = Instant::now();
@@ -134,6 +138,37 @@ impl TpchExecutor {
                     e.stores.insert(tbl, store);
                 }
             }
+            Mode::Partial => {
+                // Same per-attribute domain statistics: partial maps use
+                // the uniform assumption for their §4 set choice.
+                for tbl in [
+                    Tbl::Lineitem,
+                    Tbl::Orders,
+                    Tbl::Customer,
+                    Tbl::Part,
+                    Tbl::Supplier,
+                    Tbl::PartSupp,
+                    Tbl::Nation,
+                ] {
+                    let mut store = PartialStore::new((0, 1));
+                    let t = match tbl {
+                        Tbl::Lineitem => &e.data.lineitem,
+                        Tbl::Orders => &e.data.orders,
+                        Tbl::Customer => &e.data.customer,
+                        Tbl::Part => &e.data.part,
+                        Tbl::Supplier => &e.data.supplier,
+                        Tbl::PartSupp => &e.data.partsupp,
+                        Tbl::Nation => &e.data.nation,
+                    };
+                    for c in 0..t.num_columns() {
+                        let vals = t.column(c).values();
+                        let lo = vals.iter().copied().min().unwrap_or(0);
+                        let hi = vals.iter().copied().max().unwrap_or(1);
+                        store.set_domain(c, (lo, hi));
+                    }
+                    e.partial_stores.insert(tbl, store);
+                }
+            }
             _ => {}
         }
         e.prep_cost = t0.elapsed();
@@ -174,6 +209,7 @@ impl TpchExecutor {
             Mode::Presorted => self.sp_presorted(tbl, sel, residual, projs),
             Mode::SelCrack => self.sp_selcrack(tbl, sel, residual, projs),
             Mode::Sideways => self.sp_sideways(tbl, sel, residual, projs),
+            Mode::Partial => self.sp_partial(tbl, sel, residual, projs),
             Mode::RowStore => self.sp_rowstore(tbl, sel, residual, projs),
         }
     }
@@ -297,6 +333,41 @@ impl TpchExecutor {
             .collect()
     }
 
+    fn sp_partial(
+        &mut self,
+        tbl: Tbl,
+        sel: (usize, RangePred),
+        residual: &[(usize, RangePred)],
+        projs: &[usize],
+    ) -> Vec<Vec<Val>> {
+        let table: &Table = match tbl {
+            Tbl::Lineitem => &self.data.lineitem,
+            Tbl::Orders => &self.data.orders,
+            Tbl::Customer => &self.data.customer,
+            Tbl::Part => &self.data.part,
+            Tbl::Supplier => &self.data.supplier,
+            Tbl::PartSupp => &self.data.partsupp,
+            Tbl::Nation => &self.data.nation,
+        };
+        let store = self
+            .partial_stores
+            .get_mut(&tbl)
+            .expect("stores built for partial mode");
+        let mut preds = vec![sel];
+        preds.extend_from_slice(residual);
+        // The fused chunk-wise pass streams each projection attribute's
+        // qualifying values in a positionally consistent order.
+        let mut cols: Vec<Vec<Val>> = projs.iter().map(|_| Vec::new()).collect();
+        store.conjunctive_project_with(table, &preds, projs, |attr, v| {
+            for (i, &p) in projs.iter().enumerate() {
+                if p == attr {
+                    cols[i].push(v);
+                }
+            }
+        });
+        cols
+    }
+
     fn sp_rowstore(
         &mut self,
         tbl: Tbl,
@@ -350,6 +421,7 @@ mod tests {
             Mode::Presorted,
             Mode::SelCrack,
             Mode::Sideways,
+            Mode::Partial,
             Mode::RowStore,
         ] {
             let mut e = exec(mode);

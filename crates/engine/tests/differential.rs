@@ -88,8 +88,28 @@ fn all_engines_agree_on_random_conjunctions() {
 fn engines_agree_under_updates() {
     let table = random_table(3, 300, 99);
     let mut plain = PlainEngine::new(table.clone());
-    let mut selcrack = SelCrackEngine::new(table.clone(), DOMAIN);
-    let mut sideways = SidewaysEngine::new(table.clone(), DOMAIN);
+    let mut others: Vec<(&str, Box<dyn Engine>)> = vec![
+        (
+            "selcrack",
+            Box::new(SelCrackEngine::new(table.clone(), DOMAIN)),
+        ),
+        (
+            "sideways",
+            Box::new(SidewaysEngine::new(table.clone(), DOMAIN)),
+        ),
+        (
+            "presorted",
+            Box::new(PresortedEngine::new(table.clone(), &[0, 1, 2])),
+        ),
+        (
+            "partial",
+            Box::new(PartialEngine::new(table.clone(), DOMAIN, None)),
+        ),
+        (
+            "partial+budget",
+            Box::new(PartialEngine::new(table.clone(), DOMAIN, Some(250))),
+        ),
+    ];
 
     let mut rng = Lcg(123);
     let mut live_keys: Vec<u32> = (0..300).collect();
@@ -104,23 +124,22 @@ fn engines_agree_under_updates() {
             ];
             next_insert += 1;
             plain.insert(&row);
-            selcrack.insert(&row);
-            sideways.insert(&row);
             live_keys.push(299 + next_insert as u32);
             let victim_idx = rng.next(live_keys.len() as i64) as usize;
             let victim = live_keys.swap_remove(victim_idx);
             plain.delete(victim);
-            selcrack.delete(victim);
-            sideways.delete(victim);
+            for (_, e) in others.iter_mut() {
+                e.insert(&row);
+                e.delete(victim);
+            }
         }
         let q = random_select(&mut rng, 3);
         let expected = plain.select(&q);
-        let sc = selcrack.select(&q);
-        let sw = sideways.select(&q);
-        assert_eq!(sc.rows, expected.rows, "query {i}: selcrack rows");
-        assert_eq!(sc.aggs, expected.aggs, "query {i}: selcrack aggs");
-        assert_eq!(sw.rows, expected.rows, "query {i}: sideways rows");
-        assert_eq!(sw.aggs, expected.aggs, "query {i}: sideways aggs");
+        for (name, e) in others.iter_mut() {
+            let out = e.select(&q);
+            assert_eq!(out.rows, expected.rows, "query {i}: {name} rows");
+            assert_eq!(out.aggs, expected.aggs, "query {i}: {name} aggs");
+        }
     }
 }
 
@@ -132,6 +151,8 @@ fn engines_agree_on_joins() {
     let mut presorted = PresortedEngine::with_second(left.clone(), &[1], right.clone(), &[1]);
     let mut selcrack = SelCrackEngine::with_second(left.clone(), right.clone(), DOMAIN);
     let mut sideways = SidewaysEngine::with_second(left.clone(), right.clone(), DOMAIN);
+    let mut partial = PartialEngine::with_second(left.clone(), right.clone(), DOMAIN, None);
+    let mut partial_b = PartialEngine::with_second(left.clone(), right.clone(), DOMAIN, Some(200));
 
     let mut rng = Lcg(31);
     for i in 0..15 {
@@ -154,6 +175,8 @@ fn engines_agree_on_joins() {
             ("presorted", presorted.join(&q)),
             ("selcrack", selcrack.join(&q)),
             ("sideways", sideways.join(&q)),
+            ("partial", partial.join(&q)),
+            ("partial+budget", partial_b.join(&q)),
         ] {
             assert_eq!(out.rows, expected.rows, "join {i}: {name} rows");
             assert_eq!(out.aggs, expected.aggs, "join {i}: {name} aggs");
@@ -229,14 +252,19 @@ fn all_engines_agree_on_projections_via_shared_executor() {
     }
 }
 
-/// Disjunctions through every engine that supports them (plain scans,
-/// selection cracking, sideways cracking).
+/// Disjunctions through all five engines: plain scans, presorted
+/// whole-copy bit vectors, selection cracking, sideways cracking, and
+/// partial sideways cracking's all-areas union pass (with and without a
+/// budget).
 #[test]
 fn disjunctive_engines_agree() {
     let table = random_table(3, 400, 88);
     let mut plain = PlainEngine::new(table.clone());
     let mut selcrack = SelCrackEngine::new(table.clone(), DOMAIN);
     let mut sideways = SidewaysEngine::new(table.clone(), DOMAIN);
+    let mut presorted = PresortedEngine::new(table.clone(), &[0, 1, 2]);
+    let mut partial = PartialEngine::new(table.clone(), DOMAIN, None);
+    let mut partial_b = PartialEngine::new(table.clone(), DOMAIN, Some(300));
     let mut rng = Lcg(404);
     for i in 0..20 {
         let lo1 = rng.next(900);
@@ -254,6 +282,9 @@ fn disjunctive_engines_agree() {
         for (name, out) in [
             ("selcrack", selcrack.select(&q)),
             ("sideways", sideways.select(&q)),
+            ("presorted", presorted.select(&q)),
+            ("partial", partial.select(&q)),
+            ("partial+budget", partial_b.select(&q)),
         ] {
             assert_eq!(out.rows, expected.rows, "disj {i}: {name} rows");
             assert_eq!(out.aggs, expected.aggs, "disj {i}: {name} aggs");

@@ -248,6 +248,36 @@ fn disjunctive_sharded_agreement() {
         SidewaysEngine::new(t.clone(), DOMAIN),
         |s| ShardedEngine::build(t.clone(), s, |_, part| SidewaysEngine::new(part, DOMAIN)),
     );
+    check_select_differential(
+        "presorted/disj",
+        &queries,
+        PresortedEngine::new(t.clone(), &[0, 1, 2]),
+        |s| {
+            ShardedEngine::build(t.clone(), s, |_, part| {
+                PresortedEngine::new(part, &[0, 1, 2])
+            })
+        },
+    );
+    check_select_differential(
+        "partial/disj",
+        &queries,
+        PartialEngine::new(t.clone(), DOMAIN, None),
+        |s| {
+            ShardedEngine::build(t.clone(), s, |_, part| {
+                PartialEngine::new(part, DOMAIN, None)
+            })
+        },
+    );
+    check_select_differential(
+        "partial/disj+budget",
+        &queries,
+        PartialEngine::new(t.clone(), DOMAIN, Some(350)),
+        |s| {
+            ShardedEngine::build(t.clone(), s, |_, part| {
+                PartialEngine::new(part, DOMAIN, Some(350))
+            })
+        },
+    );
 }
 
 /// Join queries: the primary table is sharded, the second replicated, so
@@ -279,15 +309,20 @@ fn joins_sharded_agree() {
     let mut plain = PlainEngine::with_second(left.clone(), right.clone());
     let mut selcrack = SelCrackEngine::with_second(left.clone(), right.clone(), DOMAIN);
     let mut sideways = SidewaysEngine::with_second(left.clone(), right.clone(), DOMAIN);
+    let mut presorted = PresortedEngine::with_second(left.clone(), &[1], right.clone(), &[1]);
+    let mut partial = PartialEngine::with_second(left.clone(), right.clone(), DOMAIN, None);
     let expected: Vec<_> = queries.iter().map(|q| plain.join(q)).collect();
     // Unsharded engines agree with each other first.
     for (i, (q, e)) in queries.iter().zip(&expected).enumerate() {
-        let sc = selcrack.join(q);
-        let sw = sideways.join(q);
-        assert_eq!(sc.rows, e.rows, "selcrack join {i} rows");
-        assert_eq!(sc.aggs, e.aggs, "selcrack join {i} aggs");
-        assert_eq!(sw.rows, e.rows, "sideways join {i} rows");
-        assert_eq!(sw.aggs, e.aggs, "sideways join {i} aggs");
+        for (name, out) in [
+            ("selcrack", selcrack.join(q)),
+            ("sideways", sideways.join(q)),
+            ("presorted", presorted.join(q)),
+            ("partial", partial.join(q)),
+        ] {
+            assert_eq!(out.rows, e.rows, "{name} join {i} rows");
+            assert_eq!(out.aggs, e.aggs, "{name} join {i} aggs");
+        }
     }
     for shards in SHARD_COUNTS {
         let mut sp = ShardedEngine::build_with_second(
@@ -308,11 +343,25 @@ fn joins_sharded_agree() {
             shards,
             |_, part, second| SidewaysEngine::with_second(part, second, DOMAIN),
         );
+        let mut spt = ShardedEngine::build_with_second(
+            left.clone(),
+            right.clone(),
+            shards,
+            |_, part, second| PartialEngine::with_second(part, second, DOMAIN, None),
+        );
+        let mut sptb = ShardedEngine::build_with_second(
+            left.clone(),
+            right.clone(),
+            shards,
+            |_, part, second| PartialEngine::with_second(part, second, DOMAIN, Some(150)),
+        );
         for (i, (q, e)) in queries.iter().zip(&expected).enumerate() {
             for (name, out) in [
                 ("plain", sp.join(q)),
                 ("selcrack", ssc.join(q)),
                 ("sideways", ssw.join(q)),
+                ("partial", spt.join(q)),
+                ("partial+budget", sptb.join(q)),
             ] {
                 assert_eq!(out.rows, e.rows, "{name} sharded x{shards} join {i} rows");
                 assert_eq!(out.aggs, e.aggs, "{name} sharded x{shards} join {i} aggs");

@@ -1,18 +1,22 @@
 //! Update-path differential testing: the §5 insert/delete machinery
-//! (ripple updates, pending-queues, tombstones) exercised through
-//! `cargo test` rather than only the exp6 benchmark binary.
+//! (ripple updates, pending-queues, tombstones, staged chunk-wise
+//! merges, sorted-copy maintenance) exercised through `cargo test`
+//! rather than only the exp6 benchmark binary.
 //!
-//! Every update-capable engine (plain, selection cracking, sideways
-//! cracking) — unsharded *and* behind `ShardedEngine` at shard counts 1,
-//! 2 and 7 — receives the same interleaved insert/delete/select stream
-//! and must agree with the plain baseline query by query. Presorted and
-//! partial sideways cracking deliberately implement no update path
-//! (paper §3.6 Exp6 / §4.2), so they are out of scope here.
+//! All five engines — plain, presorted, selection cracking, sideways
+//! cracking and partial sideways cracking (with and without a storage
+//! budget) — unsharded *and* behind `ShardedEngine` at shard counts 1,
+//! 2 and 7 — receive the same interleaved insert/delete/select stream
+//! and must agree with the plain baseline query by query. Partial
+//! sideways cracking follows §3.5 chunk-wise (stage globally, merge on
+//! access); the presorted baseline maintains its sorted copies the
+//! expensive way the paper ascribes to it.
 
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::types::{AggFunc, RangePred, RowId, Val};
 use crackdb_engine::{
-    Engine, PlainEngine, QueryOutput, SelCrackEngine, SelectQuery, ShardedEngine, SidewaysEngine,
+    Engine, PartialEngine, PlainEngine, PresortedEngine, QueryOutput, SelCrackEngine, SelectQuery,
+    ShardedEngine, SidewaysEngine,
 };
 use crackdb_rng::{rngs::StdRng, Rng, SeedableRng};
 use crackdb_workloads::random_table;
@@ -121,6 +125,45 @@ fn unsharded_engines_agree_under_interleaved_updates() {
         &expected,
         "sideways",
     );
+    assert_same(
+        &replay(&mut PresortedEngine::new(t.clone(), &[0, 1, 2]), &ops),
+        &expected,
+        "presorted",
+    );
+    assert_same(
+        &replay(&mut PartialEngine::new(t.clone(), DOMAIN, None), &ops),
+        &expected,
+        "partial",
+    );
+}
+
+/// §3.5 under §4 storage pressure: the partial engine must stay
+/// bit-identical to the baseline while evicting chunks, and its usage
+/// must respect the budget exactly after every query.
+#[test]
+fn partial_with_budget_agrees_and_respects_budget_under_updates() {
+    let t = random_table(3, 311, DOMAIN.1, 61);
+    let ops = workload(3, 311, 120, 62);
+    let expected = expected_for(&t, &ops);
+    for budget in [150, 400] {
+        let mut e = PartialEngine::new(t.clone(), DOMAIN, Some(budget));
+        let mut outs = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Insert(row) => e.insert(row),
+                Op::Delete(key) => e.delete(*key),
+                Op::Select(q) => {
+                    outs.push(e.select(q));
+                    assert!(
+                        e.store().usage() <= budget,
+                        "usage {} exceeds budget {budget} post-query",
+                        e.store().usage()
+                    );
+                }
+            }
+        }
+        assert_same(&outs, &expected, &format!("partial budget={budget}"));
+    }
 }
 
 #[test]
@@ -164,6 +207,42 @@ fn sharded_sideways_agrees_under_interleaved_updates() {
             &replay(&mut e, &ops),
             &expected,
             &format!("sideways x{shards}"),
+        );
+    }
+}
+
+#[test]
+fn sharded_partial_agrees_under_interleaved_updates() {
+    let t = random_table(3, 309, DOMAIN.1, 69);
+    let ops = workload(3, 309, 120, 70);
+    let expected = expected_for(&t, &ops);
+    for shards in SHARD_COUNTS {
+        for budget in [None, Some(200)] {
+            let mut e = ShardedEngine::build(t.clone(), shards, |_, p| {
+                PartialEngine::new(p, DOMAIN, budget)
+            });
+            assert_same(
+                &replay(&mut e, &ops),
+                &expected,
+                &format!("partial x{shards} budget={budget:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_presorted_agrees_under_interleaved_updates() {
+    let t = random_table(3, 301, DOMAIN.1, 73);
+    let ops = workload(3, 301, 120, 74);
+    let expected = expected_for(&t, &ops);
+    for shards in SHARD_COUNTS {
+        let mut e = ShardedEngine::build(t.clone(), shards, |_, p| {
+            PresortedEngine::new(p, &[0, 1, 2])
+        });
+        assert_same(
+            &replay(&mut e, &ops),
+            &expected,
+            &format!("presorted x{shards}"),
         );
     }
 }
@@ -217,12 +296,35 @@ fn update_bursts_between_query_batches() {
         &expected,
         "sideways bursts",
     );
+    assert_same(
+        &replay(&mut PresortedEngine::new(t.clone(), &[0, 1, 2]), &ops),
+        &expected,
+        "presorted bursts",
+    );
+    assert_same(
+        &replay(&mut PartialEngine::new(t.clone(), DOMAIN, None), &ops),
+        &expected,
+        "partial bursts",
+    );
+    assert_same(
+        &replay(&mut PartialEngine::new(t.clone(), DOMAIN, Some(250)), &ops),
+        &expected,
+        "partial bursts (budget)",
+    );
     for shards in SHARD_COUNTS {
         let mut e = ShardedEngine::build(t.clone(), shards, |_, p| SidewaysEngine::new(p, DOMAIN));
         assert_same(
             &replay(&mut e, &ops),
             &expected,
             &format!("sideways bursts x{shards}"),
+        );
+        let mut e = ShardedEngine::build(t.clone(), shards, |_, p| {
+            PartialEngine::new(p, DOMAIN, None)
+        });
+        assert_same(
+            &replay(&mut e, &ops),
+            &expected,
+            &format!("partial bursts x{shards}"),
         );
     }
 }
