@@ -7,8 +7,134 @@
 //!
 //! Benchmarks are ordinary `[[bench]]` targets with `harness = false`
 //! and a plain `main` that drives a [`Criterion`] value.
+//!
+//! Besides the human-readable tables, the harness provides a minimal
+//! dependency-free JSON emitter ([`JsonObj`] / [`JsonList`]) so bench
+//! bins can write machine-readable `BENCH_<name>.json` artifacts (e.g.
+//! the robustness sweep) that CI and perf-trajectory tooling consume.
 
 use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Machine-readable reports
+// ---------------------------------------------------------------------
+
+/// A JSON object under construction. Only the value shapes the bench
+/// artifacts need (strings, integers, floats, arrays, nested objects) —
+/// not a general serializer.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObj {
+    parts: Vec<String>,
+}
+
+/// A JSON array under construction.
+#[derive(Debug, Default, Clone)]
+pub struct JsonList {
+    parts: Vec<String>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonObj {
+    /// Empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.parts.push(format!(
+            "\"{}\":\"{}\"",
+            json_escape(key),
+            json_escape(value)
+        ));
+        self
+    }
+
+    /// Add an integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.parts.push(format!("\"{}\":{value}", json_escape(key)));
+        self
+    }
+
+    /// Add a float field (finite values only; NaN/inf become null).
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        let v = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.parts.push(format!("\"{}\":{v}", json_escape(key)));
+        self
+    }
+
+    /// Add an array of integers.
+    pub fn u64_array(mut self, key: &str, values: &[u64]) -> Self {
+        let body: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        self.parts
+            .push(format!("\"{}\":[{}]", json_escape(key), body.join(",")));
+        self
+    }
+
+    /// Add a nested array value.
+    pub fn list(mut self, key: &str, value: JsonList) -> Self {
+        self.parts
+            .push(format!("\"{}\":{}", json_escape(key), value.finish()));
+        self
+    }
+
+    /// Add a nested object value.
+    pub fn obj(mut self, key: &str, value: JsonObj) -> Self {
+        self.parts
+            .push(format!("\"{}\":{}", json_escape(key), value.finish()));
+        self
+    }
+
+    /// Serialize.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+impl JsonList {
+    /// Empty array.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an object element.
+    pub fn push(&mut self, value: JsonObj) {
+        self.parts.push(value.finish());
+    }
+
+    /// Serialize.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.parts.join(","))
+    }
+}
+
+/// Write a machine-readable bench artifact as `BENCH_<name>.json` in the
+/// current directory (the convention CI's perf-trajectory step greps
+/// for). Returns the path written.
+pub fn write_bench_json(name: &str, root: JsonObj) -> std::io::Result<String> {
+    let path = format!("BENCH_{name}.json");
+    std::fs::write(&path, root.finish() + "\n")?;
+    Ok(path)
+}
 
 /// How `iter_batched` amortizes setup (kept for API compatibility; this
 /// harness always runs one setup per measured sample).

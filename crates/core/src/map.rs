@@ -2,8 +2,8 @@
 //! cracking materializes per attribute pair, plus the special key map
 //! `M_A,key` used to resolve deletion positions (§3.5).
 
-use crackdb_columnstore::types::{RowId, Val};
-use crackdb_cracking::CrackedArray;
+use crackdb_columnstore::types::{RangePred, RowId, Val};
+use crackdb_cracking::{CrackPolicy, CrackedArray, Span};
 
 /// A cracker map `M_AB`: head = values of attribute `A`, tail = values of
 /// attribute `B`, physically reorganized (cracked) on the head as a side
@@ -39,6 +39,12 @@ impl CrackerMap {
     pub fn tuples(&self) -> usize {
         self.arr.len()
     }
+
+    /// Crack by `pred` under `policy` (the set's policy — a map must
+    /// always crack with its siblings' policy or alignment breaks).
+    pub fn crack(&mut self, pred: &RangePred, policy: &CrackPolicy) -> Span {
+        self.arr.crack_range_with(pred, policy)
+    }
 }
 
 /// The key map `M_A,key`: head = values of `A`, tail = tuple keys. It is
@@ -69,6 +75,11 @@ impl KeyMap {
     /// Storage footprint in tuples.
     pub fn tuples(&self) -> usize {
         self.arr.len()
+    }
+
+    /// Crack by `pred` under `policy` (see [`CrackerMap::crack`]).
+    pub fn crack(&mut self, pred: &RangePred, policy: &CrackPolicy) -> Span {
+        self.arr.crack_range_with(pred, policy)
     }
 }
 

@@ -41,7 +41,7 @@ use crate::bitvec::BitVec;
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_cracking::index::pred_keys;
-use crackdb_cracking::{BoundaryKey, CrackedArray, CrackerIndex};
+use crackdb_cracking::{BoundaryKey, CrackPolicy, CrackedArray, CrackerIndex};
 use std::collections::{HashMap, HashSet};
 
 /// Identity of an area: its start boundary in the chunk map (`None` for
@@ -166,13 +166,24 @@ pub struct PartialSet {
     /// When set, chunks whose largest piece is at most this many tuples
     /// drop their head column after use (§4.1 head dropping).
     pub head_drop_threshold: Option<usize>,
+    /// Pivot-choice policy shared by the chunk map, every chunk and the
+    /// per-area resolvers. Fixed for the set's lifetime: area-tape
+    /// replay must reproduce cracks bit-for-bit across sibling chunks
+    /// and recreations.
+    policy: CrackPolicy,
     /// Counters.
     pub stats: PartialStats,
 }
 
 impl PartialSet {
-    /// Empty partial set for `head_attr`.
+    /// Empty partial set for `head_attr`, cracking with the standard
+    /// exact-bounds policy.
     pub fn new(head_attr: usize) -> Self {
+        Self::with_policy(head_attr, CrackPolicy::Standard)
+    }
+
+    /// Like [`Self::new`] with an explicit [`CrackPolicy`].
+    pub fn with_policy(head_attr: usize, policy: CrackPolicy) -> Self {
         PartialSet {
             head_attr,
             chunk_map: None,
@@ -183,8 +194,14 @@ impl PartialSet {
             budget: None,
             clock: 0,
             head_drop_threshold: None,
+            policy,
             stats: PartialStats::default(),
         }
+    }
+
+    /// The set's pivot-choice policy.
+    pub fn policy(&self) -> CrackPolicy {
+        self.policy
     }
 
     /// Current chunk storage in tuples (the chunk map and the per-area
@@ -256,8 +273,13 @@ impl PartialSet {
 
     /// Crack the chunk map at the predicate's cut points, but only inside
     /// unfetched areas (fetched areas are frozen; their chunks get
-    /// cracked instead).
+    /// cracked instead). The set's policy applies: stochastic advisory
+    /// pivots split large unfetched areas (both halves stay unfetched,
+    /// so freezing invariants hold), and the coarse-granular policy
+    /// declines to split areas at or below its leaf size — the query
+    /// then filters inside the chunks.
     fn crack_chunk_map_for(&mut self, pred: &RangePred) {
+        let policy = self.policy;
         let (lo_k, hi_k) = pred_keys(pred);
         for key in [lo_k, hi_k].into_iter().flatten() {
             let cm = self.chunk_map.as_ref().expect("chunk map ensured");
@@ -273,11 +295,10 @@ impl PartialSet {
                 .map(|(k, _)| *k);
             let fetched = self.areas.get(&id).is_some_and(|a| a.fetched);
             if !fetched {
-                self.chunk_map
-                    .as_mut()
-                    .expect("chunk map ensured")
-                    .ensure_boundary(key);
-                self.stats.chunk_map_cracks += 1;
+                let cm = self.chunk_map.as_mut().expect("chunk map ensured");
+                let before = cm.index().len();
+                cm.crack_boundary(key, &policy);
+                self.stats.chunk_map_cracks += (cm.index().len() - before) as u64;
             }
         }
     }
@@ -391,11 +412,13 @@ impl PartialSet {
             arr: CrackedArray::new(heads.to_vec(), keys.to_vec()),
             cursor: 0,
         });
-        // Catch the resolver up with cracks logged since the last merge.
+        // Catch the resolver up with cracks logged since the last merge
+        // (replayed under the set's policy, like every sibling chunk).
+        let policy = self.policy;
         while resolver.cursor < info.tape.len() {
             match info.tape[resolver.cursor] {
                 AreaEntry::Crack(pred) => {
-                    resolver.arr.crack_range(&pred);
+                    resolver.arr.crack_range_with(&pred, &policy);
                 }
                 AreaEntry::Insert(key) => {
                     resolver.arr.ripple_insert(head_col.get(key), key);
@@ -558,7 +581,7 @@ impl PartialSet {
             .get(&area.id)
             .map(|a| a.tape.clone())
             .unwrap_or_default();
-        tmp.align_to(&tape, cursor, head_col, tail_col);
+        tmp.align_to(&tape, cursor, head_col, tail_col, &self.policy);
         self.stats.heads_recovered += 1;
         tmp.head().expect("fresh chunk has a head").to_vec()
     }
@@ -716,13 +739,14 @@ impl PartialSet {
             .max()
             .unwrap_or(0)
             .max(update_floor(&tape));
+        let policy = self.policy;
         for (attr, c) in chunks.iter_mut() {
             if c.cursor < target && c.head_dropped() {
                 let head = self.rebuild_head(base, *attr, area, c.cursor);
                 c.restore_head(head);
             }
             self.stats.entries_replayed +=
-                c.align_to(&tape, target, head_col, base.column(*attr)) as u64;
+                c.align_to(&tape, target, head_col, base.column(*attr), &policy) as u64;
         }
         (chunks, tape)
     }
@@ -803,11 +827,13 @@ impl PartialSet {
         let (mut chunks, tape) = self.checkout_area_chunks(base, area, attrs);
         let needed = Self::keys_inside(head_pred, area);
         let head_col = base.column(self.head_attr);
+        let policy = self.policy;
 
         // Boundary handling with monitored alignment: replay further
-        //    entries until the needed boundaries appear; crack only if the
-        //    tape never provides them.
+        //    entries until the needed boundaries appear; crack (under the
+        //    set's policy) only if the tape never provides them.
         let mut range = (0, chunks.first().map_or(0, |(_, c)| c.len()));
+        let mut exact = true;
         if !needed.is_empty() {
             let mut missing = false;
             for (attr, c) in chunks.iter_mut() {
@@ -816,37 +842,67 @@ impl PartialSet {
                     c.restore_head(head);
                 }
                 let (replayed, m) =
-                    c.align_until_boundaries(&tape, &needed, head_col, base.column(*attr));
+                    c.align_until_boundaries(&tape, &needed, head_col, base.column(*attr), &policy);
                 self.stats.entries_replayed += replayed as u64;
                 missing = m;
             }
             if missing {
+                // Every chunk is now at the tape end; crack them all with
+                // the same policy (deterministically identical outcomes).
+                let mut changed = false;
                 for (attr, c) in chunks.iter_mut() {
                     if c.head_dropped() {
                         let head = self.rebuild_head(base, *attr, area, c.cursor);
                         c.restore_head(head);
                     }
-                    c.crack_range(head_pred);
+                    let before = c.index().len();
+                    c.crack_range_with(head_pred, &policy);
+                    if c.index().len() > before {
+                        changed = true;
+                    }
                     self.stats.query_cracks += 1;
                 }
-                let info = self.area_info(area.id);
-                info.tape.push(AreaEntry::Crack(*head_pred));
-                let new_len = info.tape.len();
-                for (_, c) in chunks.iter_mut() {
-                    c.cursor = new_len;
+                // Log only cracks that created boundaries — a declined
+                // coarse-granular split must not grow the tape on every
+                // repeat of the same query.
+                if changed {
+                    let info = self.area_info(area.id);
+                    info.tape.push(AreaEntry::Crack(*head_pred));
+                    let new_len = info.tape.len();
+                    for (_, c) in chunks.iter_mut() {
+                        c.cursor = new_len;
+                    }
                 }
             }
             range = chunks[0].1.range_of(head_pred);
+            exact = chunks[0].1.has_boundaries(&needed);
             for (_, c) in &chunks {
                 debug_assert_eq!(c.range_of(head_pred), range, "aligned chunks agree");
             }
         }
 
-        // Bit-vector filtering over the qualifying local range.
-        let bv = if tail_sels.is_empty() {
+        // Head filter for an inexact (coarse-granular) range: the range
+        // is a superset delimited by leaf pieces, so qualifying tuples
+        // are identified by the head values. The heads were restored
+        // above (an inexact range implies the missing-crack path ran).
+        let head_bv = if exact {
             None
         } else {
-            let mut bv: Option<BitVec> = None;
+            let heads = chunks[0]
+                .1
+                .head()
+                .expect("head restored for the policy crack");
+            let heads = &heads[range.0..range.1];
+            Some(BitVec::from_fn(heads.len(), |i| {
+                head_pred.matches(heads[i])
+            }))
+        };
+
+        // Bit-vector filtering over the qualifying local range.
+        let bv = if tail_sels.is_empty() {
+            head_bv
+        } else {
+            let mut bv: Option<BitVec> = head_bv;
             for (attr, pred) in tail_sels {
                 let (_, c) = chunks
                     .iter()

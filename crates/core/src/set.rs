@@ -7,6 +7,7 @@ use crate::map::{CrackerMap, KeyMap};
 use crate::tape::{DeleteBatch, InsertBatch, Tape, TapeEntry};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
+use crackdb_cracking::{CrackPolicy, Span};
 use std::collections::{HashMap, HashSet};
 
 /// Instrumentation counters for a map set.
@@ -37,14 +38,29 @@ pub struct MapSet {
     /// which keeps late-created maps deterministically aligned.
     initial_len: usize,
     initial_excluded: HashSet<RowId>,
+    /// Pivot-choice policy shared by every map of the set. Fixed for the
+    /// set's lifetime: tape replay must reproduce cracks bit-for-bit,
+    /// so all siblings (and all future recreations) crack identically.
+    policy: CrackPolicy,
     /// Counters.
     pub stats: SetStats,
 }
 
 impl MapSet {
     /// Create the (empty) set for `head_attr` over a base table snapshot:
-    /// `initial_len` rows of which `excluded` are already deleted.
+    /// `initial_len` rows of which `excluded` are already deleted,
+    /// cracking with the standard exact-bounds policy.
     pub fn new(head_attr: usize, initial_len: usize, excluded: HashSet<RowId>) -> Self {
+        Self::with_policy(head_attr, initial_len, excluded, CrackPolicy::Standard)
+    }
+
+    /// Like [`Self::new`] with an explicit [`CrackPolicy`].
+    pub fn with_policy(
+        head_attr: usize,
+        initial_len: usize,
+        excluded: HashSet<RowId>,
+        policy: CrackPolicy,
+    ) -> Self {
         MapSet {
             head_attr,
             tape: Tape::new(),
@@ -54,8 +70,14 @@ impl MapSet {
             staged_deletes: Vec::new(),
             initial_len,
             initial_excluded: excluded,
+            policy,
             stats: SetStats::default(),
         }
+    }
+
+    /// The set's pivot-choice policy.
+    pub fn policy(&self) -> CrackPolicy {
+        self.policy
     }
 
     /// Does a map for `tail_attr` currently exist?
@@ -205,10 +227,11 @@ impl MapSet {
             None => self.seed_key_map(base),
         };
         let head_col = base.column(self.head_attr);
+        let policy = self.policy;
         while km.cursor < target {
             match self.tape.entry(km.cursor).clone() {
                 TapeEntry::Crack(pred) => {
-                    km.arr.crack_range(&pred);
+                    km.crack(&pred, &policy);
                 }
                 TapeEntry::Inserts(id) => {
                     for &key in &self.tape.insert_batches[id as usize].keys {
@@ -249,10 +272,11 @@ impl MapSet {
     /// `target` by replaying entries from its cursor.
     fn align_map(&mut self, m: &mut CrackerMap, target: usize, base: &Table) {
         let head_col = base.column(self.head_attr);
+        let policy = self.policy;
         while m.cursor < target {
             match self.tape.entry(m.cursor).clone() {
                 TapeEntry::Crack(pred) => {
-                    m.arr.crack_range(&pred);
+                    m.crack(&pred, &policy);
                 }
                 TapeEntry::Inserts(id) => {
                     let tail_col = base.column(m.tail_attr);
@@ -281,16 +305,25 @@ impl MapSet {
     // ----- the sideways.select operator family ------------------------
 
     /// `sideways.select(A, v1, v2, B)` (§3.2): create the map if missing,
-    /// merge relevant staged updates, align, crack by `pred`, log the
-    /// crack, and return the contiguous qualifying area.
+    /// merge relevant staged updates, align, crack by `pred` (under the
+    /// set's policy), log the crack, and return the contiguous area.
     ///
-    /// View the area's values with [`Self::map`] + `arr.view(range)`.
+    /// Under [`CrackPolicy::CoarseGranular`] the area may be a superset
+    /// of the qualifying tuples; use [`Self::sideways_select_filtered`]
+    /// when exact membership matters. View the area's values with
+    /// [`Self::map`] + `arr.view(range)`.
     pub fn sideways_select(
         &mut self,
         base: &Table,
         tail_attr: usize,
         pred: &RangePred,
     ) -> (usize, usize) {
+        self.sideways_select_span(base, tail_attr, pred).range()
+    }
+
+    /// The policy-aware core of [`Self::sideways_select`], returning the
+    /// full [`Span`] (with exactness).
+    fn sideways_select_span(&mut self, base: &Table, tail_attr: usize, pred: &RangePred) -> Span {
         self.flush_staged(pred, base);
         let mut m = match self.maps.remove(&tail_attr) {
             Some(m) => m,
@@ -299,7 +332,7 @@ impl MapSet {
         let target = self.tape.len();
         self.align_map(&mut m, target, base);
         let before = m.arr.index().len();
-        let range = m.arr.crack_range(pred);
+        let span = m.crack(pred, &self.policy);
         if m.arr.index().len() > before {
             self.tape.log_crack(*pred);
             self.stats.query_cracks += 1;
@@ -307,7 +340,29 @@ impl MapSet {
         m.cursor = self.tape.len();
         m.accesses += 1;
         self.maps.insert(tail_attr, m);
-        range
+        span
+    }
+
+    /// [`Self::sideways_select`] plus the qualifying-bit vector a
+    /// non-exact span needs: `None` when every tuple in the area
+    /// qualifies (standard and stochastic policies, or coarse-granular
+    /// with matching boundaries), `Some(bv)` over the area otherwise
+    /// (bits derived from the map's head values).
+    pub fn sideways_select_filtered(
+        &mut self,
+        base: &Table,
+        tail_attr: usize,
+        pred: &RangePred,
+    ) -> ((usize, usize), Option<BitVec>) {
+        let span = self.sideways_select_span(base, tail_attr, pred);
+        if span.exact {
+            (span.range(), None)
+        } else {
+            let m = &self.maps[&tail_attr];
+            let heads = &m.arr.head()[span.start..span.end];
+            let bv = BitVec::from_fn(heads.len(), |i| pred.matches(heads[i]));
+            (span.range(), Some(bv))
+        }
     }
 
     /// Tail values of a previously selected area.
@@ -318,21 +373,32 @@ impl MapSet {
 
     /// Like [`Self::sideways_select`] but over the key map: returns the
     /// qualifying tuple keys (used when a plan needs tuple identities,
-    /// e.g. to feed a join).
+    /// e.g. to feed a join). Correct under every policy: an inexact
+    /// coarse-granular span is filtered against head values.
     pub fn select_keys(&mut self, base: &Table, pred: &RangePred) -> Vec<RowId> {
         self.flush_staged(pred, base);
         let target = self.tape.len();
         self.align_key_map_to(target, base);
         let mut km = self.key_map.take().expect("aligned above");
         let before = km.arr.index().len();
-        let range = km.arr.crack_range(pred);
+        let span = km.crack(pred, &self.policy);
         if km.arr.index().len() > before {
             self.tape.log_crack(*pred);
             self.stats.query_cracks += 1;
         }
         km.cursor = self.tape.len();
         km.accesses += 1;
-        let keys = km.arr.view((range.0, range.1)).1.to_vec();
+        let (heads, tail_keys) = km.arr.view(span.range());
+        let keys = if span.exact {
+            tail_keys.to_vec()
+        } else {
+            heads
+                .iter()
+                .zip(tail_keys)
+                .filter(|(&v, _)| pred.matches(v))
+                .map(|(_, &k)| k)
+                .collect()
+        };
         self.key_map = Some(km);
         keys
     }
@@ -347,9 +413,16 @@ impl MapSet {
         head_pred: &RangePred,
         tail_pred: &RangePred,
     ) -> ((usize, usize), BitVec) {
-        let range = self.sideways_select(base, tail_attr, head_pred);
+        let (range, head_bv) = self.sideways_select_filtered(base, tail_attr, head_pred);
         let tails = self.view_tail(tail_attr, range);
-        let bv = BitVec::from_fn(tails.len(), |i| tail_pred.matches(tails[i]));
+        let bv = match head_bv {
+            None => BitVec::from_fn(tails.len(), |i| tail_pred.matches(tails[i])),
+            // Inexact head span (coarse-granular): AND the head filter in.
+            Some(mut bv) => {
+                bv.refine(|i| tail_pred.matches(tails[i]));
+                bv
+            }
+        };
         (range, bv)
     }
 
@@ -407,17 +480,37 @@ impl MapSet {
         tail_attr: usize,
         head_pred: &RangePred,
     ) -> ((usize, usize), BitVec) {
-        let range = self.sideways_select(base, tail_attr, head_pred);
+        // A disjunction examines every tuple, so *every* staged update is
+        // relevant — merge them all first. A head-pred-scoped flush (the
+        // conjunctive rule) would leave updates matching only the other
+        // OR-predicates staged and therefore invisible to the pass: an
+        // inserted tuple missing from the map entirely, or a deleted one
+        // still contributing bits through its tail values.
+        self.flush_staged(&RangePred::all(), base);
+        let (range, head_bv) = self.sideways_select_filtered(base, tail_attr, head_pred);
         let n = self.maps[&tail_attr].arr.len();
         let mut bv = BitVec::zeros(n);
-        for i in range.0..range.1 {
-            bv.set(i);
+        match head_bv {
+            None => {
+                for i in range.0..range.1 {
+                    bv.set(i);
+                }
+            }
+            // Inexact head span: mark only the actually qualifying bits.
+            Some(hbv) => {
+                for i in hbv.iter_ones() {
+                    bv.set(range.0 + i);
+                }
+            }
         }
         (range, bv)
     }
 
-    /// Disjunctive refinement: scan the areas *outside* the cracked area
-    /// `w` and set bits of tuples whose tail value satisfies `tail_pred`.
+    /// Disjunctive refinement: scan the still-unset positions and set
+    /// bits of tuples whose tail value satisfies `tail_pred`. (With an
+    /// exact head span this visits exactly the areas outside the cracked
+    /// area `w`, as in §3.3; with a coarse-granular inexact span it also
+    /// re-examines the non-qualifying remainder of the leaf pieces.)
     pub fn disj_refine_bv(
         &mut self,
         base: &Table,
@@ -426,13 +519,13 @@ impl MapSet {
         tail_pred: &RangePred,
         bv: &mut BitVec,
     ) {
-        let range = self.sideways_select(base, tail_attr, head_pred);
+        self.sideways_select(base, tail_attr, head_pred);
         let m = &self.maps[&tail_attr];
         let n = m.arr.len();
         assert_eq!(n, bv.len(), "aligned maps must agree on total size");
         let tails = m.arr.tail();
-        for i in (0..range.0).chain(range.1..n) {
-            if !bv.get(i) && tail_pred.matches(tails[i]) {
+        for (i, &t) in tails.iter().enumerate() {
+            if !bv.get(i) && tail_pred.matches(t) {
                 bv.set(i);
             }
         }
@@ -607,6 +700,38 @@ mod tests {
         assert_eq!(sorted(out), vec![12, 72, 82]);
     }
 
+    /// Regression: a staged update relevant only to a *non-head*
+    /// OR-predicate must still be visible to a disjunctive pass. The
+    /// old pred-scoped flush left the tuple staged — an inserted row
+    /// was missing from the map entirely, a deleted one kept setting
+    /// bits via its tail values.
+    #[test]
+    fn disjunction_merges_updates_matching_other_predicates() {
+        let mut base = fig2_table();
+        let mut s = MapSet::new(0, base.num_rows(), HashSet::new());
+        // head pred on A; the "other" predicate filters on B via refine.
+        let head_pred = RangePred::open(0, 3); // a in {1, 2}
+        let b_pred = RangePred::open(900, 1100);
+        // Insert (a=100, b=1000, c=42): matches only the B predicate.
+        let key = base.append_row(&[100, 1000, 42]);
+        s.stage_insert(key);
+        let (_, mut bv) = s.disj_create_bv(&base, 1, &head_pred);
+        s.disj_refine_bv(&base, 1, &head_pred, &b_pred, &mut bv);
+        let mut out = Vec::new();
+        s.disj_reconstruct_with(&base, 2, &head_pred, &bv, |v| out.push(v));
+        assert!(out.contains(&42), "insert matching only the B pred seen");
+        assert_eq!(s.staged(), 0, "disjunctions merge every staged update");
+
+        // And the deletion direction: delete that row; it must stop
+        // contributing although its head value matches no A range.
+        s.stage_delete(100, key);
+        let (_, mut bv) = s.disj_create_bv(&base, 1, &head_pred);
+        s.disj_refine_bv(&base, 1, &head_pred, &b_pred, &mut bv);
+        let mut out = Vec::new();
+        s.disj_reconstruct_with(&base, 2, &head_pred, &bv, |v| out.push(v));
+        assert!(!out.contains(&42), "deleted tuple no longer contributes");
+    }
+
     #[test]
     fn select_keys_matches_scan() {
         let base = fig2_table();
@@ -725,6 +850,87 @@ mod tests {
 
     fn base_ref(t: &Table) -> &Table {
         t
+    }
+
+    /// Sibling maps must stay physically aligned under every policy —
+    /// including stochastic advisory pivots (regenerated bit-for-bit by
+    /// tape replay) and coarse-granular declined splits — and produce
+    /// scan-identical answers, with updates interleaved.
+    #[test]
+    fn maps_stay_aligned_and_correct_under_every_policy() {
+        let policies = [
+            CrackPolicy::Standard,
+            CrackPolicy::stochastic(),
+            CrackPolicy::Stochastic { seed: 7 },
+            CrackPolicy::CoarseGranular { min_piece: 8 },
+            CrackPolicy::CoarseGranular { min_piece: 1 << 20 },
+        ];
+        for policy in policies {
+            let mut seed = 99u64;
+            let mut next = |m: i64| -> i64 {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((seed >> 33) as i64).rem_euclid(m)
+            };
+            let n = 3000usize;
+            let mut base = Table::new();
+            base.add_column("a", Column::new((0..n).map(|_| next(1000)).collect()));
+            base.add_column("b", Column::new((0..n as Val).collect()));
+            base.add_column("c", Column::new((0..n as Val).map(|v| v * 2).collect()));
+            let mut s = MapSet::with_policy(0, n, HashSet::new(), policy);
+            assert_eq!(s.policy(), policy);
+            let mut tombstones: Vec<RowId> = Vec::new();
+            for q in 0..25 {
+                let lo = next(950);
+                let pred = RangePred::open(lo, lo + 50);
+                if q % 5 == 4 {
+                    let key = base.append_row(&[next(1000), 10_000 + q, 20_000 + q]);
+                    s.stage_insert(key);
+                    let victim = (q % 7) as RowId;
+                    if !tombstones.contains(&victim) {
+                        s.stage_delete(base.column(0).get(victim), victim);
+                        tombstones.push(victim);
+                    }
+                }
+                // Alternate which map cracks first; the other aligns.
+                let (first, second) = if q % 2 == 0 { (1, 2) } else { (2, 1) };
+                let r1 = s.sideways_select(&base, first, &pred);
+                let r2 = s.sideways_select(&base, second, &pred);
+                assert_eq!(r1, r2, "{}: areas agree at query {q}", policy.label());
+                assert_eq!(
+                    s.map(1).unwrap().arr.head(),
+                    s.map(2).unwrap().arr.head(),
+                    "{}: heads aligned at query {q}",
+                    policy.label()
+                );
+                s.map(1).unwrap().arr.check_partitioning();
+                // Filtered select matches a scan of the live rows.
+                let (range, bv) = s.sideways_select_filtered(&base, 1, &pred);
+                let tails = s.view_tail(1, range);
+                let mut got: Vec<Val> = match bv {
+                    None => tails.to_vec(),
+                    Some(bv) => bv.iter_ones().map(|i| tails[i]).collect(),
+                };
+                got.sort_unstable();
+                let mut expected: Vec<Val> = (0..base.num_rows() as RowId)
+                    .filter(|k| !tombstones.contains(k))
+                    .filter(|&k| pred.matches(base.column(0).get(k)))
+                    .map(|k| base.column(1).get(k))
+                    .collect();
+                expected.sort_unstable();
+                assert_eq!(got, expected, "{}: query {q} results", policy.label());
+            }
+            // Advisory pivots appear only under the stochastic policy
+            // (the table is large enough to trigger injection).
+            let advisory = s.map(1).unwrap().arr.index().advisory_count();
+            match policy {
+                CrackPolicy::Stochastic { .. } => {
+                    assert!(advisory > 0, "stochastic policy should inject pivots")
+                }
+                _ => assert_eq!(advisory, 0, "{}: no advisory pivots", policy.label()),
+            }
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::partial::PartialSet;
 use crate::set::{uniform_estimate, MapSet};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
+use crackdb_cracking::CrackPolicy;
 use std::collections::{HashMap, HashSet};
 
 /// Result handle of a conjunctive multi-selection: the chosen map set,
@@ -41,6 +42,8 @@ pub struct SidewaysStore {
     /// Value domain per attribute (for zero-knowledge estimates).
     domains: HashMap<usize, (Val, Val)>,
     default_domain: (Val, Val),
+    /// Pivot-choice policy handed to every map set created by the store.
+    policy: CrackPolicy,
     /// Storage budget in tuples across all maps (`None` = unlimited).
     pub budget: Option<usize>,
     /// Maps dropped by the storage manager (instrumentation).
@@ -55,6 +58,24 @@ impl SidewaysStore {
             default_domain,
             ..Default::default()
         }
+    }
+
+    /// Set the pivot-choice policy for all *future* map sets.
+    ///
+    /// # Panics
+    /// If any set already exists — a set's policy is fixed for its
+    /// lifetime (tape replay must stay deterministic).
+    pub fn set_policy(&mut self, policy: CrackPolicy) {
+        assert!(
+            self.sets.is_empty(),
+            "crack policy must be chosen before any map set exists"
+        );
+        self.policy = policy;
+    }
+
+    /// The store's pivot-choice policy.
+    pub fn policy(&self) -> CrackPolicy {
+        self.policy
     }
 
     /// Register a per-attribute value domain.
@@ -77,9 +98,10 @@ impl SidewaysStore {
         head_attr: usize,
         excluded: &HashSet<RowId>,
     ) -> &mut MapSet {
-        self.sets
-            .entry(head_attr)
-            .or_insert_with(|| MapSet::new(head_attr, base.num_rows(), excluded.clone()))
+        let policy = self.policy;
+        self.sets.entry(head_attr).or_insert_with(|| {
+            MapSet::with_policy(head_attr, base.num_rows(), excluded.clone(), policy)
+        })
     }
 
     /// Read access to a set.
@@ -234,9 +256,20 @@ impl SidewaysStore {
         self.ensure_set(base, sel_attr, excluded);
         let s = self.sets.get_mut(&sel_attr).expect("ensured");
         for &p in projs {
-            let range = s.sideways_select(base, p, pred);
-            for &v in s.view_tail(p, range) {
-                consume(p, v);
+            let (range, head_bv) = s.sideways_select_filtered(base, p, pred);
+            let tails = s.view_tail(p, range);
+            match head_bv {
+                None => {
+                    for &v in tails {
+                        consume(p, v);
+                    }
+                }
+                // Inexact (coarse-granular) area: stream qualifying bits.
+                Some(bv) => {
+                    for i in bv.iter_ones() {
+                        consume(p, tails[i]);
+                    }
+                }
             }
         }
     }
@@ -273,23 +306,26 @@ impl SidewaysStore {
         let s = self.sets.get_mut(&set_attr).expect("ensured");
 
         if tails.is_empty() {
-            // Pure single-selection: no bit vector needed. Run the
-            // sideways.select of every needed map now — the query plan's
-            // selection phase contains one operator per map (§3.2), so
-            // later reconstructions find the maps aligned.
-            let mut range = None;
-            for &attr in &needed {
-                range = Some(s.sideways_select(base, attr, &head_pred));
+            // Pure single-selection: no residual bit vector needed. Run
+            // the sideways.select of every needed map now — the query
+            // plan's selection phase contains one operator per map
+            // (§3.2), so later reconstructions find the maps aligned.
+            // (A coarse-granular inexact area still carries its head
+            // filter so reconstructions stream only qualifying tuples;
+            // aligned maps share the area, so the filter is computed
+            // once — on the last map — not per alignment step.)
+            for &attr in needed.iter().rev().skip(1) {
+                s.sideways_select(base, attr, &head_pred);
             }
-            let range = match range {
-                Some(r) => r,
-                None => s.select_keys(base, &head_pred).len().pipe_range(),
+            let (range, bv) = match needed.last() {
+                Some(&attr) => s.sideways_select_filtered(base, attr, &head_pred),
+                None => (s.select_keys(base, &head_pred).len().pipe_range(), None),
             };
             return ConjHandle {
                 set_attr,
                 head_pred,
                 range,
-                bv: None,
+                bv,
             };
         }
 
@@ -406,6 +442,9 @@ pub struct PartialStore {
     pub budget: Option<usize>,
     /// Head-drop policy forwarded to sets.
     pub head_drop_threshold: Option<usize>,
+    /// Pivot-choice policy handed to every partial set created by the
+    /// store.
+    policy: CrackPolicy,
     domains: HashMap<usize, (Val, Val)>,
     default_domain: (Val, Val),
     /// Every key deleted so far: sets created later must exclude them
@@ -426,6 +465,24 @@ impl PartialStore {
     /// Register a per-attribute value domain (set-choice estimates).
     pub fn set_domain(&mut self, attr: usize, domain: (Val, Val)) {
         self.domains.insert(attr, domain);
+    }
+
+    /// Set the pivot-choice policy for all *future* partial sets.
+    ///
+    /// # Panics
+    /// If any set already exists — a set's policy is fixed for its
+    /// lifetime (area-tape replay must stay deterministic).
+    pub fn set_policy(&mut self, policy: CrackPolicy) {
+        assert!(
+            self.sets.is_empty(),
+            "crack policy must be chosen before any partial set exists"
+        );
+        self.policy = policy;
+    }
+
+    /// The store's pivot-choice policy.
+    pub fn policy(&self) -> CrackPolicy {
+        self.policy
     }
 
     fn domain(&self, attr: usize) -> (Val, Val) {
@@ -483,9 +540,10 @@ impl PartialStore {
             .sum();
         let budget = self.budget.map(|b| b.saturating_sub(other));
         let hd = self.head_drop_threshold;
+        let policy = self.policy;
         let deleted = &self.deleted;
         let s = self.sets.entry(head_attr).or_insert_with(|| {
-            let mut s = PartialSet::new(head_attr);
+            let mut s = PartialSet::with_policy(head_attr, policy);
             // Pre-stage past deletions: the set's chunk-map seed (taken
             // at its first query) subsumes staged deletes by exclusion.
             for &k in deleted {

@@ -7,6 +7,7 @@
 //! and tuple reconstruction degenerates to random access.
 
 use crate::cracked::CrackedArray;
+use crate::policy::{CrackPolicy, Span};
 use crackdb_columnstore::column::Column;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 
@@ -18,22 +19,43 @@ pub struct CrackerColumn {
     arr: CrackedArray<RowId>,
     pending_inserts: Vec<(Val, RowId)>,
     pending_deletes: Vec<(Val, RowId)>,
+    /// Pivot-choice policy. Fixed for the column's lifetime (replayed
+    /// cracks must stay deterministic).
+    policy: CrackPolicy,
     /// Cumulative count of crack operations (for instrumentation).
     pub cracks: u64,
 }
 
 impl CrackerColumn {
     /// Create the cracker column by copying a base column (the paper's
-    /// "first time an attribute is required" step).
+    /// "first time an attribute is required" step), cracking with the
+    /// standard exact-bounds policy.
     pub fn from_column(col: &Column) -> Self {
+        Self::with_policy(col, CrackPolicy::Standard)
+    }
+
+    /// Create the cracker column with an explicit [`CrackPolicy`].
+    pub fn with_policy(col: &Column, policy: CrackPolicy) -> Self {
         let head = col.values().to_vec();
         let tail: Vec<RowId> = (0..col.len() as RowId).collect();
         CrackerColumn {
             arr: CrackedArray::new(head, tail),
             pending_inserts: Vec::new(),
             pending_deletes: Vec::new(),
+            policy,
             cracks: 0,
         }
+    }
+
+    /// The column's pivot-choice policy.
+    pub fn policy(&self) -> CrackPolicy {
+        self.policy
+    }
+
+    /// Cumulative tuples touched by the crack kernels (robustness
+    /// instrumentation; see [`CrackedArray::touched`]).
+    pub fn touched(&self) -> u64 {
+        self.arr.touched()
     }
 
     /// Number of merged tuples (excludes pending).
@@ -55,19 +77,41 @@ impl CrackerColumn {
     /// so qualifying tuples are contiguous, and return the qualifying
     /// `(value, key)` slices. The key order is **not** the insertion
     /// order — the cause of expensive tuple reconstruction.
+    ///
+    /// Under [`CrackPolicy::CoarseGranular`] the returned slices may be
+    /// a *superset* of the qualifying tuples (a declined split leaves
+    /// the whole leaf piece); use [`Self::select_keys`] for a filtered
+    /// result, or consult [`Self::crack_select_span`] for exactness.
     pub fn crack_select(&mut self, pred: &RangePred) -> (&[Val], &[RowId]) {
-        self.merge_pending(pred);
-        let before = self.arr.index().len();
-        let range = self.arr.crack_range(pred);
-        self.cracks += (self.arr.index().len() - before) as u64;
-        let (h, t) = self.arr.view(range);
-        (h, t)
+        let span = self.crack_select_span(pred);
+        self.arr.view(span.range())
     }
 
-    /// Qualifying keys only (the common result shape).
+    /// Like [`Self::crack_select`] but returns the [`Span`] so callers
+    /// can see whether the area is exact or needs filtering.
+    pub fn crack_select_span(&mut self, pred: &RangePred) -> Span {
+        self.merge_pending(pred);
+        let before = self.arr.index().len();
+        let span = self.arr.crack_range_with(pred, &self.policy);
+        self.cracks += (self.arr.index().len() - before) as u64;
+        span
+    }
+
+    /// Qualifying keys only (the common result shape). Correct under
+    /// every policy: an inexact coarse-granular span is filtered against
+    /// the head values before keys are returned.
     pub fn select_keys(&mut self, pred: &RangePred) -> Vec<RowId> {
-        let (_, keys) = self.crack_select(pred);
-        keys.to_vec()
+        let span = self.crack_select_span(pred);
+        let (h, t) = self.arr.view(span.range());
+        if span.exact {
+            t.to_vec()
+        } else {
+            h.iter()
+                .zip(t)
+                .filter(|(&v, _)| pred.matches(v))
+                .map(|(_, &k)| k)
+                .collect()
+        }
     }
 
     /// Queue an insertion (applied on demand by the Ripple algorithm).
@@ -156,6 +200,28 @@ mod tests {
             assert_eq!(got, expected, "pred {pred:?}");
         }
         c.array().check_partitioning();
+    }
+
+    #[test]
+    fn select_keys_correct_under_all_policies() {
+        let col = base();
+        for policy in crate::policy::CrackPolicy::all() {
+            let mut c = CrackerColumn::with_policy(&col, policy);
+            assert_eq!(c.policy(), policy);
+            for pred in [
+                RangePred::open(5, 20),
+                RangePred::closed(5, 20),
+                RangePred::point(7),
+                RangePred::open(-5, 100),
+                RangePred::open(13, 14),
+            ] {
+                let mut got = c.select_keys(&pred);
+                got.sort_unstable();
+                let expected = crackdb_columnstore::ops::select::select(&col, &pred);
+                assert_eq!(got, expected, "policy {} pred {pred:?}", policy.label());
+            }
+            c.array().check_partitioning();
+        }
     }
 
     #[test]

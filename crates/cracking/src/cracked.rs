@@ -2,8 +2,9 @@
 //! behind cracker columns (tail = tuple key) and cracker maps (tail =
 //! projected attribute value).
 
-use crate::crack::{crack_in_three, crack_in_two};
+use crate::crack::{crack_in_three, crack_in_two, BoundKind};
 use crate::index::{pred_keys, BoundaryKey, CrackerIndex};
+use crate::policy::{mix64, CrackPolicy, Span, DEFAULT_STOCHASTIC_MIN_PIECE};
 use crackdb_columnstore::types::{RangePred, Val};
 
 /// Parallel head/tail arrays physically reorganized by cracking, plus the
@@ -13,6 +14,9 @@ pub struct CrackedArray<T: Copy> {
     head: Vec<Val>,
     tail: Vec<T>,
     index: CrackerIndex,
+    /// Cumulative tuples touched (scanned/swapped) by crack kernels —
+    /// the robustness metric of the policy property tests and benches.
+    touched: u64,
 }
 
 impl<T: Copy> CrackedArray<T> {
@@ -26,15 +30,31 @@ impl<T: Copy> CrackedArray<T> {
             head,
             tail,
             index: CrackerIndex::new(),
+            touched: 0,
         }
     }
 
     /// Reassemble from parts produced by [`Self::into_parts`] (used by
     /// partial sideways cracking's chunks, whose head column is
-    /// droppable and therefore stored outside the array).
+    /// droppable and therefore stored outside the array). The
+    /// touched-tuple counter restarts at zero.
     pub fn from_parts(head: Vec<Val>, tail: Vec<T>, index: CrackerIndex) -> Self {
         assert_eq!(head.len(), tail.len(), "head/tail length mismatch");
-        CrackedArray { head, tail, index }
+        CrackedArray {
+            head,
+            tail,
+            index,
+            touched: 0,
+        }
+    }
+
+    /// Cumulative count of tuples the crack kernels have scanned or
+    /// swapped over this array's lifetime. Per-query deltas of this
+    /// counter are the workload-robustness metric: under
+    /// `Pattern::Sequential` the standard policy keeps touching O(n)
+    /// tuples per query while the stochastic policy converges.
+    pub fn touched(&self) -> u64 {
+        self.touched
     }
 
     /// Disassemble into `(head, tail, index)` without copying.
@@ -80,13 +100,96 @@ impl<T: Copy> CrackedArray<T> {
         }
         let (s, e) = self.index.enclosing_piece(key, self.head.len());
         let split = crack_in_two(&mut self.head, &mut self.tail, s, e, key.0, key.1);
+        self.touched += (e - s) as u64;
         self.index.record(key, split);
         split
     }
 
+    /// Ensure a boundary exists under the stochastic policy: while the
+    /// enclosing piece is large, crack it at an *advisory* pivot — the
+    /// head value at a pseudo-random position derived purely from the
+    /// piece coordinates and `seed` (so tape replay on aligned siblings
+    /// reproduces it) — then descend into the half containing `key`.
+    /// Pieces along the access path halve until small enough for the
+    /// exact crack, defeating the sequential-sweep pathology.
+    fn ensure_boundary_stochastic(&mut self, key: BoundaryKey, seed: u64) -> usize {
+        loop {
+            if let Some(p) = self.index.position_of(key) {
+                self.index.promote(key);
+                return p;
+            }
+            let (s, e) = self.index.enclosing_piece(key, self.head.len());
+            if e - s <= DEFAULT_STOCHASTIC_MIN_PIECE {
+                let split = crack_in_two(&mut self.head, &mut self.tail, s, e, key.0, key.1);
+                self.touched += (e - s) as u64;
+                self.index.record(key, split);
+                return split;
+            }
+            let h = mix64(seed ^ (s as u64).rotate_left(17) ^ ((e as u64) << 1));
+            let pos = s + (h as usize) % (e - s);
+            let adv: BoundaryKey = (self.head[pos], BoundKind::Le);
+            let split = crack_in_two(&mut self.head, &mut self.tail, s, e, adv.0, adv.1);
+            self.touched += (e - s) as u64;
+            if adv == key {
+                self.index.record(key, split);
+                return split;
+            }
+            if split == s || split == e {
+                // Degenerate pivot (one value dominates the piece):
+                // record nothing, crack exactly to guarantee progress.
+                let split = crack_in_two(&mut self.head, &mut self.tail, s, e, key.0, key.1);
+                self.touched += (e - s) as u64;
+                self.index.record(key, split);
+                return split;
+            }
+            self.index.record_advisory(adv, split);
+        }
+    }
+
+    /// Crack at `key` if the policy permits it: `Some(position)` when the
+    /// boundary exists afterwards (pre-existing or newly cracked, with
+    /// any advisory pivots the policy injects), `None` when
+    /// [`CrackPolicy::CoarseGranular`] declined because the enclosing
+    /// piece is already at or below its leaf size.
+    pub fn crack_boundary(&mut self, key: BoundaryKey, policy: &CrackPolicy) -> Option<usize> {
+        if let Some(p) = self.index.position_of(key) {
+            // A query landed exactly on this boundary: if it was an
+            // advisory pivot it is query-mandated from now on.
+            self.index.promote(key);
+            return Some(p);
+        }
+        match *policy {
+            CrackPolicy::Standard => Some(self.ensure_boundary(key)),
+            CrackPolicy::Stochastic { seed } => Some(self.ensure_boundary_stochastic(key, seed)),
+            CrackPolicy::CoarseGranular { min_piece } => {
+                let (s, e) = self.index.enclosing_piece(key, self.head.len());
+                if e - s <= min_piece {
+                    None
+                } else {
+                    Some(self.ensure_boundary(key))
+                }
+            }
+        }
+    }
+
+    /// Assert the boundary-inversion invariant: the hi boundary of a
+    /// non-empty predicate can never sit left of its lo boundary,
+    /// because boundary keys are totally ordered and every recorded
+    /// boundary physically partitions the same array. (This used to be a
+    /// silent `b.max(a)` clamp; debug builds now fail loudly, and the
+    /// clamp only remains as release-mode slicing protection.)
+    fn checked_range(a: usize, b: usize) -> (usize, usize) {
+        debug_assert!(
+            b >= a,
+            "boundary inversion: hi boundary at {b} left of lo boundary at {a}"
+        );
+        (a, b.max(a))
+    }
+
     /// Crack so that all tuples qualifying `pred` form the contiguous area
     /// `[start, end)`; returns that range. Uses crack-in-three when both
-    /// new boundaries fall into the same piece.
+    /// new boundaries fall into the same piece. Equivalent to
+    /// [`Self::crack_range_with`] under [`CrackPolicy::Standard`].
     pub fn crack_range(&mut self, pred: &RangePred) -> (usize, usize) {
         let n = self.head.len();
         if pred.is_empty_range() {
@@ -102,14 +205,14 @@ impl<T: Copy> CrackedArray<T> {
                 let lo_pos = self.index.position_of(lk);
                 let hi_pos = self.index.position_of(hk);
                 match (lo_pos, hi_pos) {
-                    (Some(a), Some(b)) => (a, b.max(a)),
+                    (Some(a), Some(b)) => Self::checked_range(a, b),
                     (Some(a), None) => {
                         let b = self.ensure_boundary(hk);
-                        (a, b.max(a))
+                        Self::checked_range(a, b)
                     }
                     (None, Some(b)) => {
                         let a = self.ensure_boundary(lk);
-                        (a, b.max(a))
+                        Self::checked_range(a, b)
                     }
                     (None, None) => {
                         let (s1, e1) = self.index.enclosing_piece(lk, n);
@@ -117,16 +220,62 @@ impl<T: Copy> CrackedArray<T> {
                         if (s1, e1) == (s2, e2) {
                             let (a, b) =
                                 crack_in_three(&mut self.head, &mut self.tail, s1, e1, lk, hk);
+                            self.touched += (e1 - s1) as u64;
                             self.index.record(lk, a);
                             self.index.record(hk, b);
                             (a, b)
                         } else {
                             let a = self.ensure_boundary(lk);
                             let b = self.ensure_boundary(hk);
-                            (a, b.max(a))
+                            Self::checked_range(a, b)
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Policy-aware [`Self::crack_range`]: crack (or decline to crack)
+    /// at the predicate's bounds according to `policy` and return the
+    /// qualifying [`Span`]. Under [`CrackPolicy::Standard`] this is
+    /// byte-identical to `crack_range` (same kernels, same boundaries);
+    /// under [`CrackPolicy::CoarseGranular`] the span may be inexact —
+    /// a superset delimited by leaf pieces — and the caller must filter
+    /// head values with `pred`.
+    pub fn crack_range_with(&mut self, pred: &RangePred, policy: &CrackPolicy) -> Span {
+        if matches!(policy, CrackPolicy::Standard) {
+            let (s, e) = self.crack_range(pred);
+            return Span::exact(s, e);
+        }
+        let n = self.head.len();
+        if pred.is_empty_range() {
+            return Span::exact(0, 0);
+        }
+        let (lo_k, hi_k) = pred_keys(pred);
+        let (start, lo_exact) = match lo_k {
+            None => (0, true),
+            Some(k) => match self.crack_boundary(k, policy) {
+                Some(p) => (p, true),
+                // Coarse decline: open the span at the leaf piece start.
+                None => (self.index.enclosing_piece(k, n).0, false),
+            },
+        };
+        let (end, hi_exact) = match hi_k {
+            None => (n, true),
+            Some(k) => match self.crack_boundary(k, policy) {
+                Some(p) => (p, true),
+                None => (self.index.enclosing_piece(k, n).1, false),
+            },
+        };
+        let exact = lo_exact && hi_exact;
+        if exact {
+            let (start, end) = Self::checked_range(start, end);
+            Span { start, end, exact }
+        } else {
+            Span {
+                start,
+                end: end.max(start),
+                exact,
             }
         }
     }
@@ -166,7 +315,7 @@ impl<T: Copy> CrackedArray<T> {
                 self.head[free] = self.head[pos];
                 self.tail[free] = self.tail[pos];
                 free = pos;
-                self.index.record((bv, kind), pos + 1);
+                self.index.reposition((bv, kind), pos + 1);
             } else {
                 break;
             }
@@ -245,7 +394,7 @@ impl<T: Copy> CrackedArray<T> {
             // by one — including boundaries at the array end (empty last
             // pieces), which must not be left stale.
             while bi < bs.len() && bs[bi].1 == piece_end {
-                self.index.record(bs[bi].0, piece_end - 1);
+                self.index.reposition(bs[bi].0, piece_end - 1);
                 bi += 1;
             }
             if piece_end == n {
@@ -432,6 +581,110 @@ mod tests {
             a.check_partitioning();
         }
         assert_eq!(a.len(), 13);
+    }
+
+    /// Satellite regression for the `(Some(a), Some(b))` clamp audit:
+    /// interleaved two-sided cracks (nested, overlapping, touching,
+    /// repeated, point) must never record inverted boundaries — the
+    /// debug assertion in `checked_range` fires if they do, and the
+    /// returned ranges must always be well-formed supersets of nothing
+    /// (start <= end) with correct partitioning.
+    #[test]
+    fn interleaved_two_sided_cracks_never_invert() {
+        let mut state = 0xDEAD_BEEFu64;
+        let mut next = |m: i64| -> i64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i64).rem_euclid(m)
+        };
+        let head: Vec<Val> = (0..500).map(|_| next(100)).collect();
+        let tail: Vec<u32> = (0..500).collect();
+        let mut a = CrackedArray::new(head, tail);
+        for i in 0..300 {
+            let lo = next(100);
+            let hi = lo + next(20);
+            let pred = match i % 4 {
+                0 => RangePred::open(lo, hi),
+                1 => RangePred::closed(lo, hi),
+                2 => RangePred::half_open(lo, hi),
+                _ => RangePred::point(lo),
+            };
+            let (s, e) = a.crack_range(&pred);
+            assert!(s <= e, "query {i}: inverted range ({s}, {e})");
+            // Both recorded boundaries must resolve in order.
+            if let (Some(lk), Some(hk)) = crate::index::pred_keys(&pred) {
+                if !pred.is_empty_range() {
+                    let pl = a.index().position_of(lk).expect("lo recorded");
+                    let ph = a.index().position_of(hk).expect("hi recorded");
+                    assert!(pl <= ph, "query {i}: boundaries inverted {pl} > {ph}");
+                }
+            }
+            a.check_partitioning();
+        }
+    }
+
+    #[test]
+    fn stochastic_policy_spans_are_exact_and_match_standard_results() {
+        let head: Vec<Val> = (0..2000).map(|i| (i * 37) % 1000).collect();
+        let tail: Vec<u32> = (0..2000).collect();
+        let mut std_arr = CrackedArray::new(head.clone(), tail.clone());
+        let mut sto_arr = CrackedArray::new(head, tail);
+        let policy = CrackPolicy::stochastic();
+        for lo in [0, 150, 420, 900, 10] {
+            let pred = RangePred::open(lo, lo + 77);
+            let (s1, e1) = std_arr.crack_range(&pred);
+            let span = sto_arr.crack_range_with(&pred, &policy);
+            assert!(span.exact, "stochastic spans are always exact");
+            // Same qualifying multiset either way.
+            let mut a: Vec<_> = std_arr.head()[s1..e1].to_vec();
+            let mut b: Vec<_> = sto_arr.head()[span.start..span.end].to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+            sto_arr.check_partitioning();
+        }
+        // Advisory pivots only ever appear under non-standard policies.
+        assert_eq!(std_arr.index().advisory_count(), 0);
+    }
+
+    #[test]
+    fn coarse_policy_declines_small_pieces_and_reports_inexact_spans() {
+        let head: Vec<Val> = (0..100).rev().collect();
+        let tail: Vec<u32> = (0..100).collect();
+        let mut arr = CrackedArray::new(head, tail);
+        let policy = CrackPolicy::CoarseGranular { min_piece: 1000 };
+        let pred = RangePred::open(20, 40);
+        let span = arr.crack_range_with(&pred, &policy);
+        assert!(!span.exact, "piece of 100 <= min_piece 1000: no split");
+        assert_eq!(span.range(), (0, 100), "whole leaf piece returned");
+        assert_eq!(arr.index().len(), 0, "no boundary recorded");
+        // Filtering the span yields exactly the qualifying tuples.
+        let qualify: Vec<_> = arr.head()[span.start..span.end]
+            .iter()
+            .filter(|&&v| pred.matches(v))
+            .copied()
+            .collect();
+        assert_eq!(qualify.len(), 19);
+
+        // A large piece still cracks exactly.
+        let policy = CrackPolicy::CoarseGranular { min_piece: 10 };
+        let span = arr.crack_range_with(&pred, &policy);
+        assert!(span.exact);
+        assert_eq!(span.len(), 19);
+        arr.check_partitioning();
+    }
+
+    #[test]
+    fn touched_counter_accumulates_on_cracks_only() {
+        let mut a = arr();
+        assert_eq!(a.touched(), 0);
+        a.crack_range(&RangePred::open(10, 15));
+        let after_first = a.touched();
+        assert!(after_first > 0);
+        // Repeat query: boundaries exist, nothing touched.
+        a.crack_range(&RangePred::open(10, 15));
+        assert_eq!(a.touched(), after_first);
     }
 
     #[test]

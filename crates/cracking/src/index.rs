@@ -5,6 +5,7 @@
 use crate::avl::AvlTree;
 use crate::crack::BoundKind;
 use crackdb_columnstore::types::{Bound, RangePred, Val};
+use std::collections::HashSet;
 
 /// A boundary key: the crack value plus which side of it belongs to the
 /// left piece. `(v, Lt)` sorts before `(v, Le)` so that the pieces
@@ -59,6 +60,12 @@ pub struct SizeEstimate {
 #[derive(Debug, Clone, Default)]
 pub struct CrackerIndex {
     tree: AvlTree<BoundaryKey>,
+    /// Boundaries injected by a [`crate::policy::CrackPolicy`] rather
+    /// than mandated by a query predicate. Physically they partition the
+    /// array exactly like query boundaries; the distinction exists for
+    /// instrumentation and for the policy property tests ("every
+    /// query-mandated boundary is exact").
+    advisory: HashSet<BoundaryKey>,
 }
 
 impl CrackerIndex {
@@ -66,6 +73,7 @@ impl CrackerIndex {
     pub fn new() -> Self {
         CrackerIndex {
             tree: AvlTree::new(),
+            advisory: HashSet::new(),
         }
     }
 
@@ -94,9 +102,49 @@ impl CrackerIndex {
         self.tree.get_any(&key)
     }
 
-    /// Record a crack: boundary `key` lives at `pos`.
+    /// Record a query-mandated crack: boundary `key` lives at `pos`. An
+    /// advisory boundary at the same key is promoted to query-mandated.
     pub fn record(&mut self, key: BoundaryKey, pos: usize) {
         self.tree.insert(key, pos);
+        self.advisory.remove(&key);
+    }
+
+    /// Record a policy-injected *advisory* crack: boundary `key` lives
+    /// at `pos`, but no query predicate demanded it. A key that is
+    /// already query-mandated stays query-mandated.
+    pub fn record_advisory(&mut self, key: BoundaryKey, pos: usize) {
+        let already_query = self.tree.get(&key).is_some() && !self.advisory.contains(&key);
+        self.tree.insert(key, pos);
+        if !already_query {
+            self.advisory.insert(key);
+        }
+    }
+
+    /// Update the position of an existing boundary without changing its
+    /// query-mandated/advisory status (ripple inserts and deletes shift
+    /// positions, they never create new partitioning knowledge).
+    pub fn reposition(&mut self, key: BoundaryKey, pos: usize) {
+        self.tree.insert(key, pos);
+    }
+
+    /// Promote a boundary to query-mandated: a query predicate landed
+    /// exactly on a previously advisory pivot.
+    pub fn promote(&mut self, key: BoundaryKey) {
+        self.advisory.remove(&key);
+    }
+
+    /// Was this boundary injected by a policy (and never demanded by a
+    /// query predicate)?
+    pub fn is_advisory(&self, key: BoundaryKey) -> bool {
+        self.advisory.contains(&key)
+    }
+
+    /// Number of live advisory boundaries.
+    pub fn advisory_count(&self) -> usize {
+        self.advisory
+            .iter()
+            .filter(|k| self.tree.get(k).is_some())
+            .count()
     }
 
     /// The enclosing uncracked piece `[start, end)` a new boundary falls
@@ -130,7 +178,8 @@ impl CrackerIndex {
 
     /// Drop all knowledge.
     pub fn clear(&mut self) {
-        self.tree.clear()
+        self.tree.clear();
+        self.advisory.clear();
     }
 
     /// §3.3: estimate the number of tuples qualifying `pred` in a cracked
@@ -279,6 +328,27 @@ mod tests {
         assert!(e.exact);
         assert_eq!(e.upper, 100);
         assert!(e.estimate.is_finite());
+    }
+
+    #[test]
+    fn advisory_marking_and_promotion() {
+        let mut idx = CrackerIndex::new();
+        idx.record_advisory((10, BoundKind::Le), 40);
+        idx.record((20, BoundKind::Lt), 70);
+        assert!(idx.is_advisory((10, BoundKind::Le)));
+        assert!(!idx.is_advisory((20, BoundKind::Lt)));
+        assert_eq!(idx.advisory_count(), 1);
+        // Repositioning (ripple updates) preserves the flag.
+        idx.reposition((10, BoundKind::Le), 41);
+        assert!(idx.is_advisory((10, BoundKind::Le)));
+        // A query landing exactly on the pivot promotes it.
+        idx.promote((10, BoundKind::Le));
+        assert!(!idx.is_advisory((10, BoundKind::Le)));
+        assert_eq!(idx.advisory_count(), 0);
+        // Re-recording an already query-mandated boundary as advisory
+        // must not demote it.
+        idx.record_advisory((20, BoundKind::Lt), 70);
+        assert!(!idx.is_advisory((20, BoundKind::Lt)));
     }
 
     #[test]

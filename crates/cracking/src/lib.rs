@@ -15,15 +15,21 @@
 //! * [`cracked::CrackedArray`] — a generic two-column cracked array with
 //!   ripple insert/delete;
 //! * [`column::CrackerColumn`] — the selection-cracking baseline
-//!   (`crackers.select`) with pending-update queues.
+//!   (`crackers.select`) with pending-update queues;
+//! * [`policy::CrackPolicy`] — pluggable pivot-choice strategies
+//!   (standard / stochastic / coarse-granular) hardening cracking
+//!   against adversarial workloads (sequential sweeps, hot-region
+//!   skew).
 
 pub mod avl;
 pub mod column;
 pub mod crack;
 pub mod cracked;
 pub mod index;
+pub mod policy;
 
 pub use column::CrackerColumn;
 pub use crack::BoundKind;
 pub use cracked::CrackedArray;
 pub use index::{BoundaryKey, CrackerIndex, SizeEstimate};
+pub use policy::{CrackPolicy, Span};

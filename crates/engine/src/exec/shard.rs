@@ -41,6 +41,16 @@
 //! Joins shard the primary (left) table and replicate the second table
 //! into every shard: each left row meets every right row exactly once,
 //! so concatenating per-shard match sets yields the full join.
+//!
+//! ## Crack policies
+//!
+//! Shards never share cracker state, so a
+//! [`crackdb_cracking::CrackPolicy`] composes per shard with no
+//! cross-shard coordination: pass it through the `make` closure
+//! (`ShardedEngine::build(base, n, |_, t| SidewaysEngine::with_policy(t,
+//! domain, policy))`) and every shard cracks its fraction of the data
+//! under that policy. Stochastic seeds may be shared across shards —
+//! each shard's pivot choice depends only on its own array state.
 
 use crate::query::{AggAcc, Engine, JoinQuery, JoinSide, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;

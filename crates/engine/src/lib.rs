@@ -42,7 +42,20 @@
 //! suite (`tests/shard_differential.rs`) enforces exactly that for all
 //! five engines at several shard counts. Because the router only needs
 //! the [`query::Engine`] trait, every scenario composes: 5 engines ×
-//! sharded/unsharded × serial/batch execution.
+//! sharded/unsharded × serial/batch execution × crack policy.
+//!
+//! The adaptive engines additionally take a [`CrackPolicy`]
+//! (standard / stochastic / coarse-granular pivot choice, from
+//! `crackdb-cracking`) hardening cracking against adversarial
+//! workloads; `SelCrackEngine::with_policy`,
+//! `SidewaysEngine::with_policy` and `PartialEngine::with_policy`
+//! select it explicitly, the plain `new` constructors read the
+//! `CRACKDB_POLICY` environment hook (standard when unset) so CI drives
+//! the differential suites once per policy. A `ShardedEngine` composes
+//! per shard: pass the policy through the `make` closure of
+//! [`exec::ShardedEngine::build`] and every shard cracks under it —
+//! shards never share cracker state, so no cross-shard coordination is
+//! needed.
 
 pub mod exec;
 pub mod partial_engine;
@@ -53,6 +66,7 @@ pub mod selcrack;
 pub mod sideways;
 pub mod tpch;
 
+pub use crackdb_cracking::CrackPolicy;
 pub use exec::{AccessPath, BatchRunner, RestrictCtx, RowSet, ShardedEngine};
 pub use partial_engine::PartialEngine;
 pub use plain::PlainEngine;

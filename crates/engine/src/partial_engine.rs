@@ -11,7 +11,7 @@ use crackdb_columnstore::column::Table;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_core::{cracker_join, PartialStore};
 use crackdb_cracking::crack::BoundKind;
-use crackdb_cracking::CrackedArray;
+use crackdb_cracking::{CrackPolicy, CrackedArray};
 use std::time::Instant;
 
 /// Partial-sideways-cracking executor.
@@ -23,15 +23,32 @@ pub struct PartialEngine {
 }
 
 impl PartialEngine {
-    /// Single-table engine with optional storage budget (tuples).
+    /// Single-table engine with optional storage budget (tuples). The
+    /// crack policy defaults to the `CRACKDB_POLICY` environment
+    /// selection (standard when unset), so CI can drive the whole
+    /// differential surface once per policy.
     pub fn new(base: Table, domain: (Val, Val), budget: Option<usize>) -> Self {
+        Self::with_policy(base, domain, budget, CrackPolicy::from_env())
+    }
+
+    /// Single-table engine with an explicit [`CrackPolicy`] for every
+    /// partial set (chunk maps, chunks and resolvers included).
+    pub fn with_policy(
+        base: Table,
+        domain: (Val, Val),
+        budget: Option<usize>,
+        policy: CrackPolicy,
+    ) -> Self {
         let mut store = PartialStore::new(domain);
         store.budget = budget;
+        store.set_policy(policy);
+        let mut second_store = PartialStore::new(domain);
+        second_store.set_policy(policy);
         PartialEngine {
             base,
             second: None,
             store,
-            second_store: PartialStore::new(domain),
+            second_store,
         }
     }
 

@@ -8,7 +8,7 @@ use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
 use crackdb_columnstore::ops::parallel::{self, PartialAgg};
 use crackdb_columnstore::types::{RangePred, RowId, Val};
-use crackdb_cracking::CrackerColumn;
+use crackdb_cracking::{CrackPolicy, CrackerColumn};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -18,6 +18,8 @@ pub struct SelCrackEngine {
     second: Option<Table>,
     /// Cracker columns per (table, attribute), created on first use.
     crackers: HashMap<(bool, usize), CrackerColumn>,
+    /// Pivot-choice policy for every cracker column.
+    policy: CrackPolicy,
     /// Value domain for ordering predicates by estimated selectivity
     /// ("all systems evaluate queries starting from the most selective
     /// predicate", §3.6 Exp4).
@@ -25,12 +27,20 @@ pub struct SelCrackEngine {
 }
 
 impl SelCrackEngine {
-    /// Single-table engine.
+    /// Single-table engine. The crack policy defaults to the
+    /// `CRACKDB_POLICY` environment selection (standard when unset), so
+    /// CI can drive the whole differential surface once per policy.
     pub fn new(base: Table, domain: (Val, Val)) -> Self {
+        Self::with_policy(base, domain, CrackPolicy::from_env())
+    }
+
+    /// Single-table engine with an explicit [`CrackPolicy`].
+    pub fn with_policy(base: Table, domain: (Val, Val), policy: CrackPolicy) -> Self {
         SelCrackEngine {
             base,
             second: None,
             crackers: HashMap::new(),
+            policy,
             domain,
         }
     }
@@ -43,12 +53,33 @@ impl SelCrackEngine {
         }
     }
 
+    /// Two-table engine with an explicit [`CrackPolicy`].
+    pub fn with_second_policy(
+        base: Table,
+        second: Table,
+        domain: (Val, Val),
+        policy: CrackPolicy,
+    ) -> Self {
+        SelCrackEngine {
+            second: Some(second),
+            ..SelCrackEngine::with_policy(base, domain, policy)
+        }
+    }
+
+    /// The engine's pivot-choice policy.
+    pub fn policy(&self) -> CrackPolicy {
+        self.policy
+    }
+
     fn order_preds(&self, preds: &[(usize, RangePred)], n: usize) -> Vec<(usize, RangePred)> {
         let mut ordered = preds.to_vec();
         ordered.sort_by(|a, b| {
             let ea = crackdb_core::set::uniform_estimate(&a.1, n, self.domain);
             let eb = crackdb_core::set::uniform_estimate(&b.1, n, self.domain);
-            ea.partial_cmp(&eb).expect("finite")
+            // total_cmp, like the shared planner: a NaN estimate from
+            // degenerate domain statistics must never panic predicate
+            // ordering — it just sorts last and the plan stays valid.
+            ea.total_cmp(&eb)
         });
         ordered
     }
@@ -61,10 +92,11 @@ impl SelCrackEngine {
         second: bool,
         attr: usize,
         pred: &RangePred,
+        policy: CrackPolicy,
     ) -> Vec<RowId> {
         crackers
             .entry((second, attr))
-            .or_insert_with(|| CrackerColumn::from_column(table.column(attr)))
+            .or_insert_with(|| CrackerColumn::with_policy(table.column(attr), policy))
             .select_keys(pred)
     }
 
@@ -76,13 +108,15 @@ impl SelCrackEngine {
         table: &Table,
         second: bool,
         preds: &[(usize, RangePred)],
+        policy: CrackPolicy,
     ) -> Vec<RowId> {
         if preds.is_empty() {
             // No predicate: still answer through a cracker column so that
             // queued (ripple) insertions and deletions are respected.
-            return Self::cracker_select(crackers, table, second, 0, &RangePred::all());
+            return Self::cracker_select(crackers, table, second, 0, &RangePred::all(), policy);
         }
-        let mut keys = Self::cracker_select(crackers, table, second, preds[0].0, &preds[0].1);
+        let mut keys =
+            Self::cracker_select(crackers, table, second, preds[0].0, &preds[0].1, policy);
         for (attr, pred) in &preds[1..] {
             let col = table.column(*attr);
             combine::refine_keys(&mut keys, pred, |k| col.get(k));
@@ -106,7 +140,14 @@ impl AccessPath for SelCrackEngine {
 
     fn restrict(&mut self, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) -> RowSet {
         RowSet::keys(
-            Self::cracker_select(&mut self.crackers, &self.base, false, attr, pred),
+            Self::cracker_select(
+                &mut self.crackers,
+                &self.base,
+                false,
+                attr,
+                pred,
+                self.policy,
+            ),
             false,
         )
     }
@@ -127,13 +168,20 @@ impl AccessPath for SelCrackEngine {
         let RowSet::Keys { keys, .. } = rows else {
             unreachable!("cracker selects produce key lists")
         };
-        let more = Self::cracker_select(&mut self.crackers, &self.base, false, attr, pred);
+        let more = Self::cracker_select(
+            &mut self.crackers,
+            &self.base,
+            false,
+            attr,
+            pred,
+            self.policy,
+        );
         combine::union_keys_unordered(keys, more);
     }
 
     fn unrestricted(&mut self, _ctx: &RestrictCtx) -> RowSet {
         RowSet::keys(
-            Self::select_keys(&mut self.crackers, &self.base, false, &[]),
+            Self::select_keys(&mut self.crackers, &self.base, false, &[], self.policy),
             false,
         )
     }
@@ -186,9 +234,9 @@ impl Engine for SelCrackEngine {
         let t0 = Instant::now();
         let lpreds = self.order_preds(&q.left.preds, n);
         let rpreds = self.order_preds(&q.right.preds, n2);
-        let lkeys = Self::select_keys(&mut self.crackers, &self.base, false, &lpreds);
+        let lkeys = Self::select_keys(&mut self.crackers, &self.base, false, &lpreds, self.policy);
         let second = self.second.as_ref().expect("checked above");
-        let rkeys = Self::select_keys(&mut self.crackers, second, true, &rpreds);
+        let rkeys = Self::select_keys(&mut self.crackers, second, true, &rpreds, self.policy);
         timings.select = t0.elapsed();
 
         let t1 = Instant::now();
@@ -230,10 +278,11 @@ impl Engine for SelCrackEngine {
         // cracker column of every attribute, so crackers are created on
         // demand here (from the current base, which still holds the row)
         // and the deletion queued for the Ripple algorithm.
+        let policy = self.policy;
         for attr in 0..self.base.num_columns() {
             self.crackers
                 .entry((false, attr))
-                .or_insert_with(|| CrackerColumn::from_column(self.base.column(attr)))
+                .or_insert_with(|| CrackerColumn::with_policy(self.base.column(attr), policy))
                 .queue_delete(self.base.column(attr).get(key), key);
         }
     }

@@ -6,6 +6,7 @@ use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_core::SidewaysStore;
+use crackdb_cracking::CrackPolicy;
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -20,13 +21,26 @@ pub struct SidewaysEngine {
 
 impl SidewaysEngine {
     /// Single-table engine; `domain` is the attribute value domain used
-    /// for zero-knowledge selectivity estimates.
+    /// for zero-knowledge selectivity estimates. The crack policy
+    /// defaults to the `CRACKDB_POLICY` environment selection (standard
+    /// when unset), so CI can drive the whole differential surface once
+    /// per policy.
     pub fn new(base: Table, domain: (Val, Val)) -> Self {
+        Self::with_policy(base, domain, CrackPolicy::from_env())
+    }
+
+    /// Single-table engine with an explicit [`CrackPolicy`] for every
+    /// map set (both tables of a join workload share it).
+    pub fn with_policy(base: Table, domain: (Val, Val), policy: CrackPolicy) -> Self {
+        let mut store = SidewaysStore::new(domain);
+        store.set_policy(policy);
+        let mut second_store = SidewaysStore::new(domain);
+        second_store.set_policy(policy);
         SidewaysEngine {
             base,
             second: None,
-            store: SidewaysStore::new(domain),
-            second_store: SidewaysStore::new(domain),
+            store,
+            second_store,
             tombstones: HashSet::new(),
         }
     }
@@ -107,20 +121,24 @@ impl AccessPath for SidewaysEngine {
 
         // One sideways.select per map the plan will touch (§3.2): crack
         // the fetch maps now so reconstructions find them aligned; the
-        // residual selection maps crack during their own refine step.
-        let mut range = None;
-        for &fa in ctx.fetch_attrs {
-            range = Some(s.sideways_select(&self.base, fa, pred));
+        // residual selection maps crack during their own refine step. A
+        // coarse-granular inexact area arrives with its head filter
+        // attached so downstream refines/fetches see only qualifying
+        // tuples — computed once, on the last aligned map, since all
+        // maps of the set share the area.
+        for &fa in ctx.fetch_attrs.iter().rev().skip(1) {
+            s.sideways_select(&self.base, fa, pred);
         }
-        let range = range.unwrap_or_else(|| {
+        let (range, bv) = match ctx.fetch_attrs.last() {
+            Some(&fa) => s.sideways_select_filtered(&self.base, fa, pred),
             // No fetch attributes: derive the area from the first
             // residual map (its refine re-uses the aligned map).
-            s.sideways_select(&self.base, needed[0], pred)
-        });
+            None => s.sideways_select_filtered(&self.base, needed[0], pred),
+        };
         RowSet::Area {
             head: (attr, *pred),
             range,
-            bv: None,
+            bv,
         }
     }
 

@@ -7,8 +7,8 @@
 use crackdb_columnstore::column::{Column, Table};
 use crackdb_columnstore::types::{AggFunc, RangePred, Val};
 use crackdb_engine::{
-    Engine, PartialEngine, PlainEngine, PresortedEngine, SelCrackEngine, SelectQuery,
-    ShardedEngine, SidewaysEngine,
+    CrackPolicy, Engine, JoinQuery, JoinSide, PartialEngine, PlainEngine, PresortedEngine,
+    SelCrackEngine, SelectQuery, ShardedEngine, SidewaysEngine,
 };
 
 fn empty_table(cols: usize) -> Table {
@@ -104,6 +104,74 @@ fn single_value_domains_never_panic_the_planner() {
     check_engines(&t, (5, 5), "single-value domain");
     // Inverted domain registration must be tolerated as well.
     check_engines(&t, (9, 3), "inverted domain");
+}
+
+/// `SelCrackEngine::order_preds` orders a join side's predicates by
+/// uniform selectivity estimates; it used to `partial_cmp(..).expect`
+/// on them — the exact NaN panic the shared planner fixed with
+/// `total_cmp` but this path missed. Drive multi-predicate conjunctions
+/// through the SelCrack join path on every degenerate domain (and every
+/// policy) and require plain-identical answers.
+#[test]
+fn selcrack_join_ordering_survives_degenerate_domains() {
+    let tables: Vec<(Table, (Val, Val), &str)> = vec![
+        (empty_table(3), (0, 0), "empty table, empty domain"),
+        (single_value_table(3, 40, 5), (5, 5), "single-value domain"),
+        (single_value_table(3, 40, 5), (9, 3), "inverted domain"),
+    ];
+    // Two predicates per side so order_preds actually compares the
+    // (possibly degenerate) selectivity estimates.
+    let q = JoinQuery {
+        left: JoinSide {
+            preds: vec![(0, RangePred::closed(5, 5)), (1, RangePred::open(0, 10))],
+            join_attr: 2,
+            aggs: vec![(0, AggFunc::Count), (1, AggFunc::Max)],
+        },
+        right: JoinSide {
+            preds: vec![(1, RangePred::closed(5, 5)), (0, RangePred::open(4, 6))],
+            join_attr: 2,
+            aggs: vec![(0, AggFunc::Sum)],
+        },
+    };
+    for (t, domain, ctx) in &tables {
+        let mut plain = PlainEngine::with_second(t.clone(), t.clone());
+        let expected = plain.join(&q);
+        for policy in CrackPolicy::all() {
+            let mut e = SelCrackEngine::with_second_policy(t.clone(), t.clone(), *domain, policy);
+            let out = e.join(&q);
+            assert_eq!(out.rows, expected.rows, "{ctx} ({}): rows", policy.label());
+            assert_eq!(out.aggs, expected.aggs, "{ctx} ({}): aggs", policy.label());
+        }
+    }
+}
+
+/// Multi-predicate conjunctive *selects* through SelCrack on degenerate
+/// domains, under every policy explicitly (not just the env hook).
+#[test]
+fn selcrack_conjunctions_on_degenerate_domains_under_all_policies() {
+    let t = single_value_table(3, 50, 5);
+    let q = SelectQuery::aggregate(
+        vec![
+            (0, RangePred::closed(5, 5)),
+            (1, RangePred::open(0, 9)),
+            (2, RangePred::closed(5, 5)),
+        ],
+        vec![(1, AggFunc::Count), (1, AggFunc::Sum), (2, AggFunc::Min)],
+    );
+    let mut plain = PlainEngine::new(t.clone());
+    let expected = plain.select(&q);
+    for domain in [(5, 5), (9, 3), (0, 0)] {
+        for policy in CrackPolicy::all() {
+            let mut e = SelCrackEngine::with_policy(t.clone(), domain, policy);
+            let out = e.select(&q);
+            assert_eq!(
+                out.aggs,
+                expected.aggs,
+                "domain {domain:?} policy {}",
+                policy.label()
+            );
+        }
+    }
 }
 
 #[test]

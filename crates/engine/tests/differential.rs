@@ -4,8 +4,8 @@
 use crackdb_columnstore::column::{Column, Table};
 use crackdb_columnstore::types::{AggFunc, RangePred, Val};
 use crackdb_engine::{
-    BatchRunner, Engine, JoinQuery, JoinSide, PartialEngine, PlainEngine, PresortedEngine,
-    SelCrackEngine, SelectQuery, SidewaysEngine,
+    BatchRunner, CrackPolicy, Engine, JoinQuery, JoinSide, PartialEngine, PlainEngine,
+    PresortedEngine, SelCrackEngine, SelectQuery, SidewaysEngine,
 };
 
 const DOMAIN: (Val, Val) = (0, 1000);
@@ -336,6 +336,90 @@ fn batch_runner_matches_serial_for_all_engines() {
         &queries,
         "partial",
     );
+}
+
+/// Every adaptive engine under every crack policy — explicitly, not via
+/// the `CRACKDB_POLICY` env hook — must match the plain baseline on a
+/// mixed query/update stream. `coarse:16` exercises both the crack and
+/// the decline-and-filter paths on these table sizes; the default
+/// `coarse` (1024-tuple leaves) never cracks at all here, stressing the
+/// pure filtering fallback.
+#[test]
+fn adaptive_engines_agree_under_every_policy_explicitly() {
+    let policies = [
+        CrackPolicy::Standard,
+        CrackPolicy::stochastic(),
+        CrackPolicy::Stochastic { seed: 77 },
+        CrackPolicy::coarse(),
+        CrackPolicy::CoarseGranular { min_piece: 16 },
+    ];
+    for policy in policies {
+        let table = random_table(3, 400, 4242);
+        let mut plain = PlainEngine::new(table.clone());
+        let mut others: Vec<(&str, Box<dyn Engine>)> = vec![
+            (
+                "selcrack",
+                Box::new(SelCrackEngine::with_policy(table.clone(), DOMAIN, policy)),
+            ),
+            (
+                "sideways",
+                Box::new(SidewaysEngine::with_policy(table.clone(), DOMAIN, policy)),
+            ),
+            (
+                "partial",
+                Box::new(PartialEngine::with_policy(
+                    table.clone(),
+                    DOMAIN,
+                    None,
+                    policy,
+                )),
+            ),
+            (
+                "partial+budget",
+                Box::new(PartialEngine::with_policy(
+                    table.clone(),
+                    DOMAIN,
+                    Some(300),
+                    policy,
+                )),
+            ),
+        ];
+        let mut rng = Lcg(1717);
+        let mut live_keys: Vec<u32> = (0..400).collect();
+        let mut next_insert = 0i64;
+        for i in 0..40 {
+            if i % 4 == 3 {
+                let row = [rng.next(DOMAIN.1), 5_000_000 + next_insert, next_insert];
+                next_insert += 1;
+                plain.insert(&row);
+                live_keys.push(399 + next_insert as u32);
+                let victim = live_keys.swap_remove(rng.next(live_keys.len() as i64) as usize);
+                plain.delete(victim);
+                for (_, e) in others.iter_mut() {
+                    e.insert(&row);
+                    e.delete(victim);
+                }
+            }
+            let mut q = random_select(&mut rng, 3);
+            q.disjunctive = i % 5 == 4 && q.preds.len() > 1;
+            let expected = plain.select(&q);
+            for (name, e) in others.iter_mut() {
+                let out = e.select(&q);
+                assert_eq!(
+                    out.rows,
+                    expected.rows,
+                    "policy {} query {i}: {name} rows",
+                    policy.label()
+                );
+                assert_eq!(
+                    out.aggs,
+                    expected.aggs,
+                    "policy {} query {i}: {name} aggs",
+                    policy.label()
+                );
+            }
+        }
+    }
 }
 
 #[test]
