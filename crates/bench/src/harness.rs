@@ -136,6 +136,66 @@ pub fn write_bench_json(name: &str, root: JsonObj) -> std::io::Result<String> {
     Ok(path)
 }
 
+/// Latency percentiles over a sample set (nanoseconds), nearest-rank
+/// method. The query service records one sample per completed call
+/// (`Service::take_latencies`); `service_bench` folds them through this
+/// and emits them into `BENCH_service.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean (ns).
+    pub mean_ns: u64,
+    /// Median (ns).
+    pub p50_ns: u64,
+    /// 95th percentile (ns).
+    pub p95_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+impl Percentiles {
+    /// Compute from raw nanosecond samples (empty input yields zeros).
+    pub fn from_nanos(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        let count = samples.len();
+        let rank = |p: usize| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // Nearest-rank: smallest sample with at least p% of the
+            // distribution at or below it.
+            samples[(p * count).div_ceil(100).clamp(1, count) - 1]
+        };
+        Percentiles {
+            count,
+            mean_ns: if count == 0 {
+                0
+            } else {
+                (samples.iter().map(|&n| n as u128).sum::<u128>() / count as u128) as u64
+            },
+            p50_ns: rank(50),
+            p95_ns: rank(95),
+            p99_ns: rank(99),
+            max_ns: samples.last().copied().unwrap_or(0),
+        }
+    }
+
+    /// Serialize into the bench-artifact JSON shape (microsecond floats
+    /// for readability, counts as integers).
+    pub fn to_json(self) -> JsonObj {
+        JsonObj::new()
+            .u64("samples", self.count as u64)
+            .f64("mean_us", self.mean_ns as f64 / 1e3)
+            .f64("p50_us", self.p50_ns as f64 / 1e3)
+            .f64("p95_us", self.p95_ns as f64 / 1e3)
+            .f64("p99_us", self.p99_ns as f64 / 1e3)
+            .f64("max_us", self.max_ns as f64 / 1e3)
+    }
+}
+
 /// How `iter_batched` amortizes setup (kept for API compatibility; this
 /// harness always runs one setup per measured sample).
 #[derive(Debug, Clone, Copy)]
@@ -271,5 +331,42 @@ impl Bencher {
             std::hint::black_box(routine(state));
             self.times.push(t0.elapsed());
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::from_nanos((1..=100).collect());
+        assert_eq!(p.count, 100);
+        assert_eq!(p.p50_ns, 50);
+        assert_eq!(p.p95_ns, 95);
+        assert_eq!(p.p99_ns, 99);
+        assert_eq!(p.max_ns, 100);
+        assert_eq!(p.mean_ns, 50); // 50.5 truncated
+    }
+
+    #[test]
+    fn percentiles_degenerate_inputs() {
+        let empty = Percentiles::from_nanos(Vec::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99_ns, 0);
+        assert_eq!(empty.max_ns, 0);
+        let one = Percentiles::from_nanos(vec![7]);
+        assert_eq!((one.p50_ns, one.p99_ns, one.max_ns), (7, 7, 7));
+        // Unsorted input is sorted internally.
+        let two = Percentiles::from_nanos(vec![9, 1]);
+        assert_eq!(two.p50_ns, 1);
+        assert_eq!(two.p99_ns, 9);
+    }
+
+    #[test]
+    fn percentiles_serialize() {
+        let json = Percentiles::from_nanos(vec![1000, 2000]).to_json().finish();
+        assert!(json.contains("\"samples\":2"), "{json}");
+        assert!(json.contains("\"p50_us\":1"), "{json}");
     }
 }

@@ -31,6 +31,9 @@ pub struct Args {
     /// Maximum shard count for the sharding benchmarks (0 = sweep up to
     /// twice the hardware threads).
     pub shards: usize,
+    /// Concurrent closed-loop client sessions for the service
+    /// benchmarks (0 = one per hardware thread, at least 2).
+    pub clients: usize,
     /// Engine-set selector for benchmarks that support it (exp6:
     /// "default" = the paper's update-capable trio, "all" = all five
     /// engines including presorted and budgeted partial maps).
@@ -47,6 +50,7 @@ impl Args {
             seed: 42,
             threads: 0,
             shards: 0,
+            clients: 0,
             engines: "default".to_string(),
         };
         for arg in std::env::args().skip(1) {
@@ -62,6 +66,8 @@ impl Args {
                 a.threads = v.parse().expect("--threads takes an integer");
             } else if let Some(v) = arg.strip_prefix("--shards=") {
                 a.shards = v.parse().expect("--shards takes an integer");
+            } else if let Some(v) = arg.strip_prefix("--clients=") {
+                a.clients = v.parse().expect("--clients takes an integer");
             } else if let Some(v) = arg.strip_prefix("--engines=") {
                 assert!(
                     matches!(v, "default" | "all"),
@@ -73,6 +79,19 @@ impl Args {
             }
         }
         a
+    }
+
+    /// Resolved concurrent client-session count: `--clients=` or one
+    /// per hardware thread, at least 2 (a service benchmark with one
+    /// client cannot show concurrency at all).
+    pub fn clients_or_auto(&self) -> usize {
+        if self.clients > 0 {
+            self.clients
+        } else {
+            std::thread::available_parallelism()
+                .map_or(2, |n| n.get())
+                .max(2)
+        }
     }
 
     /// Resolved worker count: `--threads=` or one per hardware thread.

@@ -156,10 +156,14 @@ mod tests {
                 assert_eq!(c.total_rows(), rows);
                 let total: usize = (0..shards).map(|s| c.len_of(s)).sum();
                 assert_eq!(total, rows);
-                // Sizes differ by at most one.
+                // Sizes differ by at most one. min/max default to 0 so
+                // the 0-shard degenerate case (should `even` ever stop
+                // rejecting it) reports a clean assertion failure
+                // instead of an unwrap panic inside the test itself.
                 let sizes: Vec<usize> = (0..shards).map(|s| c.len_of(s)).collect();
-                let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-                assert!(mx - mn <= 1);
+                let mn = sizes.iter().copied().min().unwrap_or(0);
+                let mx = sizes.iter().copied().max().unwrap_or(0);
+                assert!(mx - mn <= 1, "{rows} rows x {shards} shards: {sizes:?}");
             }
         }
     }
@@ -216,6 +220,50 @@ mod tests {
         assert_eq!(parts.len(), 7);
         assert_eq!(parts.iter().map(Table::num_rows).sum::<usize>(), 3);
         assert!(parts[5].num_rows() == 0 && parts[5].num_columns() == 2);
+    }
+
+    /// The 0-row / 0-shard degenerate cases `tests/degenerate.rs`
+    /// stresses at the engine layer, pinned here at the helper layer:
+    /// every total operation stays total on empty input, and the
+    /// partial ones reject it with their documented message instead of
+    /// an incidental unwrap panic.
+    #[test]
+    fn zero_row_degenerate_cases_are_total() {
+        let c = ShardCuts::even(0, 3);
+        assert_eq!(c.total_rows(), 0);
+        assert_eq!((0..3).map(|s| c.len_of(s)).sum::<usize>(), 0);
+        assert_eq!(c.range(2), (0, 0));
+        // Partitioning a 0-row table yields empty shards with the
+        // schema intact.
+        let t = table(0);
+        let parts = partition_table(&t, &c);
+        assert_eq!(parts.len(), 3);
+        assert!(parts
+            .iter()
+            .all(|p| p.num_rows() == 0 && p.num_columns() == 2));
+        // Empty-boundary slicing and all-empty from_sizes stay total.
+        assert_eq!(t.slice_rows(0, 0).num_rows(), 0);
+        let z = ShardCuts::from_sizes([0, 0, 0]);
+        assert_eq!(z.total_rows(), 0);
+        assert_eq!(z.shard_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn locate_on_zero_rows_rejects_every_key() {
+        ShardCuts::even(0, 2).locate(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_are_rejected() {
+        ShardCuts::even(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn from_sizes_rejects_no_shards() {
+        ShardCuts::from_sizes(Vec::new());
     }
 
     #[test]

@@ -95,6 +95,12 @@ impl CrackPolicy {
 
     /// Parse a policy name: `standard`, `stochastic` (default seed),
     /// `coarse` (default leaf size) or `coarse:<min_piece>`.
+    ///
+    /// This is pure string parsing; the `CRACKDB_POLICY` environment
+    /// hook the engine constructors consume lives next to the other env
+    /// parsing in `crackdb-engine`'s `exec` module (`policy_from_env` /
+    /// `env_policy`), where an invalid value is a recoverable startup
+    /// error instead of a panic inside a library constructor.
     pub fn parse(s: &str) -> Option<Self> {
         let s = s.trim();
         match s {
@@ -108,28 +114,6 @@ impl CrackPolicy {
                     min_piece: min_piece.max(1),
                 })
             }
-        }
-    }
-
-    /// Policy selected by the `CRACKDB_POLICY` environment variable
-    /// (CI runs the differential suites once per policy through this
-    /// hook), falling back to [`CrackPolicy::Standard`] when unset.
-    /// Consumed by the *engine constructors* only — the library
-    /// structures always take an explicit policy.
-    ///
-    /// # Panics
-    /// If the variable is set but unparseable. A silent fallback would
-    /// let a typo in the CI policy matrix vacuously re-test the
-    /// standard policy while reporting green.
-    pub fn from_env() -> Self {
-        match std::env::var("CRACKDB_POLICY") {
-            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
-                panic!(
-                    "CRACKDB_POLICY={v:?} is not a crack policy \
-                     (expected standard | stochastic | coarse | coarse:<min_piece>)"
-                )
-            }),
-            Err(_) => CrackPolicy::Standard,
         }
     }
 

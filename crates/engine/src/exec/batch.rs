@@ -118,6 +118,16 @@ mod tests {
     /// must not interleave.
     static GLOBAL_THREADS: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+    /// Serialize on [`GLOBAL_THREADS`], recovering the guard if a
+    /// previous holder panicked: a deliberately panicking test (several
+    /// here catch panics; an assertion failure anywhere else in the
+    /// file does the same) must fail alone, not poison the lock and
+    /// drag every subsequent test down in a wall of unrelated
+    /// `PoisonError` failures.
+    fn global_threads_lock() -> std::sync::MutexGuard<'static, ()> {
+        GLOBAL_THREADS.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn table(n: usize) -> Table {
         let mut t = Table::new();
         t.add_column(
@@ -130,7 +140,7 @@ mod tests {
 
     #[test]
     fn batch_matches_serial_execution() {
-        let _lock = GLOBAL_THREADS.lock().unwrap();
+        let _lock = global_threads_lock();
         // Large enough that the parallel kernels actually engage.
         let t = table(40_000);
         let queries: Vec<SelectQuery> = (0..8)
@@ -151,9 +161,31 @@ mod tests {
         }
     }
 
+    /// Regression test for the poisoning cascade: a test that panics
+    /// while holding [`GLOBAL_THREADS`] (every caught-panic test in
+    /// this file holds it around `catch_unwind`) used to poison the
+    /// mutex and turn each later `lock().unwrap()` into an unrelated
+    /// `PoisonError` failure. The recovering lock must shrug it off.
+    #[test]
+    fn caught_panic_does_not_poison_subsequent_runs() {
+        let caught = std::panic::catch_unwind(|| {
+            let _lock = global_threads_lock();
+            panic!("assertion failure while holding the test lock");
+        });
+        assert!(caught.is_err(), "the panic was caught, lock now poisoned");
+        assert!(
+            GLOBAL_THREADS.lock().is_err(),
+            "precondition: the raw mutex really is poisoned"
+        );
+        // Later tests (simulated here) still serialize and proceed.
+        let _lock = global_threads_lock();
+        let runner = BatchRunner::new(PlainEngine::new(table(4)), 2);
+        assert_eq!(runner.threads(), 2);
+    }
+
     #[test]
     fn guard_restores_previous_worker_count_on_panic() {
-        let _lock = GLOBAL_THREADS.lock().unwrap();
+        let _lock = global_threads_lock();
         // Run in its own thread: the drop must fire during unwinding.
         let handle = std::thread::spawn(|| {
             let _guard = ThreadsGuard::set(7);
@@ -172,7 +204,7 @@ mod tests {
     /// may swallow it and re-raise a generic message.
     #[test]
     fn panic_payload_survives_the_batch_layer() {
-        let _lock = GLOBAL_THREADS.lock().unwrap();
+        let _lock = global_threads_lock();
         struct Bomb;
         impl Engine for Bomb {
             fn name(&self) -> &'static str {
@@ -205,14 +237,14 @@ mod tests {
     /// concurrent `env::var` readers on other test threads).
     #[test]
     fn auto_yields_a_positive_worker_count() {
-        let _lock = GLOBAL_THREADS.lock().unwrap();
+        let _lock = global_threads_lock();
         let runner = BatchRunner::auto(PlainEngine::new(table(5)));
         assert!(runner.threads() >= 1);
     }
 
     #[test]
     fn runner_exposes_engine() {
-        let _lock = GLOBAL_THREADS.lock().unwrap();
+        let _lock = global_threads_lock();
         let mut runner = BatchRunner::new(PlainEngine::new(table(10)), 2);
         assert_eq!(runner.threads(), 2);
         runner.engine_mut().insert(&[1, 2]);

@@ -24,14 +24,18 @@
 pub mod batch;
 pub mod combine;
 pub mod path;
+pub mod service;
 pub mod shard;
 
 pub use batch::BatchRunner;
 pub use path::{AccessPath, RestrictCtx, RowSet};
+pub use service::{Client, Service, ServiceConfig, ServiceError};
 pub use shard::ShardedEngine;
 
 use crate::query::{AggAcc, JoinSide, QueryOutput, SelectQuery};
 use crackdb_columnstore::types::{RangePred, RowId, Val};
+use crackdb_cracking::CrackPolicy;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// The session-wide default worker count: the `CRACKDB_THREADS`
@@ -50,6 +54,53 @@ pub fn auto_threads() -> usize {
 /// with concurrent `env::var` readers on other test threads).
 fn threads_override(value: Option<&str>) -> Option<usize> {
     value?.trim().parse().ok().filter(|&n: &usize| n > 0)
+}
+
+/// Parse a `CRACKDB_POLICY`-style override value: unset or empty means
+/// the standard policy, anything else must name a crack policy
+/// (`standard | stochastic | coarse | coarse:<min_piece>`). Like
+/// [`threads_override`], separated from the env read for testability.
+fn policy_override(value: Option<&str>) -> Result<CrackPolicy, String> {
+    match value {
+        None => Ok(CrackPolicy::Standard),
+        Some(v) => CrackPolicy::parse(v).ok_or_else(|| {
+            format!(
+                "CRACKDB_POLICY={v:?} is not a crack policy \
+                 (expected standard | stochastic | coarse | coarse:<min_piece>)"
+            )
+        }),
+    }
+}
+
+/// Validate the `CRACKDB_POLICY` environment selection, parsed once per
+/// process. This is the *strict* entry point: startup paths that can
+/// report an error cleanly — [`service::Service::start`], bench bins,
+/// the env-validity test CI relies on — call it so a typo in a policy
+/// matrix produces one clear failure instead of either a panic inside
+/// every engine constructor or a silent fallback that vacuously
+/// re-tests the standard policy while reporting green.
+pub fn env_policy() -> Result<CrackPolicy, String> {
+    static POLICY: OnceLock<Result<CrackPolicy, String>> = OnceLock::new();
+    POLICY
+        .get_or_init(|| policy_override(std::env::var("CRACKDB_POLICY").ok().as_deref()))
+        .clone()
+}
+
+/// The crack policy engine constructors default to: the `CRACKDB_POLICY`
+/// environment selection when set and valid, [`CrackPolicy::Standard`]
+/// otherwise. *Non-fatal* by design — a library user embedding an
+/// engine must not be brought down by an unrelated environment variable;
+/// an invalid value logs one warning per process (and is reported as a
+/// proper error by the strict [`env_policy`] at service startup).
+pub fn policy_from_env() -> CrackPolicy {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    match env_policy() {
+        Ok(p) => p,
+        Err(msg) => {
+            WARNED.get_or_init(|| eprintln!("warning: {msg}; falling back to standard cracking"));
+            CrackPolicy::Standard
+        }
+    }
 }
 
 /// Order predicates by the path's selectivity estimates: ascending
@@ -358,6 +409,36 @@ mod tests {
         assert_eq!(threads_override(Some("4")), Some(4));
         assert_eq!(threads_override(Some(" 8 ")), Some(8));
         assert!(auto_threads() >= 1);
+    }
+
+    #[test]
+    fn policy_override_parses_strictly() {
+        assert_eq!(policy_override(None), Ok(CrackPolicy::Standard));
+        assert_eq!(policy_override(Some("")), Ok(CrackPolicy::Standard));
+        assert_eq!(policy_override(Some("standard")), Ok(CrackPolicy::Standard));
+        assert_eq!(
+            policy_override(Some("stochastic")),
+            Ok(CrackPolicy::stochastic())
+        );
+        assert_eq!(
+            policy_override(Some("coarse:64")),
+            Ok(CrackPolicy::CoarseGranular { min_piece: 64 })
+        );
+        let err = policy_override(Some("nonsense")).unwrap_err();
+        assert!(err.contains("nonsense"), "error names the bad value");
+        assert!(err.contains("coarse:<min_piece>"), "error lists the forms");
+    }
+
+    /// The CI policy matrix exports `CRACKDB_POLICY` for entire test
+    /// runs; a typo there must fail loudly exactly once — here — instead
+    /// of panicking inside every engine constructor. Library users get
+    /// the non-fatal [`policy_from_env`] fallback; this test is what
+    /// keeps that fallback from letting a mistyped matrix vacuously
+    /// re-test the standard policy while reporting green.
+    #[test]
+    fn env_policy_is_valid() {
+        let p = env_policy().expect("CRACKDB_POLICY must be unset or a valid crack policy");
+        assert_eq!(policy_from_env(), p, "lenient and strict reads agree");
     }
 
     #[test]

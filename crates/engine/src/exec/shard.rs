@@ -132,6 +132,25 @@ impl<E: Engine> ShardedEngine<E> {
         }
     }
 
+    /// Decompose the router into its cuts, inner engines (in shard
+    /// order) and insert count, so another owner — the
+    /// [`service::Service`](super::service::Service) worker threads —
+    /// can take exclusive ownership of each shard. Inverse of
+    /// [`Self::reassemble`].
+    pub fn into_parts(self) -> (ShardCuts, Vec<E>, usize) {
+        (self.cuts, self.shards, self.inserted)
+    }
+
+    /// Rebuild a router from parts produced by [`Self::into_parts`]
+    /// (plus any inserts routed in between, reflected in `inserted`).
+    /// The parts must keep the round-robin insert discipline for key
+    /// routing to stay exact.
+    pub fn reassemble(cuts: ShardCuts, shards: Vec<E>, inserted: usize) -> Self {
+        let mut e = Self::from_parts(cuts, shards.into_iter());
+        e.inserted = inserted;
+        e
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -164,15 +183,8 @@ impl<E: Engine> ShardedEngine<E> {
     /// `j`-th insert went to shard `j mod N` at local position
     /// `partition_size + j / N`).
     fn locate(&self, key: RowId) -> (usize, RowId) {
-        let k = key as usize;
-        if k < self.cuts.total_rows() {
-            return self.cuts.locate(key);
-        }
-        let j = k - self.cuts.total_rows();
-        assert!(j < self.inserted, "key {key} was never inserted");
-        let n = self.shards.len();
-        let s = j % n;
-        (s, (self.cuts.len_of(s) + j / n) as RowId)
+        locate_key(&self.cuts, self.shards.len(), self.inserted, key)
+            .unwrap_or_else(|| panic!("key {key} was never inserted"))
     }
 
     /// Run `work` over every shard and collect results in shard order.
@@ -214,14 +226,41 @@ impl<E: Engine> ShardedEngine<E> {
     }
 }
 
+/// The round-robin key arithmetic shared by the in-process router and
+/// the service-layer router: a global key below the partitioned range is
+/// an original row located by the cuts; key `total_rows + j` is the
+/// `j`-th insert, which went to shard `j mod N` at local position
+/// `partition_size + j / N`. Returns `None` for keys never inserted —
+/// callers decide between panicking ([`ShardedEngine::delete`]) and a
+/// recoverable error (the query service, which must not bring down a
+/// worker over one bad client key).
+pub(crate) fn locate_key(
+    cuts: &ShardCuts,
+    nshards: usize,
+    inserted: usize,
+    key: RowId,
+) -> Option<(usize, RowId)> {
+    let k = key as usize;
+    if k < cuts.total_rows() {
+        return Some(cuts.locate(key));
+    }
+    let j = k - cuts.total_rows();
+    if j >= inserted {
+        return None;
+    }
+    let s = j % nshards;
+    Some((s, (cuts.len_of(s) + j / nshards) as RowId))
+}
+
 /// The statistics block requested from each shard per aggregated
 /// attribute, in this order. Every function any merge needs is derivable
 /// from the four, so a shard is asked each attribute exactly once no
 /// matter which functions the caller requested.
-const STAT_FUNCS: [AggFunc; 4] = [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max];
+pub(crate) const STAT_FUNCS: [AggFunc; 4] =
+    [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max];
 
 /// Distinct attributes of an aggregate list, in first-appearance order.
-fn distinct_attrs(aggs: &[(usize, AggFunc)]) -> Vec<usize> {
+pub(crate) fn distinct_attrs(aggs: &[(usize, AggFunc)]) -> Vec<usize> {
     let mut attrs = Vec::new();
     for &(a, _) in aggs {
         if !attrs.contains(&a) {
@@ -233,7 +272,7 @@ fn distinct_attrs(aggs: &[(usize, AggFunc)]) -> Vec<usize> {
 
 /// Expand an aggregate list into the per-shard statistics block: all of
 /// [`STAT_FUNCS`] for each distinct attribute.
-fn stat_block(attrs: &[usize]) -> Vec<(usize, AggFunc)> {
+pub(crate) fn stat_block(attrs: &[usize]) -> Vec<(usize, AggFunc)> {
     attrs
         .iter()
         .flat_map(|&a| STAT_FUNCS.iter().map(move |&f| (a, f)))
@@ -254,7 +293,7 @@ fn block_partial(aggs: &[Option<Val>], slot: usize) -> PartialAgg {
 
 /// Fold the shards' statistics blocks into one merged [`PartialAgg`] per
 /// distinct attribute.
-fn merge_blocks<'a>(
+pub(crate) fn merge_blocks<'a>(
     shard_aggs: impl Iterator<Item = &'a [Option<Val>]>,
     nattrs: usize,
 ) -> Vec<PartialAgg> {
@@ -268,7 +307,7 @@ fn merge_blocks<'a>(
 }
 
 /// Finish the originally requested aggregates from the merged partials.
-fn finish_aggs(
+pub(crate) fn finish_aggs(
     requested: &[(usize, AggFunc)],
     attrs: &[usize],
     merged: &[PartialAgg],
@@ -297,6 +336,85 @@ fn merge_timings(outs: &[QueryOutput]) -> Timings {
     t
 }
 
+/// The statistics-block variant of a select query the shards answer:
+/// same predicates and projections (so selection — and therefore
+/// cracking — is exactly the query's own), aggregates expanded to the
+/// mergeable block over `attrs` (= `distinct_attrs(&q.aggs)`).
+pub(crate) fn shard_select_query(q: &SelectQuery, attrs: &[usize]) -> SelectQuery {
+    SelectQuery {
+        preds: q.preds.clone(),
+        disjunctive: q.disjunctive,
+        aggs: stat_block(attrs),
+        projs: q.projs.clone(),
+    }
+}
+
+/// Merge per-shard statistics-block answers (in shard order) into the
+/// final [`QueryOutput`] of the original query: aggregates fold through
+/// [`PartialAgg::merge`], projections concatenate in shard order, rows
+/// sum, timings take the per-phase maximum. The one merge
+/// implementation behind both the in-process [`ShardedEngine`] and the
+/// query service's `Client` — they must stay bit-identical.
+pub(crate) fn merge_select_outputs(
+    q: &SelectQuery,
+    attrs: &[usize],
+    outs: Vec<QueryOutput>,
+) -> QueryOutput {
+    let merged = merge_blocks(outs.iter().map(|o| o.aggs.as_slice()), attrs.len());
+    let mut out = QueryOutput {
+        aggs: finish_aggs(&q.aggs, attrs, &merged),
+        proj_values: q.projs.iter().map(|_| Vec::new()).collect(),
+        rows: outs.iter().map(|o| o.rows).sum(),
+        timings: merge_timings(&outs),
+    };
+    for o in outs {
+        for (dst, src) in out.proj_values.iter_mut().zip(o.proj_values) {
+            dst.extend(src);
+        }
+    }
+    out
+}
+
+/// The statistics-block variant of a join query (both sides expanded;
+/// `lattrs`/`rattrs` are the sides' distinct aggregate attributes).
+pub(crate) fn shard_join_query(q: &JoinQuery, lattrs: &[usize], rattrs: &[usize]) -> JoinQuery {
+    JoinQuery {
+        left: JoinSide {
+            preds: q.left.preds.clone(),
+            join_attr: q.left.join_attr,
+            aggs: stat_block(lattrs),
+        },
+        right: JoinSide {
+            preds: q.right.preds.clone(),
+            join_attr: q.right.join_attr,
+            aggs: stat_block(rattrs),
+        },
+    }
+}
+
+/// Merge per-shard join answers: a shard's agg list is the left block
+/// followed by the right block; split, merge, and finish each side in
+/// request order. Shared with the query service like
+/// [`merge_select_outputs`].
+pub(crate) fn merge_join_outputs(
+    q: &JoinQuery,
+    lattrs: &[usize],
+    rattrs: &[usize],
+    outs: &[QueryOutput],
+) -> QueryOutput {
+    let lblock = lattrs.len() * STAT_FUNCS.len();
+    let lmerged = merge_blocks(outs.iter().map(|o| &o.aggs[..lblock]), lattrs.len());
+    let rmerged = merge_blocks(outs.iter().map(|o| &o.aggs[lblock..]), rattrs.len());
+    let mut aggs = finish_aggs(&q.left.aggs, lattrs, &lmerged);
+    aggs.extend(finish_aggs(&q.right.aggs, rattrs, &rmerged));
+    QueryOutput {
+        aggs,
+        proj_values: Vec::new(),
+        rows: outs.iter().map(|o| o.rows).sum(),
+        timings: merge_timings(outs),
+    }
+}
+
 impl<E: Engine + Send> Engine for ShardedEngine<E> {
     fn name(&self) -> &'static str {
         self.name
@@ -304,63 +422,17 @@ impl<E: Engine + Send> Engine for ShardedEngine<E> {
 
     fn select(&mut self, q: &SelectQuery) -> QueryOutput {
         let attrs = distinct_attrs(&q.aggs);
-        // The shards answer a statistics-block variant of the query:
-        // same predicates and projections (so selection — and therefore
-        // cracking — is exactly the query's own), aggregates expanded to
-        // the mergeable block.
-        let shard_q = SelectQuery {
-            preds: q.preds.clone(),
-            disjunctive: q.disjunctive,
-            aggs: stat_block(&attrs),
-            projs: q.projs.clone(),
-        };
+        let shard_q = shard_select_query(q, &attrs);
         let outs = self.fan_out(|e| e.select(&shard_q));
-
-        let merged = merge_blocks(outs.iter().map(|o| o.aggs.as_slice()), attrs.len());
-        let mut out = QueryOutput {
-            aggs: finish_aggs(&q.aggs, &attrs, &merged),
-            proj_values: q.projs.iter().map(|_| Vec::new()).collect(),
-            rows: outs.iter().map(|o| o.rows).sum(),
-            timings: merge_timings(&outs),
-        };
-        for o in outs {
-            for (dst, src) in out.proj_values.iter_mut().zip(o.proj_values) {
-                dst.extend(src);
-            }
-        }
-        out
+        merge_select_outputs(q, &attrs, outs)
     }
 
     fn join(&mut self, q: &JoinQuery) -> QueryOutput {
         let lattrs = distinct_attrs(&q.left.aggs);
         let rattrs = distinct_attrs(&q.right.aggs);
-        let shard_q = JoinQuery {
-            left: JoinSide {
-                preds: q.left.preds.clone(),
-                join_attr: q.left.join_attr,
-                aggs: stat_block(&lattrs),
-            },
-            right: JoinSide {
-                preds: q.right.preds.clone(),
-                join_attr: q.right.join_attr,
-                aggs: stat_block(&rattrs),
-            },
-        };
+        let shard_q = shard_join_query(q, &lattrs, &rattrs);
         let outs = self.fan_out(|e| e.join(&shard_q));
-
-        // A shard's agg list is the left block followed by the right
-        // block; split, merge, and finish each side in request order.
-        let lblock = lattrs.len() * STAT_FUNCS.len();
-        let lmerged = merge_blocks(outs.iter().map(|o| &o.aggs[..lblock]), lattrs.len());
-        let rmerged = merge_blocks(outs.iter().map(|o| &o.aggs[lblock..]), rattrs.len());
-        let mut aggs = finish_aggs(&q.left.aggs, &lattrs, &lmerged);
-        aggs.extend(finish_aggs(&q.right.aggs, &rattrs, &rmerged));
-        QueryOutput {
-            aggs,
-            proj_values: Vec::new(),
-            rows: outs.iter().map(|o| o.rows).sum(),
-            timings: merge_timings(&outs),
-        }
+        merge_join_outputs(q, &lattrs, &rattrs, &outs)
     }
 
     fn insert(&mut self, row: &[Val]) {

@@ -50,12 +50,29 @@
 //! workloads; `SelCrackEngine::with_policy`,
 //! `SidewaysEngine::with_policy` and `PartialEngine::with_policy`
 //! select it explicitly, the plain `new` constructors read the
-//! `CRACKDB_POLICY` environment hook (standard when unset) so CI drives
+//! `CRACKDB_POLICY` environment hook (standard when unset; invalid
+//! values fall back to standard with one warning — the strict check
+//! lives in [`exec::env_policy`] and fails service startup and CI
+//! loudly instead of panicking library constructors) so CI drives
 //! the differential suites once per policy. A `ShardedEngine` composes
 //! per shard: pass the policy through the `make` closure of
 //! [`exec::ShardedEngine::build`] and every shard cracks under it —
 //! shards never share cracker state, so no cross-shard coordination is
 //! needed.
+//!
+//! Finally, [`exec::Service`] makes the whole stack *servable*: it
+//! moves every shard of a `ShardedEngine` onto its own long-lived
+//! worker thread (share-nothing — cracking still needs no locks) and
+//! hands out cheap, cloneable [`exec::Client`] handles whose
+//! `select`/`insert`/`delete`/`join` calls enqueue requests over mpsc
+//! channels and await merged results. Requests get a global sequence
+//! number under one short router critical section, so execution is
+//! linearizable (every client observes its own writes, and a
+//! concurrent run replays bit-identically on a serial engine — the
+//! concurrent differential suite asserts this); admission control
+//! bounds the total queue depth, shutdown drains in-flight queries and
+//! returns the `ShardedEngine`, and per-query latencies are recorded
+//! for p50/p95/p99 reporting (`service_bench`).
 
 pub mod exec;
 pub mod partial_engine;
@@ -67,6 +84,7 @@ pub mod sideways;
 pub mod tpch;
 
 pub use crackdb_cracking::CrackPolicy;
+pub use exec::service::{Client, Reply, Service, ServiceConfig, ServiceError, WriteReply};
 pub use exec::{AccessPath, BatchRunner, RestrictCtx, RowSet, ShardedEngine};
 pub use partial_engine::PartialEngine;
 pub use plain::PlainEngine;

@@ -28,7 +28,7 @@ impl PartialEngine {
     /// selection (standard when unset), so CI can drive the whole
     /// differential surface once per policy.
     pub fn new(base: Table, domain: (Val, Val), budget: Option<usize>) -> Self {
-        Self::with_policy(base, domain, budget, CrackPolicy::from_env())
+        Self::with_policy(base, domain, budget, exec::policy_from_env())
     }
 
     /// Single-table engine with an explicit [`CrackPolicy`] for every

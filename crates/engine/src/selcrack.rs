@@ -31,7 +31,7 @@ impl SelCrackEngine {
     /// `CRACKDB_POLICY` environment selection (standard when unset), so
     /// CI can drive the whole differential surface once per policy.
     pub fn new(base: Table, domain: (Val, Val)) -> Self {
-        Self::with_policy(base, domain, CrackPolicy::from_env())
+        Self::with_policy(base, domain, exec::policy_from_env())
     }
 
     /// Single-table engine with an explicit [`CrackPolicy`].

@@ -21,8 +21,10 @@
 //!   / skewed patterns) and the TPC-H substrate (data + query
 //!   parameters).
 //! * [`engine`] — one query executor per physical design behind a shared
-//!   access-path + batch-execution layer (`engine::exec`), plus the
-//!   twelve TPC-H query plans over a mode-parametric access layer.
+//!   access-path + batch-execution layer (`engine::exec`), the
+//!   `ShardedEngine` partition-parallel router and the `Service`
+//!   concurrent query service on top of it, plus the twelve TPC-H query
+//!   plans over a mode-parametric access layer.
 //!
 //! The workspace builds fully offline with zero external dependencies;
 //! `crackdb-rng` (a dev-dependency here) provides the deterministic PRNG
@@ -45,6 +47,53 @@
 //! );
 //! let out = engine.select(&q);
 //! assert_eq!(out.aggs, vec![Some(7)]); // max(b) where 4 < a < 14
+//! ```
+//!
+//! ## Serving concurrent clients
+//!
+//! Adaptive indexing makes every query a write (selection *reorganizes*
+//! the columns), so an engine value serves one query at a time. The
+//! [`engine::Service`] layer removes that limit share-nothing-style: it
+//! moves every shard of a [`engine::ShardedEngine`] onto its own
+//! long-lived worker thread and hands out cheap, cloneable
+//! [`engine::Client`] handles. Calls are globally sequenced (each reply
+//! carries its sequence number), so every session observes its own
+//! writes and a concurrent run replays bit-identically on a serial
+//! engine; admission control bounds the queue depth, and a graceful
+//! shutdown drains in-flight queries and returns the engine.
+//!
+//! ```
+//! use crackdb::engine::{Engine, Service, SelectQuery, ShardedEngine, SidewaysEngine};
+//! use crackdb::columnstore::{Column, Table, RangePred, AggFunc};
+//!
+//! let mut table = Table::new();
+//! table.add_column("a", Column::new(vec![12, 3, 5, 9, 15, 22, 7]));
+//! table.add_column("b", Column::new(vec![1, 2, 3, 4, 5, 6, 7]));
+//!
+//! let sharded = ShardedEngine::build(table, 2, |_, part| SidewaysEngine::new(part, (0, 30)));
+//! let service = Service::start(sharded).expect("valid startup configuration");
+//!
+//! // One clone per session; handles are usable from any thread.
+//! let client = service.client();
+//! let q = SelectQuery::aggregate(
+//!     vec![(0, RangePred::open(4, 14))],
+//!     vec![(1, AggFunc::Max)],
+//! );
+//! let reply = client.select(&q).expect("admitted");
+//! assert_eq!(reply.output.aggs, vec![Some(7)]);
+//!
+//! // Sessions read their own writes: the insert's key comes back, the
+//! // next select is sequenced after it.
+//! let w = client.insert(&[10, 9]).expect("admitted");
+//! assert_eq!(w.key, Some(7)); // 7 original rows, first insert
+//! let reply = client.select(&q).expect("admitted");
+//! assert_eq!(reply.output.aggs, vec![Some(9)]);
+//! assert!(reply.seq > w.seq);
+//!
+//! // Graceful shutdown drains in-flight queries and hands the
+//! // (reorganized) sharded engine back.
+//! let mut engine = service.shutdown();
+//! assert_eq!(engine.select(&q).aggs, vec![Some(9)]);
 //! ```
 
 pub use crackdb_columnstore as columnstore;
