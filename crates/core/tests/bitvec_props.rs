@@ -1,0 +1,139 @@
+//! Seeded-PRNG equivalence properties: the word-level `BitVec`
+//! operations against naive bit-at-a-time reference loops.
+//!
+//! `BitVec`'s sequential patterns (build, refine, set-range, fill-zeros,
+//! iterate) all run word-at-a-time over `u64` blocks. These properties
+//! pin them to the obvious per-bit loops at awkward lengths (word
+//! boundaries, partial tail words, empty) so the masking arithmetic can
+//! never silently drop or invent bits — in particular in the tail
+//! word's padding region.
+
+use crackdb_core::bitvec::BitVec;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, m: usize) -> usize {
+        (self.next() % m.max(1) as u64) as usize
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+}
+
+/// Lengths that stress every word-boundary case.
+const LENGTHS: &[usize] = &[0, 1, 5, 63, 64, 65, 127, 128, 129, 200, 640, 1000];
+
+#[test]
+fn from_fn_matches_naive_bits() {
+    let mut rng = Lcg(1);
+    for &len in LENGTHS {
+        let bits: Vec<bool> = (0..len).map(|_| rng.chance(30)).collect();
+        let bv = BitVec::from_fn(len, |i| bits[i]);
+        let mut naive = BitVec::zeros(len);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                naive.set(i);
+            }
+        }
+        assert_eq!(bv, naive, "len {len}");
+        assert_eq!(bv.count_ones(), bits.iter().filter(|&&b| b).count());
+    }
+}
+
+#[test]
+fn iter_ones_matches_naive_scan() {
+    let mut rng = Lcg(2);
+    for &len in LENGTHS {
+        for density in [0, 3, 50, 97, 100] {
+            let bv = BitVec::from_fn(len, |_| rng.chance(density));
+            let word: Vec<usize> = bv.iter_ones().collect();
+            let naive: Vec<usize> = (0..len).filter(|&i| bv.get(i)).collect();
+            assert_eq!(word, naive, "len {len} density {density}");
+        }
+    }
+}
+
+#[test]
+fn refine_matches_naive_loop() {
+    let mut rng = Lcg(3);
+    for &len in LENGTHS {
+        let keep: Vec<bool> = (0..len).map(|_| rng.chance(60)).collect();
+        let mut word = BitVec::from_fn(len, |i| i % 3 != 1);
+        let mut naive = word.clone();
+        word.refine(|i| keep[i]);
+        for (i, &k) in keep.iter().enumerate() {
+            if naive.get(i) && !k {
+                naive.clear(i);
+            }
+        }
+        assert_eq!(word, naive, "len {len}");
+    }
+}
+
+#[test]
+fn set_range_matches_naive_loop() {
+    let mut rng = Lcg(4);
+    for &len in LENGTHS {
+        for _ in 0..8 {
+            let lo = rng.below(len + 1);
+            let hi = lo + rng.below(len - lo + 1);
+            let mut word = BitVec::from_fn(len, |_| rng.chance(10));
+            let mut naive = word.clone();
+            word.set_range(lo, hi);
+            for i in lo..hi {
+                naive.set(i);
+            }
+            assert_eq!(word, naive, "len {len} range [{lo}, {hi})");
+        }
+    }
+}
+
+#[test]
+fn set_where_unset_matches_naive_loop() {
+    let mut rng = Lcg(5);
+    for &len in LENGTHS {
+        let want: Vec<bool> = (0..len).map(|_| rng.chance(40)).collect();
+        let mut word = BitVec::from_fn(len, |_| rng.chance(50));
+        let mut naive = word.clone();
+        word.set_where_unset(|i| want[i]);
+        for (i, &w) in want.iter().enumerate() {
+            if !naive.get(i) && w {
+                naive.set(i);
+            }
+        }
+        assert_eq!(word, naive, "len {len}");
+    }
+}
+
+#[test]
+fn and_or_count_roundtrip_at_word_boundaries() {
+    let mut rng = Lcg(6);
+    for &len in LENGTHS {
+        let a = BitVec::from_fn(len, |_| rng.chance(50));
+        let b = BitVec::from_fn(len, |_| rng.chance(50));
+        let mut and = a.clone();
+        and.and_with(&b);
+        let mut or = a.clone();
+        or.or_with(&b);
+        for i in 0..len {
+            assert_eq!(and.get(i), a.get(i) && b.get(i));
+            assert_eq!(or.get(i), a.get(i) || b.get(i));
+        }
+        // Inclusion–exclusion over the whole vector.
+        assert_eq!(
+            and.count_ones() + or.count_ones(),
+            a.count_ones() + b.count_ones(),
+            "len {len}"
+        );
+    }
+}

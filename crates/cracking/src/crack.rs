@@ -6,10 +6,30 @@
 //! a two-column array *in place*, swapping head and tail values together so
 //! the columns stay positionally aligned.
 //!
+//! Each kernel exists in two physical implementations selected at process
+//! start by [`crate::kernel::active_kernel`] (`CRACKDB_KERNEL`):
+//!
+//! * the **scalar** variants ([`crack_in_two_scalar`],
+//!   [`crack_in_three_scalar`]) are the paper's element-at-a-time loops —
+//!   one unpredictable branch per tuple;
+//! * the **block** variants ([`crack_in_two_block`],
+//!   [`crack_in_three_block`]) are BlockQuicksort-style: membership of a
+//!   64-tuple block is computed as a branch-free bit mask, the mask bits
+//!   are the buffered offsets-to-swap, and swaps are paired between a
+//!   left and a right block so every tuple is moved at most once.
+//!
+//! Both implementations return identical split positions (the split is
+//! determined by the *count* of qualifying tuples, which no reordering
+//! changes) and permutation-equivalent piece contents; the equivalence is
+//! enforced by seeded property tests in `tests/kernel_props.rs`. Callers
+//! account the same touched-tuple cost (`end - start`) no matter which
+//! kernel executes, so robustness metrics stay comparable across kernels.
+//!
 //! The kernels are generic over the tail type: cracker columns carry
 //! `RowId` tails, cracker maps carry `Val` tails, and head-only arrays use
 //! a `()` tail which compiles to nothing.
 
+use crate::kernel::{active_kernel, CrackKernel};
 use crackdb_columnstore::types::Val;
 
 /// Which side of a boundary value belongs to the left (lower) piece.
@@ -37,8 +57,59 @@ impl BoundKind {
 /// in `[range.start, split)` belong left of the boundary and
 /// `[split, range.end)` belong right.
 ///
-/// This is crack-in-two: a single Hoare-style pass with paired swaps.
+/// Dispatches to the process-wide kernel selection (`CRACKDB_KERNEL`);
+/// see the module docs for the equivalence guarantees.
+#[inline]
 pub fn crack_in_two<T: Copy>(
+    head: &mut [Val],
+    tail: &mut [T],
+    start: usize,
+    end: usize,
+    pivot: Val,
+    kind: BoundKind,
+) -> usize {
+    match active_kernel() {
+        CrackKernel::Scalar => crack_in_two_scalar(head, tail, start, end, pivot, kind),
+        CrackKernel::Block => crack_in_two_block(head, tail, start, end, pivot, kind),
+    }
+}
+
+/// Three-way partition of `head[range]` into `< lo-boundary`, middle, and
+/// `> hi-boundary` regions (dispatching like [`crack_in_two`]).
+///
+/// `lo_bound = (v1, k1)` separates left from middle: values for which
+/// `k1.belongs_left(v, v1)` go left. `hi_bound = (v2, k2)` separates middle
+/// from right: values for which `!k2.belongs_left(v, v2)` go right.
+/// Returns `(split1, split2)` with left `[start, split1)`, middle
+/// `[split1, split2)`, right `[split2, end)`.
+///
+/// The bounds must be consistent — no value may classify both left and
+/// right, which under the boundary-key ordering is exactly
+/// `lo_bound < hi_bound` (callers derive the bounds from strictly
+/// ordered cracker-index keys, so this holds by construction).
+#[inline]
+pub fn crack_in_three<T: Copy>(
+    head: &mut [Val],
+    tail: &mut [T],
+    start: usize,
+    end: usize,
+    lo_bound: (Val, BoundKind),
+    hi_bound: (Val, BoundKind),
+) -> (usize, usize) {
+    debug_assert!(lo_bound < hi_bound, "bounds must be consistent and ordered");
+    match active_kernel() {
+        CrackKernel::Scalar => crack_in_three_scalar(head, tail, start, end, lo_bound, hi_bound),
+        CrackKernel::Block => crack_in_three_block(head, tail, start, end, lo_bound, hi_bound),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar kernels (the paper's loops, bit-for-bit)
+// ---------------------------------------------------------------------
+
+/// [`crack_in_two`], scalar kernel: a single Hoare-style pass with paired
+/// swaps and one data-dependent branch per element.
+pub fn crack_in_two_scalar<T: Copy>(
     head: &mut [Val],
     tail: &mut [T],
     start: usize,
@@ -62,15 +133,8 @@ pub fn crack_in_two<T: Copy>(
     lo
 }
 
-/// Three-way partition of `head[range]` into `< lo-boundary`, middle, and
-/// `> hi-boundary` regions in a single pass (Dutch national flag).
-///
-/// `lo_bound = (v1, k1)` separates left from middle: values for which
-/// `k1.belongs_left(v, v1)` go left. `hi_bound = (v2, k2)` separates middle
-/// from right: values for which `!k2.belongs_left(v, v2)` go right.
-/// Returns `(split1, split2)` with left `[start, split1)`, middle
-/// `[split1, split2)`, right `[split2, end)`.
-pub fn crack_in_three<T: Copy>(
+/// [`crack_in_three`], scalar kernel: a single Dutch-national-flag pass.
+pub fn crack_in_three_scalar<T: Copy>(
     head: &mut [Val],
     tail: &mut [T],
     start: usize,
@@ -79,6 +143,7 @@ pub fn crack_in_three<T: Copy>(
     hi_bound: (Val, BoundKind),
 ) -> (usize, usize) {
     debug_assert!(start <= end && end <= head.len());
+    debug_assert_eq!(head.len(), tail.len());
     let (v1, k1) = lo_bound;
     let (v2, k2) = hi_bound;
     let mut lo = start;
@@ -102,30 +167,171 @@ pub fn crack_in_three<T: Copy>(
     (lo, hi)
 }
 
+// ---------------------------------------------------------------------
+// Block kernels (branch-free, mask-buffered paired swaps)
+// ---------------------------------------------------------------------
+
+/// Tuples per block: one `u64` membership mask covers exactly one block.
+const BLOCK: usize = 64;
+
+/// Branch-free membership mask of one block: bit `i` is set iff
+/// `offender(blk[i])`. The loop body is comparison-as-arithmetic with an
+/// unconditional shift-or — no data-dependent branches, and a shape LLVM
+/// can autovectorize on stable Rust (compare + widen + reduce).
+#[inline(always)]
+fn offender_mask<F: Fn(Val) -> bool>(blk: &[Val], offender: F) -> u64 {
+    debug_assert!(blk.len() <= BLOCK);
+    let mut m = 0u64;
+    for (i, &v) in blk.iter().enumerate() {
+        m |= (offender(v) as u64) << i;
+    }
+    m
+}
+
+/// The generic block partition: `belongs_left` monomorphized per
+/// [`BoundKind`] so the per-element comparison compiles to a single
+/// branch-free `setcc`.
+///
+/// Invariants maintained: `[start, l)` fully belongs left, `[r, end)`
+/// fully belongs right. Each round computes the membership masks of the
+/// 64-tuple blocks at `l` and at `r - 64`, then performs paired swaps
+/// between the left block's belongs-right offsets and the right block's
+/// belongs-left offsets (offsets read off the masks with
+/// `trailing_zeros`). A block whose mask drains is wholly resolved and
+/// its pointer advances. The sub-two-block remainder falls back to the
+/// scalar pass, which also computes the final split.
+#[inline(always)]
+fn crack_in_two_block_impl<T: Copy, F: Fn(Val) -> bool + Copy>(
+    head: &mut [Val],
+    tail: &mut [T],
+    start: usize,
+    end: usize,
+    belongs_left: F,
+    pivot: Val,
+    kind: BoundKind,
+) -> usize {
+    debug_assert!(start <= end && end <= head.len());
+    debug_assert_eq!(head.len(), tail.len());
+    let mut l = start;
+    let mut r = end;
+    // Offenders still to fix inside the current left/right block.
+    let mut ml: u64 = 0; // bits over [l, l + BLOCK): values belonging right
+    let mut mr: u64 = 0; // bits over [r - BLOCK, r): values belonging left
+    while r - l >= 2 * BLOCK {
+        if ml == 0 {
+            ml = offender_mask(&head[l..l + BLOCK], |v| !belongs_left(v));
+            if ml == 0 {
+                l += BLOCK;
+                continue;
+            }
+        }
+        if mr == 0 {
+            mr = offender_mask(&head[r - BLOCK..r], belongs_left);
+            if mr == 0 {
+                r -= BLOCK;
+                continue;
+            }
+        }
+        // Paired swaps from the two masks: each swap fixes one offender
+        // on each side, so every tuple moves at most once.
+        while ml != 0 && mr != 0 {
+            let i = l + ml.trailing_zeros() as usize;
+            let j = r - BLOCK + mr.trailing_zeros() as usize;
+            head.swap(i, j);
+            tail.swap(i, j);
+            ml &= ml - 1;
+            mr &= mr - 1;
+        }
+        if ml == 0 {
+            l += BLOCK;
+        }
+        if mr == 0 {
+            r -= BLOCK;
+        }
+    }
+    // Remainder (< 128 tuples, possibly with partially drained blocks —
+    // already-fixed tuples are simply re-examined): the scalar kernel
+    // finishes the range and yields the split. `[start, l)` and
+    // `[r, end)` are already resolved, so the overall split equals the
+    // remainder's.
+    crack_in_two_scalar(head, tail, l, r, pivot, kind)
+}
+
+/// [`crack_in_two`], block kernel. Same split position as the scalar
+/// kernel, permutation-equivalent piece contents.
+pub fn crack_in_two_block<T: Copy>(
+    head: &mut [Val],
+    tail: &mut [T],
+    start: usize,
+    end: usize,
+    pivot: Val,
+    kind: BoundKind,
+) -> usize {
+    match kind {
+        BoundKind::Lt => {
+            crack_in_two_block_impl(head, tail, start, end, |v| v < pivot, pivot, kind)
+        }
+        BoundKind::Le => {
+            crack_in_two_block_impl(head, tail, start, end, |v| v <= pivot, pivot, kind)
+        }
+    }
+}
+
+/// [`crack_in_three`], block kernel: a fused two-boundary variant of the
+/// same block scheme. The first blocked pass partitions the whole range
+/// by the *hi* boundary (left+middle | right), the second partitions the
+/// surviving prefix by the *lo* boundary (left | middle) — two
+/// branch-free sweeps instead of one branchy three-way loop, touching
+/// `n + |left+middle|` tuples. Split positions are identical to the
+/// scalar Dutch-flag pass (both are determined by value counts).
+pub fn crack_in_three_block<T: Copy>(
+    head: &mut [Val],
+    tail: &mut [T],
+    start: usize,
+    end: usize,
+    lo_bound: (Val, BoundKind),
+    hi_bound: (Val, BoundKind),
+) -> (usize, usize) {
+    debug_assert!(start <= end && end <= head.len());
+    debug_assert_eq!(head.len(), tail.len());
+    let (v2, k2) = hi_bound;
+    let split2 = crack_in_two_block(head, tail, start, end, v2, k2);
+    let (v1, k1) = lo_bound;
+    let split1 = crack_in_two_block(head, tail, start, split2, v1, k1);
+    (split1, split2)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn check_two(head: &[Val], pivot: Val, kind: BoundKind) {
-        let mut h = head.to_vec();
-        let mut t: Vec<usize> = (0..h.len()).collect();
-        let orig = h.clone();
-        let n = h.len();
-        let split = crack_in_two(&mut h, &mut t, 0, n, pivot, kind);
-        for (i, &v) in h.iter().enumerate() {
-            if i < split {
-                assert!(kind.belongs_left(v, pivot), "{v} at {i} should be right");
+        // Both kernels, directly (the dispatcher picks one per process).
+        for block in [false, true] {
+            let mut h = head.to_vec();
+            let mut t: Vec<usize> = (0..h.len()).collect();
+            let orig = h.clone();
+            let n = h.len();
+            let split = if block {
+                crack_in_two_block(&mut h, &mut t, 0, n, pivot, kind)
             } else {
-                assert!(!kind.belongs_left(v, pivot), "{v} at {i} should be left");
+                crack_in_two_scalar(&mut h, &mut t, 0, n, pivot, kind)
+            };
+            for (i, &v) in h.iter().enumerate() {
+                if i < split {
+                    assert!(kind.belongs_left(v, pivot), "{v} at {i} should be right");
+                } else {
+                    assert!(!kind.belongs_left(v, pivot), "{v} at {i} should be left");
+                }
+                // Tail moved with head: tail value is the original position.
+                assert_eq!(orig[t[i]], v);
             }
-            // Tail moved with head: tail value is the original position.
-            assert_eq!(orig[t[i]], v);
+            let mut sorted_orig = orig;
+            let mut sorted_new = h;
+            sorted_orig.sort_unstable();
+            sorted_new.sort_unstable();
+            assert_eq!(sorted_orig, sorted_new, "multiset changed");
         }
-        let mut sorted_orig = orig;
-        let mut sorted_new = h;
-        sorted_orig.sort_unstable();
-        sorted_new.sort_unstable();
-        assert_eq!(sorted_orig, sorted_new, "multiset changed");
     }
 
     #[test]
@@ -147,6 +353,56 @@ mod tests {
     }
 
     #[test]
+    fn crack_in_two_blocked_sizes() {
+        // Sizes that exercise the blocked main loop: whole blocks, a
+        // partial remainder, all-left blocks, all-right blocks.
+        let mut state = 0x1234_5678u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as Val).rem_euclid(1000)
+        };
+        for n in [0usize, 1, 63, 64, 127, 128, 129, 500, 1024, 1000] {
+            let data: Vec<Val> = (0..n).map(|_| next()).collect();
+            check_two(&data, 500, BoundKind::Lt);
+            check_two(&data, 500, BoundKind::Le);
+            check_two(&data, 0, BoundKind::Lt);
+            check_two(&data, 999, BoundKind::Le);
+            // Presorted ascending and descending inputs drain whole
+            // blocks on one side of the scan.
+            let mut asc = data.clone();
+            asc.sort_unstable();
+            check_two(&asc, 500, BoundKind::Lt);
+            asc.reverse();
+            check_two(&asc, 500, BoundKind::Le);
+        }
+    }
+
+    #[test]
+    fn block_and_scalar_agree_on_splits() {
+        let mut state = 0xBEEFu64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as Val).rem_euclid(97)
+        };
+        let data: Vec<Val> = (0..777).map(|_| next()).collect();
+        for pivot in [0, 13, 48, 96, 200] {
+            for kind in [BoundKind::Lt, BoundKind::Le] {
+                let mut h1 = data.clone();
+                let mut t1: Vec<u32> = (0..777).collect();
+                let mut h2 = data.clone();
+                let mut t2 = t1.clone();
+                let s1 = crack_in_two_scalar(&mut h1, &mut t1, 0, 777, pivot, kind);
+                let s2 = crack_in_two_block(&mut h2, &mut t2, 0, 777, pivot, kind);
+                assert_eq!(s1, s2, "splits agree for pivot {pivot} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
     fn crack_in_two_subrange_only() {
         let mut h = vec![9, 1, 8, 2, 7, 3];
         let mut t = vec![0u32, 1, 2, 3, 4, 5];
@@ -165,42 +421,58 @@ mod tests {
     }
 
     #[test]
+    fn block_kernel_subrange_only() {
+        // A blocked-size subrange must leave both flanks untouched.
+        let n = 400usize;
+        let mut h: Vec<Val> = (0..n as Val).rev().collect();
+        let mut t: Vec<u32> = (0..n as u32).collect();
+        let orig = h.clone();
+        let split = crack_in_two_block(&mut h, &mut t, 50, 350, 200, BoundKind::Lt);
+        assert_eq!(&h[..50], &orig[..50], "left flank untouched");
+        assert_eq!(&h[350..], &orig[350..], "right flank untouched");
+        for (i, &v) in h.iter().enumerate().take(350).skip(50) {
+            assert_eq!(v < 200, i < split);
+        }
+    }
+
+    #[test]
     fn crack_in_three_partitions() {
         // Reproduce Figure 1: crack 10 < A < 15 over R.A.
-        let mut h = vec![12, 3, 5, 9, 15, 22, 7, 26, 4, 2, 24, 11, 16];
-        let mut t: Vec<u32> = (0..13).collect();
-        let n = h.len();
-        let (s1, s2) = crack_in_three(
-            &mut h,
-            &mut t,
-            0,
-            n,
-            (10, BoundKind::Le), // left: <= 10
-            (15, BoundKind::Lt), // right: >= 15
-        );
-        // Paper Figure 1 labels piece 2 as starting at (1-indexed)
-        // position 7, i.e. six values are <= 10: {3, 5, 9, 7, 4, 2}.
-        assert_eq!(s1, 6);
-        for &v in &h[..s1] {
-            assert!(v <= 10);
+        for block in [false, true] {
+            let mut h = vec![12, 3, 5, 9, 15, 22, 7, 26, 4, 2, 24, 11, 16];
+            let mut t: Vec<u32> = (0..13).collect();
+            let n = h.len();
+            let bounds = ((10, BoundKind::Le), (15, BoundKind::Lt));
+            let (s1, s2) = if block {
+                crack_in_three_block(&mut h, &mut t, 0, n, bounds.0, bounds.1)
+            } else {
+                crack_in_three_scalar(&mut h, &mut t, 0, n, bounds.0, bounds.1)
+            };
+            // Paper Figure 1 labels piece 2 as starting at (1-indexed)
+            // position 7, i.e. six values are <= 10: {3, 5, 9, 7, 4, 2}.
+            assert_eq!(s1, 6);
+            for &v in &h[..s1] {
+                assert!(v <= 10);
+            }
+            for &v in &h[s1..s2] {
+                assert!(v > 10 && v < 15);
+            }
+            for &v in &h[s2..] {
+                assert!(v >= 15);
+            }
+            // Middle piece holds exactly {12, 11}.
+            let mut mid: Vec<_> = h[s1..s2].to_vec();
+            mid.sort_unstable();
+            assert_eq!(mid, vec![11, 12]);
         }
-        for &v in &h[s1..s2] {
-            assert!(v > 10 && v < 15);
-        }
-        for &v in &h[s2..] {
-            assert!(v >= 15);
-        }
-        // Middle piece holds exactly {12, 11}.
-        let mut mid: Vec<_> = h[s1..s2].to_vec();
-        mid.sort_unstable();
-        assert_eq!(mid, vec![11, 12]);
     }
 
     #[test]
     fn crack_in_three_empty_middle() {
+        // `(5, Lt) < (5, Le)`: middle holds exactly the value 5 — none here.
         let mut h = vec![1, 2, 8, 9];
         let mut t = vec![(); 4];
-        let (s1, s2) = crack_in_three(&mut h, &mut t, 0, 4, (5, BoundKind::Le), (5, BoundKind::Lt));
+        let (s1, s2) = crack_in_three(&mut h, &mut t, 0, 4, (5, BoundKind::Lt), (5, BoundKind::Le));
         assert_eq!(s1, s2);
     }
 
@@ -232,5 +504,54 @@ mod tests {
             p2.sort_unstable();
             assert_eq!(p3, p2);
         }
+    }
+
+    #[test]
+    fn crack_in_three_kernels_agree_on_splits() {
+        let mut state = 0xACEDu64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as Val).rem_euclid(500)
+        };
+        let data: Vec<Val> = (0..999).map(|_| next()).collect();
+        for (lo, hi) in [(100, 300), (0, 499), (250, 251), (480, 499)] {
+            for (k1, k2) in [
+                (BoundKind::Le, BoundKind::Lt),
+                (BoundKind::Lt, BoundKind::Le),
+                (BoundKind::Lt, BoundKind::Lt),
+                (BoundKind::Le, BoundKind::Le),
+            ] {
+                let mut h1 = data.clone();
+                let mut t1: Vec<u32> = (0..999).collect();
+                let mut h2 = data.clone();
+                let mut t2 = t1.clone();
+                let s = crack_in_three_scalar(&mut h1, &mut t1, 0, 999, (lo, k1), (hi, k2));
+                let b = crack_in_three_block(&mut h2, &mut t2, 0, 999, (lo, k1), (hi, k2));
+                assert_eq!(s, b, "splits agree for ({lo},{k1:?})..({hi},{k2:?})");
+                // Piece multisets agree.
+                for (x, y) in [(0, s.0), (s.0, s.1), (s.1, 999)] {
+                    let mut p1 = h1[x..y].to_vec();
+                    let mut p2 = h2[x..y].to_vec();
+                    p1.sort_unstable();
+                    p2.sort_unstable();
+                    assert_eq!(p1, p2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offender_mask_matches_bits() {
+        let vals: Vec<Val> = (0..64).collect();
+        let m = offender_mask(&vals, |v| v % 3 == 0);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!((m >> i) & 1 == 1, v % 3 == 0);
+        }
+        // Partial blocks leave the high bits clear.
+        let m = offender_mask(&vals[..10], |_| true);
+        assert_eq!(m, (1 << 10) - 1);
+        assert_eq!(offender_mask(&[], |_: Val| true), 0);
     }
 }

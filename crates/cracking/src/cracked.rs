@@ -4,7 +4,12 @@
 
 use crate::crack::{crack_in_three, crack_in_two, BoundKind};
 use crate::index::{pred_keys, BoundaryKey, CrackerIndex};
-use crate::policy::{mix64, CrackPolicy, Span, DEFAULT_STOCHASTIC_MIN_PIECE};
+use crate::kernel::{active_kernel, CrackKernel};
+use crate::policy::{
+    mix64, CrackPolicy, Span, DEFAULT_STOCHASTIC_MIN_PIECE, PREPARTITION_MIN_PIECE,
+    PREPARTITION_TARGET_PIECE,
+};
+use crackdb_columnstore::radix::{cluster_by_value, value_bucket_bound};
 use crackdb_columnstore::types::{RangePred, Val};
 
 /// Parallel head/tail arrays physically reorganized by cracking, plus the
@@ -98,11 +103,89 @@ impl<T: Copy> CrackedArray<T> {
         if let Some(p) = self.index.position_of(key) {
             return p;
         }
+        self.maybe_prepartition(key, PREPARTITION_TARGET_PIECE);
+        if let Some(p) = self.index.position_of(key) {
+            // A prepartition cut landed exactly on the queried boundary
+            // (already promoted to query-mandated by `prepartition`).
+            return p;
+        }
         let (s, e) = self.index.enclosing_piece(key, self.head.len());
         let split = crack_in_two(&mut self.head, &mut self.tail, s, e, key.0, key.1);
         self.touched += (e - s) as u64;
         self.index.record(key, split);
         split
+    }
+
+    /// Radix-prepartition fast path: when the first crack would have to
+    /// plough a huge uncracked piece, pay one cache-friendly counting
+    /// partition (`columnstore::radix::cluster_by_value`) instead and
+    /// seed the piece with up to 256 equal-width *advisory* boundaries
+    /// at once — the same advisory machinery stochastic cracking uses,
+    /// so storage management and exactness bookkeeping need no new
+    /// cases. Later cracks then run on roughly
+    /// [`PREPARTITION_TARGET_PIECE`]-sized pieces.
+    ///
+    /// Only fires under the block kernel ([`CrackKernel::Block`]): the
+    /// fast path is part of the block kernel's behaviour, and keeping
+    /// the scalar kernel bit-for-bit the paper's access pattern
+    /// preserves its figures. Deterministic given the array state, so
+    /// tape replay on aligned siblings (which share one process-wide
+    /// kernel) reproduces it exactly.
+    fn maybe_prepartition(&mut self, key: BoundaryKey, target_piece: usize) {
+        if active_kernel() != CrackKernel::Block {
+            return;
+        }
+        let (s, e) = self.index.enclosing_piece(key, self.head.len());
+        if e - s >= PREPARTITION_MIN_PIECE {
+            self.prepartition(key, target_piece);
+        }
+    }
+
+    /// Unconditionally counting-partition the piece enclosing `key` into
+    /// roughly `target_piece`-sized advisory pieces (capped at 256
+    /// buckets and at the piece's distinct-value range). Public for
+    /// benches and tests; queries reach it automatically through the
+    /// [`PREPARTITION_MIN_PIECE`] size threshold. No-op when the piece
+    /// holds fewer than two values or `key` already has a boundary.
+    pub fn prepartition(&mut self, key: BoundaryKey, target_piece: usize) {
+        if self.index.position_of(key).is_some() {
+            return;
+        }
+        let (s, e) = self.index.enclosing_piece(key, self.head.len());
+        let mut min = Val::MAX;
+        let mut max = Val::MIN;
+        for &v in &self.head[s..e] {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if min >= max {
+            return; // empty or single-value piece: nothing to cut
+        }
+        let range = max as i128 - min as i128 + 1;
+        let buckets = (((e - s) / target_piece.max(1)).min(256) as i128).min(range) as usize;
+        if buckets < 2 {
+            return;
+        }
+        let offsets = cluster_by_value(
+            &mut self.head[s..e],
+            &mut self.tail[s..e],
+            buckets,
+            min,
+            max,
+        );
+        // One logical pass over the piece, like a crack of it (the
+        // counter is the paper's touched-tuples metric, not a physical
+        // sweep count — kernels of either flavour account the same).
+        self.touched += (e - s) as u64;
+        for (b, &off) in offsets.iter().enumerate().take(buckets).skip(1) {
+            let cut = (value_bucket_bound(b, buckets, min, max), BoundKind::Lt);
+            self.index.record_advisory(cut, s + off);
+        }
+        if self.index.position_of(key).is_some() {
+            // The queried boundary coincides with a cut: it is
+            // query-mandated, not advisory.
+            self.index.promote(key);
+        }
     }
 
     /// Ensure a boundary exists under the stochastic policy: while the
@@ -113,6 +196,9 @@ impl<T: Copy> CrackedArray<T> {
     /// Pieces along the access path halve until small enough for the
     /// exact crack, defeating the sequential-sweep pathology.
     fn ensure_boundary_stochastic(&mut self, key: BoundaryKey, seed: u64) -> usize {
+        // A huge virgin piece is better seeded by one counting pass than
+        // by O(log n) successive halvings that each re-plough it.
+        self.maybe_prepartition(key, PREPARTITION_TARGET_PIECE);
         loop {
             if let Some(p) = self.index.position_of(key) {
                 self.index.promote(key);
@@ -164,6 +250,16 @@ impl<T: Copy> CrackedArray<T> {
             CrackPolicy::CoarseGranular { min_piece } => {
                 let (s, e) = self.index.enclosing_piece(key, self.head.len());
                 if e - s <= min_piece {
+                    return None;
+                }
+                // Policy-aware target: never seed pieces below the
+                // coarse leaf size (see `CrackPolicy::prepartition_target`).
+                self.maybe_prepartition(key, policy.prepartition_target());
+                if let Some(p) = self.index.position_of(key) {
+                    return Some(p);
+                }
+                let (s, e) = self.index.enclosing_piece(key, self.head.len());
+                if e - s <= min_piece {
                     None
                 } else {
                     Some(self.ensure_boundary(key))
@@ -202,6 +298,11 @@ impl<T: Copy> CrackedArray<T> {
             (None, Some(hk)) => (0, self.ensure_boundary(hk)),
             (Some(lk), Some(hk)) => {
                 debug_assert!(lk < hk, "non-empty pred must order its keys");
+                // Seed huge virgin pieces before deciding between the
+                // crack-in-three and two-crack paths: the piece layout
+                // (and thus the choice) may change under prepartition.
+                self.maybe_prepartition(lk, PREPARTITION_TARGET_PIECE);
+                self.maybe_prepartition(hk, PREPARTITION_TARGET_PIECE);
                 let lo_pos = self.index.position_of(lk);
                 let hi_pos = self.index.position_of(hk);
                 match (lo_pos, hi_pos) {
@@ -685,6 +786,106 @@ mod tests {
         // Repeat query: boundaries exist, nothing touched.
         a.crack_range(&RangePred::open(10, 15));
         assert_eq!(a.touched(), after_first);
+    }
+
+    fn lcg_vals(n: usize, m: i64, seed: u64) -> Vec<Val> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as i64).rem_euclid(m)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prepartition_seeds_advisory_cuts_and_keeps_answers() {
+        let head = lcg_vals(20_000, 10_000, 42);
+        let tail: Vec<u32> = (0..20_000).collect();
+        let mut pre = CrackedArray::new(head.clone(), tail.clone());
+        let mut plain = CrackedArray::new(head, tail);
+        // Force the fast path below its automatic threshold.
+        pre.prepartition((5_000, BoundKind::Lt), 1_000);
+        assert!(pre.index().advisory_count() > 2, "cuts were seeded");
+        pre.check_partitioning();
+        // Every later query answers identically to the uncut twin.
+        for (lo, hi) in [(100, 900), (4_990, 5_003), (0, 9_999), (7_500, 7_501)] {
+            let (s1, e1) = pre.crack_range(&RangePred::open(lo, hi));
+            let (s2, e2) = plain.crack_range(&RangePred::open(lo, hi));
+            let mut a = pre.head()[s1..e1].to_vec();
+            let mut b = plain.head()[s2..e2].to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "answers differ for ({lo}, {hi})");
+            pre.check_partitioning();
+        }
+    }
+
+    #[test]
+    fn prepartition_promotes_coincident_query_key() {
+        // Domain [0, 1000) split into 10 buckets puts a cut exactly at
+        // value 100 — the same key a query for `< 100` mandates.
+        let head = lcg_vals(50_000, 1_000, 7);
+        let tail: Vec<u32> = (0..50_000).collect();
+        let mut a = CrackedArray::new(head, tail);
+        let key = (100, BoundKind::Lt);
+        a.prepartition(key, 5_000);
+        assert!(a.index().position_of(key).is_some(), "cut at the key");
+        assert!(!a.index().is_advisory(key), "query key was promoted");
+        a.check_partitioning();
+    }
+
+    #[test]
+    fn prepartition_degenerates_are_noops() {
+        // Single-value piece: nothing to cut.
+        let mut a = CrackedArray::new(vec![7; 4096], (0..4096u32).collect());
+        a.prepartition((3, BoundKind::Lt), 16);
+        assert_eq!(a.index().len(), 0);
+        // Tiny value range caps the bucket count at the range.
+        let head: Vec<Val> = (0..4096).map(|i| i % 2).collect();
+        let mut a = CrackedArray::new(head, (0..4096u32).collect());
+        a.prepartition((1, BoundKind::Lt), 16);
+        assert!(a.index().len() <= 1, "at most one cut for two values");
+        a.check_partitioning();
+        // Existing boundary at the key: no-op.
+        let mut a = arr();
+        a.crack_range(&RangePred::open(10, 15));
+        let n_before = a.index().len();
+        a.prepartition((15, BoundKind::Lt), 1);
+        assert_eq!(a.index().len(), n_before);
+    }
+
+    #[test]
+    fn automatic_prepartition_fires_above_threshold_under_block_kernel() {
+        if crate::kernel::active_kernel() != crate::kernel::CrackKernel::Block {
+            return; // scalar kernel preserves the paper's access pattern
+        }
+        let n = super::PREPARTITION_MIN_PIECE + 10;
+        let head = lcg_vals(n, 1 << 30, 11);
+        let tail: Vec<u32> = (0..n as u32).collect();
+        let mut a = CrackedArray::new(head, tail);
+        let pred = RangePred::open(1 << 20, (1 << 20) + (1 << 14));
+        let (s, e) = a.crack_range(&pred);
+        // A piece just over the 2^20 threshold with a 2^16 target piece
+        // yields 16 buckets, i.e. 15 advisory cuts (minus coincidences).
+        assert!(
+            a.index().advisory_count() >= 10,
+            "first crack of a {n}-tuple piece seeds many cuts, got {}",
+            a.index().advisory_count()
+        );
+        assert!(a.head()[s..e].iter().all(|&v| pred.matches(v)));
+        // Pieces are now small: the next query in a far region cracks
+        // only its enclosing bucket, not the whole array.
+        let before = a.touched();
+        a.crack_range(&RangePred::open(1 << 29, (1 << 29) + (1 << 14)));
+        let delta = a.touched() - before;
+        // Two bounds can each crack one ~n/16 bucket: well under n/4.
+        assert!(
+            delta < (n as u64) / 4,
+            "post-seed crack ploughed {delta} of {n} tuples"
+        );
     }
 
     #[test]

@@ -26,10 +26,12 @@ pub mod column;
 pub mod crack;
 pub mod cracked;
 pub mod index;
+pub mod kernel;
 pub mod policy;
 
 pub use column::CrackerColumn;
 pub use crack::BoundKind;
 pub use cracked::CrackedArray;
 pub use index::{BoundaryKey, CrackerIndex, SizeEstimate};
+pub use kernel::{active_kernel, CrackKernel};
 pub use policy::{CrackPolicy, Span};

@@ -45,6 +45,15 @@ pub const DEFAULT_COARSE_MIN_PIECE: usize = 1 << 10;
 /// Default seed mixed into the stochastic pivot hash.
 pub const DEFAULT_STOCHASTIC_SEED: u64 = 0x0C4A_C4DB_0000_51DE;
 
+/// Smallest uncracked piece the radix-prepartition fast path bothers
+/// with: below this, one blocked crack-in-two pass is already cheap and
+/// the advisory boundaries would not pay for their AVL nodes.
+pub const PREPARTITION_MIN_PIECE: usize = 1 << 20;
+
+/// Piece size the prepartition aims for: roughly L2-resident pieces, so
+/// every later crack of a seeded piece is cache-friendly.
+pub const PREPARTITION_TARGET_PIECE: usize = 1 << 16;
+
 /// The pivot-choice strategy of a cracked structure. See the module docs
 /// for the behavioural and determinism contracts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -114,6 +123,19 @@ impl CrackPolicy {
                     min_piece: min_piece.max(1),
                 })
             }
+        }
+    }
+
+    /// The piece size the radix-prepartition fast path should target
+    /// under this policy. Coarse-granular cracking promises never to
+    /// manufacture pieces below its leaf size, so its target is clamped
+    /// up to `min_piece`; the other policies take the cache-friendly
+    /// default. (Like every policy decision this is a pure function, so
+    /// aligned siblings prepartition identically.)
+    pub fn prepartition_target(&self) -> usize {
+        match *self {
+            CrackPolicy::Standard | CrackPolicy::Stochastic { .. } => PREPARTITION_TARGET_PIECE,
+            CrackPolicy::CoarseGranular { min_piece } => PREPARTITION_TARGET_PIECE.max(min_piece),
         }
     }
 

@@ -34,7 +34,7 @@ pub use shard::ShardedEngine;
 
 use crate::query::{AggAcc, JoinSide, QueryOutput, SelectQuery};
 use crackdb_columnstore::types::{RangePred, RowId, Val};
-use crackdb_cracking::CrackPolicy;
+use crackdb_cracking::{CrackKernel, CrackPolicy};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -101,6 +101,41 @@ pub fn policy_from_env() -> CrackPolicy {
             CrackPolicy::Standard
         }
     }
+}
+
+/// Parse a `CRACKDB_KERNEL`-style override value: unset or empty means
+/// the default block kernel, anything else must name a crack kernel
+/// (`scalar | block`). Like [`threads_override`], separated from the
+/// env read for testability.
+fn kernel_override(value: Option<&str>) -> Result<CrackKernel, String> {
+    match value {
+        None => Ok(CrackKernel::Block),
+        Some(v) => CrackKernel::parse(v).ok_or_else(|| {
+            format!("CRACKDB_KERNEL={v:?} is not a crack kernel (expected scalar | block)")
+        }),
+    }
+}
+
+/// Validate the `CRACKDB_KERNEL` environment selection, parsed once per
+/// process — the strict twin of `crackdb-cracking`'s lenient
+/// [`crackdb_cracking::active_kernel`] dispatch, exactly as
+/// [`env_policy`] is to [`policy_from_env`]: service startup and the
+/// env-validity test CI relies on call this so a typo in the kernel
+/// matrix fails loudly instead of silently re-testing the default
+/// block kernel under a green "scalar" job.
+pub fn env_kernel() -> Result<CrackKernel, String> {
+    static KERNEL: OnceLock<Result<CrackKernel, String>> = OnceLock::new();
+    KERNEL
+        .get_or_init(|| kernel_override(std::env::var("CRACKDB_KERNEL").ok().as_deref()))
+        .clone()
+}
+
+/// The kernel the process partitions with: the validated `CRACKDB_KERNEL`
+/// selection, falling back to the default block kernel with one warning
+/// on an invalid value (the warning itself is emitted by the dispatch in
+/// `crackdb-cracking`, which every crack call funnels through).
+pub fn kernel_from_env() -> CrackKernel {
+    env_kernel().unwrap_or(CrackKernel::Block)
 }
 
 /// Order predicates by the path's selectivity estimates: ascending
@@ -439,6 +474,31 @@ mod tests {
     fn env_policy_is_valid() {
         let p = env_policy().expect("CRACKDB_POLICY must be unset or a valid crack policy");
         assert_eq!(policy_from_env(), p, "lenient and strict reads agree");
+    }
+
+    #[test]
+    fn kernel_override_parses_strictly() {
+        assert_eq!(kernel_override(None), Ok(CrackKernel::Block));
+        assert_eq!(kernel_override(Some("")), Ok(CrackKernel::Block));
+        assert_eq!(kernel_override(Some("block")), Ok(CrackKernel::Block));
+        assert_eq!(kernel_override(Some("scalar")), Ok(CrackKernel::Scalar));
+        let err = kernel_override(Some("simd")).unwrap_err();
+        assert!(err.contains("simd"), "error names the bad value");
+        assert!(err.contains("scalar | block"), "error lists the forms");
+    }
+
+    /// The kernel twin of [`env_policy_is_valid`]: the CI kernel matrix
+    /// exports `CRACKDB_KERNEL` for entire test runs, and a typo there
+    /// must fail this test instead of letting the lenient dispatch fall
+    /// back to the block kernel while a green "scalar" job reports
+    /// scalar coverage it never ran.
+    #[test]
+    fn env_kernel_is_valid() {
+        let k = env_kernel().expect("CRACKDB_KERNEL must be unset or a valid crack kernel");
+        assert_eq!(kernel_from_env(), k, "lenient and strict reads agree");
+        // The engine-side read and the cracking-side dispatch observe
+        // the same environment, so a valid selection is what runs.
+        assert_eq!(crackdb_cracking::active_kernel(), k);
     }
 
     #[test]

@@ -342,6 +342,7 @@ impl<E: Engine + Send + 'static> Service<E> {
         config: ServiceConfig,
     ) -> Result<Self, ServiceError> {
         super::env_policy().map_err(ServiceError::Config)?;
+        super::env_kernel().map_err(ServiceError::Config)?;
         let (cuts, shards, inserted) = engine.into_parts();
         let mut queues = Vec::with_capacity(shards.len());
         let mut handles = Vec::with_capacity(shards.len());
