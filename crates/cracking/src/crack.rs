@@ -83,10 +83,17 @@ pub fn crack_in_two<T: Copy>(
 /// Returns `(split1, split2)` with left `[start, split1)`, middle
 /// `[split1, split2)`, right `[split2, end)`.
 ///
-/// The bounds must be consistent — no value may classify both left and
-/// right, which under the boundary-key ordering is exactly
+/// The bounds should be consistent — no value may classify both left
+/// and right, which under the boundary-key ordering is exactly
 /// `lo_bound < hi_bound` (callers derive the bounds from strictly
-/// ordered cracker-index keys, so this holds by construction).
+/// ordered cracker-index keys, so this holds by construction). A
+/// contradictory or degenerate pair (`lo_bound >= hi_bound`, e.g. the
+/// equal-value `(v,Le)` lo / `(v,Lt)` hi combo, where `v` itself
+/// classifies both left and right) is resolved *deterministically* in
+/// release and debug builds alike: the range is two-way partitioned at
+/// `hi_bound` and the middle piece is empty — identical under both
+/// kernels, so a release build can never silently diverge where a
+/// debug build would have asserted.
 #[inline]
 pub fn crack_in_three<T: Copy>(
     head: &mut [Val],
@@ -96,7 +103,17 @@ pub fn crack_in_three<T: Copy>(
     lo_bound: (Val, BoundKind),
     hi_bound: (Val, BoundKind),
 ) -> (usize, usize) {
-    debug_assert!(lo_bound < hi_bound, "bounds must be consistent and ordered");
+    if lo_bound >= hi_bound {
+        // Contradictory bounds cannot be expressed as a three-way
+        // partition (the per-element left/right tests overlap, and the
+        // scalar and block kernels break the tie differently). Fall
+        // back to a single two-way crack at `hi_bound`: left of it is
+        // `belongs_left(hi_bound)`, the middle is empty, and both
+        // kernels agree on the split by the crack-in-two count
+        // invariant.
+        let s = crack_in_two(head, tail, start, end, hi_bound.0, hi_bound.1);
+        return (s, s);
+    }
     match active_kernel() {
         CrackKernel::Scalar => crack_in_three_scalar(head, tail, start, end, lo_bound, hi_bound),
         CrackKernel::Block => crack_in_three_block(head, tail, start, end, lo_bound, hi_bound),
@@ -144,6 +161,10 @@ pub fn crack_in_three_scalar<T: Copy>(
 ) -> (usize, usize) {
     debug_assert!(start <= end && end <= head.len());
     debug_assert_eq!(head.len(), tail.len());
+    debug_assert!(
+        lo_bound <= hi_bound,
+        "bounds must be consistent and ordered"
+    );
     let (v1, k1) = lo_bound;
     let (v2, k2) = hi_bound;
     let mut lo = start;
@@ -294,6 +315,10 @@ pub fn crack_in_three_block<T: Copy>(
 ) -> (usize, usize) {
     debug_assert!(start <= end && end <= head.len());
     debug_assert_eq!(head.len(), tail.len());
+    debug_assert!(
+        lo_bound <= hi_bound,
+        "bounds must be consistent and ordered"
+    );
     let (v2, k2) = hi_bound;
     let split2 = crack_in_two_block(head, tail, start, end, v2, k2);
     let (v1, k1) = lo_bound;
@@ -539,6 +564,47 @@ mod tests {
                     assert_eq!(p1, p2);
                 }
             }
+        }
+    }
+
+    /// Contradictory / degenerate bound pairs must partition
+    /// deterministically in *release* builds too (this test carries no
+    /// debug-only meaning: the dispatcher resolves the case before any
+    /// `debug_assert`, so the same semantics are exercised under
+    /// `cargo test` and `cargo test --release`). The documented
+    /// resolution: two-way crack at `hi_bound`, empty middle.
+    #[test]
+    fn contradictory_bounds_resolve_deterministically() {
+        let data: Vec<Val> = vec![9, 5, 1, 5, 7, 3, 5, 8, 0, 5, 2, 6, 4];
+        // (5,Le) lo with (5,Lt) hi: the value 5 classifies both left
+        // and right — the combo PR 6 could only debug_assert about.
+        // Plus a plainly inverted pair.
+        for (lo_b, hi_b) in [
+            ((5, BoundKind::Le), (5, BoundKind::Lt)),
+            ((7, BoundKind::Lt), (3, BoundKind::Le)),
+        ] {
+            let mut h = data.clone();
+            let mut t: Vec<u32> = (0..h.len() as u32).collect();
+            let n = h.len();
+            let (s1, s2) = crack_in_three(&mut h, &mut t, 0, n, lo_b, hi_b);
+            assert_eq!(s1, s2, "middle piece must be empty");
+            let (hv, hk) = hi_b;
+            for (i, &v) in h.iter().enumerate() {
+                if i < s1 {
+                    assert!(hk.belongs_left(v, hv), "{v} at {i} belongs right");
+                } else {
+                    assert!(!hk.belongs_left(v, hv), "{v} at {i} belongs left");
+                }
+                assert_eq!(data[t[i] as usize], v, "tail no longer paired");
+            }
+            // The split is count-determined, hence kernel-invariant.
+            let want = data.iter().filter(|&&v| hk.belongs_left(v, hv)).count();
+            assert_eq!(s1, want);
+            let mut sorted = h;
+            sorted.sort_unstable();
+            let mut orig = data.clone();
+            orig.sort_unstable();
+            assert_eq!(sorted, orig, "multiset changed");
         }
     }
 

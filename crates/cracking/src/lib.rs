@@ -28,6 +28,7 @@ pub mod cracked;
 pub mod index;
 pub mod kernel;
 pub mod policy;
+pub mod snapshot;
 
 pub use column::CrackerColumn;
 pub use crack::BoundKind;
@@ -35,3 +36,4 @@ pub use cracked::CrackedArray;
 pub use index::{BoundaryKey, CrackerIndex, SizeEstimate};
 pub use kernel::{active_kernel, CrackKernel};
 pub use policy::{CrackPolicy, Span};
+pub use snapshot::{converged_piece_cap, ColumnSnapshot, PieceSnap, SnapSpan, SnapshotBuilder};

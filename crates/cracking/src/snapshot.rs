@@ -1,0 +1,384 @@
+//! Converged-piece snapshots: the immutable piece catalogs published to
+//! the lock-free read path.
+//!
+//! Cracking reorganizes the array during reads, which is why every
+//! select is `&mut self`. But most pieces *converge* after a warm-up:
+//! their boundaries are exact, no pending update's value falls inside
+//! their interval, and they are small enough that no future query will
+//! want to split them further. A [`ColumnSnapshot`] freezes exactly
+//! those pieces as immutable `(head, tail)` copies; pieces that have
+//! not converged stay `None` and force readers back onto the owner
+//! thread's sequenced path.
+//!
+//! A predicate *resolves* against a snapshot when every piece whose
+//! value interval intersects the predicate's range is published. The
+//! predicate's bounds do **not** need to coincide with piece
+//! boundaries: pieces partition the array by value intervals, so the
+//! boundary pieces of the overlap are filtered with
+//! [`RangePred::matches`] and interior pieces qualify wholesale. This
+//! is what makes the fast path useful — fresh predicates resolve
+//! against an already-converged catalog without cracking anything.
+//!
+//! [`SnapshotBuilder`] makes republishing cheap: a piece whose
+//! identity `(lo_edge, hi_edge, start, end)` is unchanged since the
+//! previous build — and whose interval contained no update value since
+//! then — shares its previous `Arc` instead of being recopied. This is
+//! sound because every operation that touches a piece's contents
+//! changes its identity (cracks change its edges; a ripple
+//! insert/delete changes the target's length and shifts everything
+//! above), *except* an insert/delete pair into the same piece, whose
+//! length shift cancels — which is why the builder additionally
+//! invalidates every piece that covered a pending-update value.
+
+use crate::cracked::CrackedArray;
+use crate::index::{pred_keys, BoundaryKey};
+use crackdb_columnstore::types::{RangePred, Val};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Convergence size cap: pieces larger than this are not published
+/// even if exactly bounded, so the owner keeps cracking them (an
+/// uncracked array must never trivially converge as one giant piece).
+/// Scaled to the array: `n/64`, clamped to `[256, 65536]`.
+pub fn converged_piece_cap(n: usize) -> usize {
+    (n / 64).clamp(256, 1 << 16)
+}
+
+/// One frozen piece: parallel `(head value, tail)` copies.
+#[derive(Debug)]
+pub struct PieceSnap<T> {
+    /// Head (crack attribute) values of the piece.
+    pub head: Vec<Val>,
+    /// Tail payloads (row keys for a cracker column).
+    pub tail: Vec<T>,
+}
+
+/// Inclusive-exclusive span of piece indices, `[first, last)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapSpan {
+    /// First piece whose interval intersects the predicate.
+    pub first: usize,
+    /// One past the last intersecting piece.
+    pub last: usize,
+}
+
+impl SnapSpan {
+    /// A span containing no pieces.
+    pub fn empty() -> Self {
+        SnapSpan { first: 0, last: 0 }
+    }
+}
+
+/// An immutable catalog of a cracked column's pieces at publish time.
+#[derive(Debug)]
+pub struct ColumnSnapshot<T> {
+    /// Piece-separating boundary keys, ascending; `pieces.len() - 1`
+    /// entries. Piece `i` holds values right of `edges[i-1]` and left
+    /// of `edges[i]`.
+    edges: Vec<BoundaryKey>,
+    /// Frozen pieces; `None` = not converged at publish time.
+    pieces: Vec<Option<Arc<PieceSnap<T>>>>,
+    /// Prefix counts of published pieces: `covered[i]` = number of
+    /// `Some` among `pieces[..i]` (O(1) span-coverage checks).
+    covered: Vec<u32>,
+    /// Total rows in the underlying array at publish time.
+    rows: usize,
+}
+
+/// Does `v` lie left of boundary `e`?
+#[inline]
+fn left_of(v: Val, e: &BoundaryKey) -> bool {
+    e.1.belongs_left(v, e.0)
+}
+
+impl<T> ColumnSnapshot<T> {
+    /// Number of pieces (published or not).
+    pub fn piece_count(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// Number of published (converged) pieces.
+    pub fn published_count(&self) -> usize {
+        *self.covered.last().unwrap_or(&0) as usize
+    }
+
+    /// Rows in the column at publish time.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Piece `i`, if it converged.
+    pub fn piece(&self, i: usize) -> Option<&Arc<PieceSnap<T>>> {
+        self.pieces[i].as_ref()
+    }
+
+    /// The piece index whose value interval contains `v`.
+    pub fn piece_index_of(&self, v: Val) -> usize {
+        self.edges.partition_point(|e| !left_of(v, e))
+    }
+
+    /// Resolve `pred` to the span of pieces intersecting its value
+    /// range, or `None` if any intersecting piece is unpublished.
+    ///
+    /// Pieces strictly inside the span qualify wholesale; the first
+    /// and last piece must be filtered with [`RangePred::matches`].
+    pub fn resolve(&self, pred: &RangePred) -> Option<SnapSpan> {
+        if pred.is_empty_range() {
+            return Some(SnapSpan::empty());
+        }
+        let (lo_k, hi_k) = pred_keys(pred);
+        // First piece that can hold qualifying values: skip every
+        // piece fully left of the lower boundary key.
+        let first = match lo_k {
+            Some(k) => self.edges.partition_point(|e| *e <= k),
+            None => 0,
+        };
+        // Last such piece: the one the upper boundary key falls into.
+        let last = match hi_k {
+            Some(k) => self.edges.partition_point(|e| *e < k) + 1,
+            None => self.pieces.len(),
+        };
+        debug_assert!(first < last && last <= self.pieces.len());
+        if (self.covered[last] - self.covered[first]) as usize != last - first {
+            return None;
+        }
+        Some(SnapSpan { first, last })
+    }
+
+    /// `true` when the whole column is published (the unrestricted
+    /// scan resolves).
+    pub fn fully_covered(&self) -> bool {
+        self.published_count() == self.piece_count()
+    }
+}
+
+/// Piece identity across builds: `(lo_edge, hi_edge, start, end)`.
+type PieceId = (Option<BoundaryKey>, Option<BoundaryKey>, usize, usize);
+
+/// Incremental snapshot builder: owns the reuse cache tying each
+/// build to the previous one. One builder per cracked column.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder<T> {
+    prev: HashMap<PieceId, Arc<PieceSnap<T>>>,
+    /// Pending-update values at the previous build: any of these may
+    /// have been merged into the array since, so the pieces covering
+    /// them must be recopied even if their identity is unchanged (an
+    /// insert/delete pair into one piece cancels the length shift).
+    prev_pending: Vec<Val>,
+}
+
+impl<T: Copy> SnapshotBuilder<T> {
+    /// Fresh builder with an empty reuse cache.
+    pub fn new() -> Self {
+        SnapshotBuilder {
+            prev: HashMap::new(),
+            prev_pending: Vec::new(),
+        }
+    }
+
+    /// Build a snapshot of `arr`. `pending` are the values of all
+    /// staged-but-unmerged updates (inserts and deletes): pieces whose
+    /// interval contains one are not published, because a sequenced
+    /// read overlapping them must observe the merge.
+    pub fn build(&mut self, arr: &CrackedArray<T>, pending: &[Val]) -> Arc<ColumnSnapshot<T>> {
+        let n = arr.len();
+        let bounds = arr.index().boundaries();
+        let edges: Vec<BoundaryKey> = bounds.iter().map(|&(k, _)| k).collect();
+        let mut cuts = Vec::with_capacity(bounds.len() + 2);
+        cuts.push(0);
+        cuts.extend(bounds.iter().map(|&(_, p)| p));
+        cuts.push(n);
+        let npieces = edges.len() + 1;
+
+        let locate = |v: Val| edges.partition_point(|e| !left_of(v, e));
+        let mut publish_dirty = vec![false; npieces];
+        for &v in pending {
+            publish_dirty[locate(v)] = true;
+        }
+        let mut reuse_dirty = publish_dirty.clone();
+        for &v in &self.prev_pending {
+            reuse_dirty[locate(v)] = true;
+        }
+
+        let cap = converged_piece_cap(n);
+        let mut pieces = Vec::with_capacity(npieces);
+        let mut next = HashMap::with_capacity(npieces);
+        for i in 0..npieces {
+            let (start, end) = (cuts[i], cuts[i + 1]);
+            if publish_dirty[i] || end - start > cap {
+                pieces.push(None);
+                continue;
+            }
+            let lo = if i > 0 { Some(edges[i - 1]) } else { None };
+            let hi = edges.get(i).copied();
+            let id: PieceId = (lo, hi, start, end);
+            let snap = match self.prev.get(&id) {
+                Some(prev) if !reuse_dirty[i] => prev.clone(),
+                _ => {
+                    let (h, t) = arr.view((start, end));
+                    Arc::new(PieceSnap {
+                        head: h.to_vec(),
+                        tail: t.to_vec(),
+                    })
+                }
+            };
+            next.insert(id, snap.clone());
+            pieces.push(Some(snap));
+        }
+        self.prev = next;
+        self.prev_pending = pending.to_vec();
+
+        let mut covered = Vec::with_capacity(npieces + 1);
+        covered.push(0u32);
+        for p in &pieces {
+            covered.push(covered.last().unwrap() + u32::from(p.is_some()));
+        }
+        Arc::new(ColumnSnapshot {
+            edges,
+            pieces,
+            covered,
+            rows: n,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crack::BoundKind;
+    use crackdb_columnstore::types::{Bound, RangePred, RowId};
+
+    fn pred(lo: Option<(Val, bool)>, hi: Option<(Val, bool)>) -> RangePred {
+        RangePred {
+            lo: lo.map(|(value, inclusive)| Bound { value, inclusive }),
+            hi: hi.map(|(value, inclusive)| Bound { value, inclusive }),
+        }
+    }
+
+    fn arr_0_to(n: usize) -> CrackedArray<RowId> {
+        let head: Vec<Val> = (0..n as Val).collect();
+        let tail: Vec<RowId> = (0..n as RowId).collect();
+        CrackedArray::new(head, tail)
+    }
+
+    #[test]
+    fn uncracked_array_does_not_trivially_converge() {
+        let arr = arr_0_to(100_000);
+        let mut b = SnapshotBuilder::new();
+        let snap = b.build(&arr, &[]);
+        assert_eq!(snap.piece_count(), 1);
+        assert_eq!(
+            snap.published_count(),
+            0,
+            "one giant piece must not publish"
+        );
+        assert!(snap.resolve(&RangePred::all()).is_none());
+    }
+
+    #[test]
+    fn cracked_pieces_publish_and_resolve_with_filtering() {
+        let mut arr = arr_0_to(1000);
+        // Crack at 300 and 700: three pieces, all under the 256-min cap?
+        // n=1000 -> cap = 256; pieces of ~300-400 exceed it, so crack more.
+        for v in [200, 400, 600, 800, 100, 300, 500, 700, 900] {
+            arr.ensure_boundary((v, BoundKind::Lt));
+        }
+        let mut b = SnapshotBuilder::new();
+        let snap = b.build(&arr, &[]);
+        assert!(snap.fully_covered());
+        // A range not aligned to any boundary still resolves; verify
+        // the filtered answer is exact.
+        let p = pred(Some((250, true)), Some((650, false))); // 250 <= v < 650
+        let span = snap.resolve(&p).expect("covered span");
+        let mut got: Vec<Val> = Vec::new();
+        for i in span.first..span.last {
+            let piece = snap.piece(i).unwrap();
+            let edgeish = i == span.first || i == span.last - 1;
+            for &v in &piece.head {
+                if !edgeish || p.matches(v) {
+                    got.push(v);
+                }
+            }
+        }
+        got.sort_unstable();
+        let want: Vec<Val> = (250..650).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pending_values_unpublish_their_piece_only() {
+        let mut arr = arr_0_to(1000);
+        for v in [100, 200, 300, 400, 500, 600, 700, 800, 900] {
+            arr.ensure_boundary((v, BoundKind::Lt));
+        }
+        let mut b = SnapshotBuilder::new();
+        let snap = b.build(&arr, &[450]);
+        // Piece [400,500) is hidden; everything else resolves.
+        assert!(snap
+            .resolve(&pred(Some((410, true)), Some((420, true))))
+            .is_none());
+        assert!(snap
+            .resolve(&pred(Some((100, true)), Some((399, true))))
+            .is_some());
+        assert!(snap
+            .resolve(&pred(Some((500, true)), Some((900, false))))
+            .is_some());
+        assert!(snap.resolve(&RangePred::all()).is_none());
+    }
+
+    #[test]
+    fn builder_reuses_untouched_pieces() {
+        let mut arr = arr_0_to(1000);
+        for v in [100, 200, 300, 400, 500, 600, 700, 800, 900] {
+            arr.ensure_boundary((v, BoundKind::Lt));
+        }
+        let mut b = SnapshotBuilder::new();
+        let s1 = b.build(&arr, &[]);
+        let s2 = b.build(&arr, &[]);
+        for i in 0..s1.piece_count() {
+            assert!(Arc::ptr_eq(s1.piece(i).unwrap(), s2.piece(i).unwrap()));
+        }
+    }
+
+    /// The dangerous cancellation case: a ripple insert plus a ripple
+    /// delete into the *same* piece leaves its `(edges, start, end)`
+    /// identity unchanged while its contents differ. The builder must
+    /// recopy it (via the previous build's pending values), not reuse.
+    #[test]
+    fn insert_delete_cancellation_does_not_reuse_stale_piece() {
+        let mut arr = arr_0_to(1000);
+        for v in [100, 200, 300, 400, 500, 600, 700, 800, 900] {
+            arr.ensure_boundary((v, BoundKind::Lt));
+        }
+        // Build with 450-insert and 455-delete still pending.
+        let mut b = SnapshotBuilder::new();
+        let s1 = b.build(&arr, &[450, 455]);
+        assert!(
+            s1.piece(4).is_none(),
+            "piece [400,500) hidden while pending"
+        );
+        // Merge both: piece 4 gains 450, loses 455; identity unchanged.
+        arr.ripple_insert(450, 9999);
+        let gone = arr.ripple_delete(455, |_| true);
+        assert!(gone.is_some());
+        arr.check_partitioning();
+        let s2 = b.build(&arr, &[]);
+        let piece = s2.piece(4).expect("piece republishes after merge");
+        let mut heads = piece.head.clone();
+        heads.sort_unstable();
+        assert!(heads.binary_search(&450).is_ok());
+        assert_eq!(heads.iter().filter(|&&v| v == 450).count(), 2);
+        assert!(heads.binary_search(&455).is_err());
+        // Pieces far from the ripple target (below it) are reused.
+        assert!(Arc::ptr_eq(s1.piece(0).unwrap(), s2.piece(0).unwrap()));
+    }
+
+    #[test]
+    fn resolve_empty_range_is_empty_span() {
+        let arr = arr_0_to(10);
+        let mut b = SnapshotBuilder::new();
+        let snap = b.build(&arr, &[]);
+        let p = pred(Some((5, false)), Some((5, false))); // 5 < v < 5
+        assert_eq!(snap.resolve(&p), Some(SnapSpan::empty()));
+    }
+}

@@ -26,11 +26,13 @@ pub mod combine;
 pub mod path;
 pub mod service;
 pub mod shard;
+pub mod snapshot;
 
 pub use batch::BatchRunner;
 pub use path::{AccessPath, RestrictCtx, RowSet};
 pub use service::{Client, Service, ServiceConfig, ServiceError};
 pub use shard::ShardedEngine;
+pub use snapshot::{EngineSnapshot, SnapPlan};
 
 use crate::query::{AggAcc, JoinSide, QueryOutput, SelectQuery};
 use crackdb_columnstore::types::{RangePred, RowId, Val};
@@ -138,24 +140,84 @@ pub fn kernel_from_env() -> CrackKernel {
     env_kernel().unwrap_or(CrackKernel::Block)
 }
 
+/// Parse a `CRACKDB_SNAPSHOT_READS`-style override value: unset or
+/// empty means the default (fast path on), otherwise `1 | true | on`
+/// enable and `0 | false | off` disable the lock-free snapshot read
+/// path in [`service::Service`]. Like [`threads_override`], separated
+/// from the env read for testability.
+fn snapshot_reads_override(value: Option<&str>) -> Result<bool, String> {
+    match value.map(str::trim) {
+        None | Some("") => Ok(true),
+        Some(v) => match v.to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => Ok(true),
+            "0" | "false" | "off" => Ok(false),
+            _ => Err(format!(
+                "CRACKDB_SNAPSHOT_READS={v:?} is not a snapshot-reads toggle \
+                 (expected 1 | true | on | 0 | false | off)"
+            )),
+        },
+    }
+}
+
+/// Validate the `CRACKDB_SNAPSHOT_READS` environment toggle, parsed
+/// once per process — the strict entry point [`ServiceConfig`]
+/// validation and the env-validity test CI relies on call, exactly as
+/// [`env_policy`] / [`env_kernel`] are for their variables: a typo in
+/// the CI snapshot-reads matrix must fail loudly, not silently re-test
+/// the default while reporting green.
+pub fn env_snapshot_reads() -> Result<bool, String> {
+    static SNAPSHOT: OnceLock<Result<bool, String>> = OnceLock::new();
+    SNAPSHOT
+        .get_or_init(|| {
+            snapshot_reads_override(std::env::var("CRACKDB_SNAPSHOT_READS").ok().as_deref())
+        })
+        .clone()
+}
+
+/// The snapshot-reads default [`ServiceConfig`] uses: the validated
+/// `CRACKDB_SNAPSHOT_READS` selection, falling back to enabled with
+/// one warning on an invalid value (non-fatal for library embedders;
+/// [`service::Service::with_config`] reports the strict error).
+pub fn snapshot_reads_from_env() -> bool {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    match env_snapshot_reads() {
+        Ok(v) => v,
+        Err(msg) => {
+            WARNED.get_or_init(|| eprintln!("warning: {msg}; snapshot reads stay enabled"));
+            true
+        }
+    }
+}
+
 /// Order predicates by the path's selectivity estimates: ascending
 /// (most selective first) for conjunctions, descending for disjunctions.
-/// When the path has no statistics for some predicate the plan order is
-/// preserved (the presorted baseline requires its first predicate to
-/// name a presorted attribute).
+///
+/// Predicates the path has *no* statistics for keep their plan
+/// positions (the presorted baseline requires its head predicate to
+/// stay first — its path reports no estimates at all); the predicates
+/// that do have estimates are ordered among the remaining positions
+/// instead of one unknown discarding all ordering.
 fn order_preds<P: AccessPath + ?Sized>(
     path: &P,
     preds: &[(usize, RangePred)],
     disjunctive: bool,
 ) -> Vec<(usize, RangePred)> {
+    if preds.len() < 2 {
+        return preds.to_vec();
+    }
     let estimates: Vec<Option<f64>> = preds
         .iter()
         .map(|(attr, pred)| path.estimate(*attr, pred))
         .collect();
-    if preds.len() < 2 || estimates.iter().any(Option::is_none) {
+    // Positions that hold an estimable predicate; the sorted estimable
+    // predicates are placed back into exactly these slots.
+    let slots: Vec<usize> = (0..preds.len())
+        .filter(|&i| estimates[i].is_some())
+        .collect();
+    if slots.len() < 2 {
         return preds.to_vec();
     }
-    let mut order: Vec<usize> = (0..preds.len()).collect();
+    let mut order = slots.clone();
     order.sort_by(|&a, &b| {
         let (ea, eb) = (estimates[a].unwrap(), estimates[b].unwrap());
         // total_cmp: degenerate statistics (empty tables, single-value
@@ -168,7 +230,11 @@ fn order_preds<P: AccessPath + ?Sized>(
             ord
         }
     });
-    order.into_iter().map(|i| preds[i]).collect()
+    let mut out = preds.to_vec();
+    for (&slot, &src) in slots.iter().zip(order.iter()) {
+        out[slot] = preds[src];
+    }
+    out
 }
 
 /// Execute a single-table query over any access path. This is the one
@@ -499,6 +565,179 @@ mod tests {
         // The engine-side read and the cracking-side dispatch observe
         // the same environment, so a valid selection is what runs.
         assert_eq!(crackdb_cracking::active_kernel(), k);
+    }
+
+    /// A scan path that reports selectivity estimates only for a chosen
+    /// subset of attributes, for exercising mixed known/unknown
+    /// predicate ordering.
+    struct MixedStatsPath {
+        inner: ScanPath,
+        /// `(attr, estimate)` pairs; attrs not listed have no stats.
+        stats: Vec<(usize, f64)>,
+    }
+
+    impl AccessPath for MixedStatsPath {
+        fn name(&self) -> &'static str {
+            "test-mixed-stats"
+        }
+        fn estimate(&self, attr: usize, _pred: &RangePred) -> Option<f64> {
+            self.stats
+                .iter()
+                .find(|&&(a, _)| a == attr)
+                .map(|&(_, e)| e)
+        }
+        fn restrict(&mut self, attr: usize, pred: &RangePred, ctx: &RestrictCtx) -> RowSet {
+            self.inner.restrict(attr, pred, ctx)
+        }
+        fn refine(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, ctx: &RestrictCtx) {
+            self.inner.refine(rows, attr, pred, ctx)
+        }
+        fn extend(&mut self, rows: &mut RowSet, attr: usize, pred: &RangePred, ctx: &RestrictCtx) {
+            self.inner.extend(rows, attr, pred, ctx)
+        }
+        fn unrestricted(&mut self, ctx: &RestrictCtx) -> RowSet {
+            self.inner.unrestricted(ctx)
+        }
+        fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+            self.inner.fetch(rows, attrs, consume)
+        }
+    }
+
+    /// Three-column table (a, b, c) for ordering tests.
+    fn mixed_path(stats: Vec<(usize, f64)>) -> MixedStatsPath {
+        let mut t = Table::new();
+        t.add_column("a", Column::new(vec![5, 1, 9, 3, 7, 2, 8]));
+        t.add_column("b", Column::new(vec![50, 10, 90, 30, 70, 20, 80]));
+        t.add_column("c", Column::new(vec![500, 100, 900, 300, 700, 200, 800]));
+        MixedStatsPath {
+            inner: ScanPath {
+                table: t,
+                partial_agg_calls: 0,
+            },
+            stats,
+        }
+    }
+
+    /// Predicates without statistics keep their plan positions — in
+    /// particular a stat-less head predicate stays first (the presorted
+    /// baseline's requirement) — while the estimable subset is still
+    /// ordered most-selective-first instead of being abandoned.
+    #[test]
+    fn order_preds_orders_estimable_subset_around_unknowns() {
+        // attr 0 has no stats; attr 1 is unselective, attr 2 selective.
+        let p = mixed_path(vec![(1, 0.9), (2, 0.1)]);
+        let preds = vec![
+            (0, RangePred::open(0, 100)),
+            (1, RangePred::open(0, 100)),
+            (2, RangePred::open(0, 1000)),
+        ];
+        let ordered = order_preds(&p, &preds, false);
+        let attrs: Vec<usize> = ordered.iter().map(|&(a, _)| a).collect();
+        // Unknown attr 0 pinned at slot 0; attrs 2 and 1 swap into the
+        // estimable slots by ascending selectivity.
+        assert_eq!(attrs, vec![0, 2, 1]);
+        // Disjunctions order the estimable subset descending.
+        let attrs_disj: Vec<usize> = order_preds(&p, &preds, true)
+            .iter()
+            .map(|&(a, _)| a)
+            .collect();
+        assert_eq!(attrs_disj, vec![0, 1, 2]);
+        // Unknown predicate in the middle: slots {0, 2} get the sorted
+        // estimable preds, slot 1 keeps its stat-less predicate.
+        let p2 = mixed_path(vec![(0, 0.9), (2, 0.1)]);
+        let attrs2: Vec<usize> = order_preds(&p2, &preds, false)
+            .iter()
+            .map(|&(a, _)| a)
+            .collect();
+        assert_eq!(attrs2, vec![2, 1, 0]);
+        // Fewer than two estimable predicates: nothing to order.
+        let p3 = mixed_path(vec![(1, 0.5)]);
+        let attrs3: Vec<usize> = order_preds(&p3, &preds, false)
+            .iter()
+            .map(|&(a, _)| a)
+            .collect();
+        assert_eq!(attrs3, vec![0, 1, 2]);
+    }
+
+    /// Differential: the same query must produce identical answers with
+    /// mixed known/unknown statistics (subset ordering active), full
+    /// statistics, and no statistics at all — ordering is a plan
+    /// choice, never a semantics choice.
+    #[test]
+    fn mixed_statistics_never_change_answers() {
+        let qs = [
+            SelectQuery {
+                preds: vec![
+                    (0, RangePred::open(2, 8)),
+                    (1, RangePred::open(0, 75)),
+                    (2, RangePred::open(150, 1000)),
+                ],
+                disjunctive: false,
+                aggs: vec![(1, AggFunc::Count), (2, AggFunc::Sum)],
+                projs: vec![0],
+            },
+            SelectQuery {
+                preds: vec![
+                    (0, RangePred::open(0, 3)),
+                    (1, RangePred::open(75, 100)),
+                    (2, RangePred::open(0, 250)),
+                ],
+                disjunctive: true,
+                aggs: vec![(0, AggFunc::Max)],
+                projs: vec![],
+            },
+        ];
+        for q in qs {
+            let stats_sets: Vec<Vec<(usize, f64)>> = vec![
+                vec![],
+                vec![(0, 0.4), (1, 0.6), (2, 0.2)],
+                vec![(1, 0.6), (2, 0.2)],
+                vec![(0, 0.4), (2, 0.2)],
+                vec![(2, 0.2)],
+            ];
+            let mut outs = Vec::new();
+            for stats in stats_sets {
+                let mut p = mixed_path(stats);
+                let mut out = run_select(&mut p, &q);
+                for v in &mut out.proj_values {
+                    v.sort_unstable();
+                }
+                outs.push((out.rows, out.aggs, out.proj_values));
+            }
+            for o in &outs[1..] {
+                assert_eq!(o, &outs[0], "answers must be ordering-invariant");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_reads_override_parses_strictly() {
+        assert_eq!(snapshot_reads_override(None), Ok(true));
+        assert_eq!(snapshot_reads_override(Some("")), Ok(true));
+        assert_eq!(snapshot_reads_override(Some("1")), Ok(true));
+        assert_eq!(snapshot_reads_override(Some("ON")), Ok(true));
+        assert_eq!(snapshot_reads_override(Some("true")), Ok(true));
+        assert_eq!(snapshot_reads_override(Some("0")), Ok(false));
+        assert_eq!(snapshot_reads_override(Some("off")), Ok(false));
+        assert_eq!(snapshot_reads_override(Some(" false ")), Ok(false));
+        let err = snapshot_reads_override(Some("maybe")).unwrap_err();
+        assert!(err.contains("maybe"), "error names the bad value");
+        assert!(err.contains("on"), "error lists the forms");
+    }
+
+    /// The CI snapshot-reads matrix exports `CRACKDB_SNAPSHOT_READS`
+    /// for entire test runs; a typo there must fail loudly here instead
+    /// of the lenient default silently re-testing the fast path while a
+    /// green "forced off" job reports coverage it never ran.
+    #[test]
+    fn env_snapshot_reads_is_valid() {
+        let v = env_snapshot_reads()
+            .expect("CRACKDB_SNAPSHOT_READS must be unset or a valid on/off toggle");
+        assert_eq!(
+            snapshot_reads_from_env(),
+            v,
+            "lenient and strict reads agree"
+        );
     }
 
     #[test]

@@ -25,7 +25,8 @@
 use crackdb_columnstore::types::{AggFunc, RangePred, RowId, Val};
 use crackdb_engine::{
     Client, CrackPolicy, Engine, JoinQuery, JoinSide, PartialEngine, PlainEngine, PresortedEngine,
-    QueryOutput, SelCrackEngine, SelectQuery, Service, ShardedEngine, SidewaysEngine,
+    QueryOutput, SelCrackEngine, SelectQuery, Service, ServiceConfig, ShardedEngine,
+    SidewaysEngine,
 };
 use crackdb_rng::{rngs::StdRng, Rng, SeedableRng};
 use crackdb_workloads::random_table;
@@ -291,6 +292,140 @@ fn concurrent_partial_matches_serial_replay() {
             &|| PartialEngine::with_policy(t.clone(), DOMAIN, None, policy),
         );
     }
+}
+
+/// The snapshot-read stress: a read-heavy concurrent mix over warmed
+/// (converged) selection-cracking shards, with the lock-free fast path
+/// explicitly forced on or off. The linearizability bar is identical
+/// either way — gapless committed order, bit-for-bit serial replay —
+/// and the snapshot-hit counter proves the fast path actually served
+/// reads (or stayed completely cold when disabled).
+fn check_snapshot_service(snapshot_reads: bool) {
+    const ROWS: usize = 4096;
+    const COLS: usize = 3;
+    const STRESS_OPS: usize = 40;
+    let t = random_table(COLS, ROWS, DOMAIN.1, 209);
+    for shards in SHARD_COUNTS {
+        let engine = ShardedEngine::build(t.clone(), shards, |_, part| {
+            SelCrackEngine::with_policy(part, DOMAIN, CrackPolicy::Standard)
+        });
+        let config = ServiceConfig {
+            snapshot_reads,
+            ..ServiceConfig::default()
+        };
+        let svc = Service::with_config(engine, config).expect("service starts");
+
+        // Warm-up from one client: two sweeps crack every shard's
+        // catalog into converged pieces, and the second sweep's reads
+        // can resolve without reorganizing anything — these are
+        // sequenced operations like any other, so they join the log.
+        let mut merged: Vec<(u64, LoggedOp)> = Vec::new();
+        let warm = svc.client();
+        for _ in 0..2 {
+            for lo in (0..DOMAIN.1 - 8).step_by(8) {
+                let q = SelectQuery::aggregate(
+                    vec![(0, RangePred::open(lo, lo + 6))],
+                    vec![(1, AggFunc::Count), (1, AggFunc::Sum)],
+                );
+                let r = warm.select(&q).expect("warmup select");
+                merged.push((r.seq, LoggedOp::Select { q, out: r.output }));
+            }
+        }
+
+        // Read-heavy concurrent phase: ~90% selects, 10% writes.
+        merged.extend(std::thread::scope(|s| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let client = svc.client();
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(0x5AFE ^ (97 * c as u64 + 3));
+                        let mut log = Vec::with_capacity(STRESS_OPS);
+                        let mut own_keys: Vec<RowId> = Vec::new();
+                        for i in 0..STRESS_OPS {
+                            if i % 10 == 0 {
+                                let row: Vec<Val> =
+                                    (0..COLS).map(|_| rng.gen_range(1..=DOMAIN.1)).collect();
+                                let w = client.insert(&row).expect("insert admitted");
+                                own_keys.push(w.key.expect("inserts report their key"));
+                                log.push((
+                                    w.seq,
+                                    LoggedOp::Insert {
+                                        row,
+                                        key: *own_keys.last().unwrap(),
+                                    },
+                                ));
+                            } else if i % 10 == 5 && !own_keys.is_empty() {
+                                let key = own_keys.swap_remove(rng.gen_range(0..own_keys.len()));
+                                let w = client.delete(key).expect("delete admitted");
+                                log.push((w.seq, LoggedOp::Delete { key }));
+                            } else {
+                                let q = random_select(&mut rng, COLS, i);
+                                let r = client.select(&q).expect("select admitted");
+                                log.push((r.seq, LoggedOp::Select { q, out: r.output }));
+                            }
+                        }
+                        log
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client session completes"))
+                .collect::<Vec<_>>()
+        }));
+
+        let hits = svc.snapshot_hits();
+        if snapshot_reads {
+            assert!(
+                hits > 0,
+                "{shards} shards: converged warm reads must use the fast path"
+            );
+        } else {
+            assert_eq!(
+                hits, 0,
+                "{shards} shards: disabled fast path must stay cold"
+            );
+        }
+        svc.shutdown();
+
+        merged.sort_by_key(|(seq, _)| *seq);
+        for (i, (seq, _)) in merged.iter().enumerate() {
+            assert_eq!(
+                *seq, i as u64,
+                "{shards} shards: committed order must be gapless even when \
+                 snapshot reads commit without enqueueing work"
+            );
+        }
+        let mut serial = SelCrackEngine::with_policy(t.clone(), DOMAIN, CrackPolicy::Standard);
+        let mut inserts = 0usize;
+        for (seq, op) in &merged {
+            let ctx = format!("snapshot={snapshot_reads}, {shards} shards, seq {seq}");
+            match op {
+                LoggedOp::Insert { row, key } => {
+                    assert_eq!(*key as usize, ROWS + inserts, "{ctx}: assigned key");
+                    inserts += 1;
+                    serial.insert(row);
+                }
+                LoggedOp::Delete { key } => serial.delete(*key),
+                LoggedOp::Select { q, out } => {
+                    let want = serial.select(q);
+                    assert_eq!(out.rows, want.rows, "{ctx}: rows");
+                    assert_eq!(out.aggs, want.aggs, "{ctx}: aggregates");
+                    assert_projs_match(&out.proj_values, &want.proj_values, &ctx);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_reads_on_read_heavy_matches_serial_replay() {
+    check_snapshot_service(true);
+}
+
+#[test]
+fn snapshot_reads_off_read_heavy_matches_serial_replay() {
+    check_snapshot_service(false);
 }
 
 /// §4 storage pressure through the service: budgeted partial maps must
