@@ -20,6 +20,9 @@
 //!   TPC-H experiments;
 //! * cache-conscious [`radix`] clustering of unordered intermediates
 //!   (Exp3's reordering strategies);
+//! * the segmented disk tier ([`storage::SegmentedColumn`]): base columns
+//!   as fixed-size-segment files with checksums and a bounded resident
+//!   cache, so tables larger than RAM load on demand;
 //! * row-wise [`shard`] partitioning helpers ([`shard::ShardCuts`],
 //!   [`shard::partition_table`]) — the arithmetic behind the horizontal
 //!   sharding layer (`crackdb-engine`'s `ShardedEngine`).
@@ -34,10 +37,12 @@ pub mod presorted;
 pub mod radix;
 pub mod rowstore;
 pub mod shard;
+pub mod storage;
 pub mod types;
 
 pub use column::{Column, Table};
 pub use presorted::PresortedTable;
 pub use rowstore::{PresortedRowTable, RowTable};
 pub use shard::{partition_table, ShardCuts};
+pub use storage::{SegmentWriter, SegmentedColumn, StorageError};
 pub use types::{AggFunc, AggResult, Bound, RangePred, RowId, Val};

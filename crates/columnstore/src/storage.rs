@@ -1,0 +1,508 @@
+//! Segmented column storage: the disk tier under the BAT model.
+//!
+//! A [`SegmentedColumn`] keeps a base column in a plain file of
+//! fixed-size segments (no mmap — the image is offline, so the file is
+//! read with `pread`-style positioned reads via [`std::os::unix::fs::FileExt`])
+//! and caches a bounded number of resident segments. Values are `i64`
+//! little-endian; every segment carries an FNV-1a checksum in a footer so
+//! a truncated or corrupted file fails loudly instead of answering
+//! queries from garbage.
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! [ 0.. 8)  magic  "CRKSEG01"
+//! [ 8..16)  u64    number of values
+//! [16..24)  u64    segment length (values per segment)
+//! [24..32)  u64    reserved (zero)
+//! [32..32 + len*8)          values, i64 LE
+//! [32 + len*8 .. + nseg*8)  per-segment FNV-1a64 checksums
+//! ```
+//!
+//! Every fallible operation returns a [`StorageError`] carrying the I/O
+//! source and a human context line; higher layers convert it into a
+//! typed query error instead of panicking.
+
+use crate::types::{RowId, Val};
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// File magic of a segmented column.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"CRKSEG01";
+/// Header bytes before the first value.
+const HEADER_LEN: u64 = 32;
+/// Default values per segment (64Ki values = 512 KiB).
+pub const DEFAULT_SEGMENT_LEN: usize = 1 << 16;
+
+/// A storage-tier failure: the I/O error plus where it happened. This is
+/// the one error type every disk path (segmented base columns, spill
+/// files) funnels into; engines wrap it into their typed query errors.
+#[derive(Debug)]
+pub struct StorageError {
+    /// What the storage layer was doing (file, operation).
+    pub context: String,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl StorageError {
+    /// Wrap an I/O error with a context line.
+    pub fn new(context: impl Into<String>, source: io::Error) -> Self {
+        StorageError {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// A data-integrity failure (bad magic, checksum mismatch, short
+    /// record): reported as `InvalidData` so callers can distinguish
+    /// corruption from environmental I/O trouble.
+    pub fn corrupt(context: impl Into<String>, detail: impl Into<String>) -> Self {
+        StorageError {
+            context: context.into(),
+            source: io::Error::new(io::ErrorKind::InvalidData, detail.into()),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.source)
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice: the checksum for segments and spill
+/// records. Dependency-free and fast enough for 512 KiB segments.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode a value slice as little-endian bytes.
+fn encode_vals(vals: &[Val]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode little-endian bytes into values.
+fn decode_vals(bytes: &[u8], out: &mut Vec<Val>) {
+    out.clear();
+    out.reserve(bytes.len() / 8);
+    for c in bytes.chunks_exact(8) {
+        out.push(Val::from_le_bytes(c.try_into().expect("chunks_exact(8)")));
+    }
+}
+
+/// Cache of resident segments with LRU eviction.
+#[derive(Debug)]
+struct SegCache {
+    map: HashMap<u32, (Arc<Vec<Val>>, u64)>,
+    clock: u64,
+    max_segments: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Immutable description of the on-disk column.
+#[derive(Debug)]
+struct SegSource {
+    file: File,
+    path: PathBuf,
+    len: usize,
+    segment_len: usize,
+}
+
+/// A base column stored as fixed-size segments in a file, with a bounded
+/// resident-segment cache. Cloning shares the file and the cache.
+#[derive(Debug, Clone)]
+pub struct SegmentedColumn {
+    source: Arc<SegSource>,
+    cache: Arc<Mutex<SegCache>>,
+}
+
+/// Streaming builder: push values in key order, then
+/// [`finish`](SegmentWriter::finish) — the column is written segment by
+/// segment, so tables larger than RAM are built without materializing
+/// any full column.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: File,
+    path: PathBuf,
+    segment_len: usize,
+    buf: Vec<Val>,
+    checksums: Vec<u64>,
+    written: u64,
+}
+
+impl SegmentWriter {
+    /// Create (truncate) `path` and start a column with `segment_len`
+    /// values per segment.
+    pub fn create(path: impl AsRef<Path>, segment_len: usize) -> Result<Self, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        assert!(segment_len > 0, "segment length must be positive");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| StorageError::new(format!("create segment file {}", path.display()), e))?;
+        // Placeholder header; patched with the final length in finish().
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[..8].copy_from_slice(SEGMENT_MAGIC);
+        header[16..24].copy_from_slice(&(segment_len as u64).to_le_bytes());
+        file.write_all(&header)
+            .map_err(|e| StorageError::new(format!("write header {}", path.display()), e))?;
+        Ok(SegmentWriter {
+            file,
+            path,
+            segment_len,
+            buf: Vec::with_capacity(segment_len),
+            checksums: Vec::new(),
+            written: 0,
+        })
+    }
+
+    fn flush_segment(&mut self) -> Result<(), StorageError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let bytes = encode_vals(&self.buf);
+        self.checksums.push(fnv1a64(&bytes));
+        self.file
+            .write_all(&bytes)
+            .map_err(|e| StorageError::new(format!("write segment {}", self.path.display()), e))?;
+        self.written += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, v: Val) -> Result<(), StorageError> {
+        self.buf.push(v);
+        if self.buf.len() == self.segment_len {
+            self.flush_segment()?;
+        }
+        Ok(())
+    }
+
+    /// Flush, write the checksum footer and the final header, and open
+    /// the column with a cache of `cache_segments` resident segments.
+    pub fn finish(mut self, cache_segments: usize) -> Result<SegmentedColumn, StorageError> {
+        self.flush_segment()?;
+        let footer = encode_vals(&self.checksums.iter().map(|&c| c as Val).collect::<Vec<_>>());
+        self.file
+            .write_all(&footer)
+            .map_err(|e| StorageError::new(format!("write footer {}", self.path.display()), e))?;
+        self.file
+            .write_at(&self.written.to_le_bytes(), 8)
+            .map_err(|e| StorageError::new(format!("patch header {}", self.path.display()), e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::new(format!("sync {}", self.path.display()), e))?;
+        SegmentedColumn::open(&self.path, cache_segments)
+    }
+}
+
+impl SegmentedColumn {
+    /// Open an existing segment file, validating its header.
+    pub fn open(path: impl AsRef<Path>, cache_segments: usize) -> Result<Self, StorageError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path)
+            .map_err(|e| StorageError::new(format!("open segment file {}", path.display()), e))?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact_at(&mut header, 0)
+            .map_err(|e| StorageError::new(format!("read header {}", path.display()), e))?;
+        if &header[..8] != SEGMENT_MAGIC {
+            return Err(StorageError::corrupt(
+                format!("open segment file {}", path.display()),
+                "bad magic (not a crackdb segment file)",
+            ));
+        }
+        let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+        let segment_len = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes")) as usize;
+        if segment_len == 0 {
+            return Err(StorageError::corrupt(
+                format!("open segment file {}", path.display()),
+                "zero segment length",
+            ));
+        }
+        Ok(SegmentedColumn {
+            source: Arc::new(SegSource {
+                file,
+                path,
+                len,
+                segment_len,
+            }),
+            cache: Arc::new(Mutex::new(SegCache {
+                map: HashMap::new(),
+                clock: 0,
+                max_segments: cache_segments.max(1),
+                hits: 0,
+                misses: 0,
+            })),
+        })
+    }
+
+    /// Build a column by streaming `len` generated values to `path`.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        len: usize,
+        segment_len: usize,
+        cache_segments: usize,
+        mut gen: impl FnMut(usize) -> Val,
+    ) -> Result<Self, StorageError> {
+        let mut w = SegmentWriter::create(path, segment_len)?;
+        for i in 0..len {
+            w.push(gen(i))?;
+        }
+        w.finish(cache_segments)
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.source.len
+    }
+
+    /// `true` when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.source.len == 0
+    }
+
+    /// Values per segment.
+    pub fn segment_len(&self) -> usize {
+        self.source.segment_len
+    }
+
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.source.len.div_ceil(self.source.segment_len)
+    }
+
+    /// `(hits, misses)` of the segment cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        let c = self.cache.lock().expect("segment cache lock");
+        (c.hits, c.misses)
+    }
+
+    /// Bytes currently resident in the segment cache.
+    pub fn resident_bytes(&self) -> usize {
+        let c = self.cache.lock().expect("segment cache lock");
+        c.map.values().map(|(s, _)| s.len() * 8).sum()
+    }
+
+    fn seg_bounds(&self, seg: u32) -> (usize, usize) {
+        let start = seg as usize * self.source.segment_len;
+        let end = (start + self.source.segment_len).min(self.source.len);
+        (start, end)
+    }
+
+    /// Read one segment from disk, verifying its checksum. Does not touch
+    /// the cache (sequential scans use this directly so they cannot evict
+    /// the hot random-access set).
+    fn read_segment(&self, seg: u32, out: &mut Vec<Val>) -> Result<(), StorageError> {
+        let (start, end) = self.seg_bounds(seg);
+        let nbytes = (end - start) * 8;
+        let mut bytes = vec![0u8; nbytes];
+        let src = &self.source;
+        let ctx = || format!("read segment {seg} of {}", src.path.display());
+        src.file
+            .read_exact_at(&mut bytes, HEADER_LEN + (start as u64) * 8)
+            .map_err(|e| StorageError::new(ctx(), e))?;
+        let mut sum = [0u8; 8];
+        src.file
+            .read_exact_at(
+                &mut sum,
+                HEADER_LEN + (src.len as u64) * 8 + (seg as u64) * 8,
+            )
+            .map_err(|e| StorageError::new(ctx(), e))?;
+        let expected = u64::from_le_bytes(sum);
+        let actual = fnv1a64(&bytes);
+        if actual != expected {
+            return Err(StorageError::corrupt(
+                ctx(),
+                format!("segment checksum mismatch (expected {expected:#x}, got {actual:#x})"),
+            ));
+        }
+        decode_vals(&bytes, out);
+        Ok(())
+    }
+
+    /// The segment `seg` as a cached resident slice, loading (and LRU
+    /// evicting) as needed.
+    fn load_segment(&self, seg: u32) -> Result<Arc<Vec<Val>>, StorageError> {
+        {
+            let mut c = self.cache.lock().expect("segment cache lock");
+            c.clock += 1;
+            let clock = c.clock;
+            if let Some(entry) = c.map.get_mut(&seg) {
+                entry.1 = clock;
+                let vals = Arc::clone(&entry.0);
+                c.hits += 1;
+                return Ok(vals);
+            }
+            c.misses += 1;
+        }
+        // Load outside the lock; racing loads of the same segment are
+        // harmless (last writer wins, both Arcs are valid).
+        let mut vals = Vec::new();
+        self.read_segment(seg, &mut vals)?;
+        let vals = Arc::new(vals);
+        let mut c = self.cache.lock().expect("segment cache lock");
+        while c.map.len() >= c.max_segments {
+            let coldest = c
+                .map
+                .iter()
+                .min_by_key(|(&s, &(_, stamp))| (stamp, s))
+                .map(|(&s, _)| s);
+            match coldest {
+                Some(s) => {
+                    c.map.remove(&s);
+                }
+                None => break,
+            }
+        }
+        let clock = c.clock;
+        c.map.insert(seg, (Arc::clone(&vals), clock));
+        Ok(vals)
+    }
+
+    /// Value at `key`, through the segment cache.
+    pub fn get(&self, key: RowId) -> Result<Val, StorageError> {
+        let mut memo = None;
+        self.get_with_memo(key, &mut memo)
+    }
+
+    /// Value at `key`, memoizing the last touched segment in `memo` so
+    /// gathers with segment locality skip the cache lock.
+    pub fn get_with_memo(
+        &self,
+        key: RowId,
+        memo: &mut Option<(u32, Arc<Vec<Val>>)>,
+    ) -> Result<Val, StorageError> {
+        let k = key as usize;
+        assert!(k < self.source.len, "key {k} out of range");
+        let seg = (k / self.source.segment_len) as u32;
+        if let Some((s, vals)) = memo {
+            if *s == seg {
+                return Ok(vals[k % self.source.segment_len]);
+            }
+        }
+        let vals = self.load_segment(seg)?;
+        let v = vals[k % self.source.segment_len];
+        *memo = Some((seg, vals));
+        Ok(v)
+    }
+
+    /// Stream every segment in key order: `f(first_key, values)`.
+    /// Reads bypass the cache (a full scan must not evict the hot set)
+    /// and verify checksums.
+    pub fn for_each_segment(&self, mut f: impl FnMut(usize, &[Val])) -> Result<(), StorageError> {
+        let mut vals = Vec::new();
+        for seg in 0..self.num_segments() as u32 {
+            self.read_segment(seg, &mut vals)?;
+            f(self.seg_bounds(seg).0, &vals);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "crackdb-storage-test-{}-{name}",
+            std::process::id()
+        ));
+        p
+    }
+
+    #[test]
+    fn roundtrip_and_cache() {
+        let path = tmp("roundtrip");
+        let col = SegmentedColumn::create_with(&path, 1000, 64, 4, |i| i as Val * 3).unwrap();
+        assert_eq!(col.len(), 1000);
+        assert_eq!(col.num_segments(), 16);
+        for k in [0u32, 63, 64, 999, 500, 1, 999] {
+            assert_eq!(col.get(k).unwrap(), k as Val * 3);
+        }
+        let (hits, misses) = col.cache_stats();
+        assert!(hits >= 1, "repeated keys hit the cache");
+        assert!(misses <= 6, "cache bounds loads");
+        assert!(col.resident_bytes() <= 4 * 64 * 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sequential_scan_matches() {
+        let path = tmp("scan");
+        let col = SegmentedColumn::create_with(&path, 257, 32, 2, |i| 1000 - i as Val).unwrap();
+        let mut seen = Vec::new();
+        col.for_each_segment(|start, vals| {
+            assert_eq!(start, seen.len());
+            seen.extend_from_slice(vals);
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 257);
+        assert!(seen.iter().enumerate().all(|(i, &v)| v == 1000 - i as Val));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = tmp("corrupt");
+        let col = SegmentedColumn::create_with(&path, 100, 16, 2, |i| i as Val).unwrap();
+        drop(col);
+        // Flip a byte inside the third segment's value region.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.write_at(&[0xFF], HEADER_LEN + 40 * 8).unwrap();
+        let col = SegmentedColumn::open(&path, 2).unwrap();
+        assert!(col.get(0).is_ok(), "untouched segment still reads");
+        let err = col.get(40).unwrap_err();
+        assert_eq!(err.source.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("magic");
+        std::fs::write(&path, [0x55u8; 64]).unwrap();
+        let err = SegmentedColumn::open(&path, 2).unwrap_err();
+        assert_eq!(err.source.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_fails_loudly() {
+        let path = tmp("truncated");
+        let col = SegmentedColumn::create_with(&path, 100, 16, 2, |i| i as Val).unwrap();
+        drop(col);
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(HEADER_LEN + 50 * 8).unwrap();
+        let col = SegmentedColumn::open(&path, 2).unwrap();
+        assert!(col.get(99).is_err(), "reads past the truncation fail");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -48,6 +48,29 @@ impl Chunk {
         }
     }
 
+    /// Reassemble a chunk from deserialized spill-record parts. The
+    /// cursor is the chunk's staged-update watermark: alignment resumes
+    /// from it exactly as if the chunk had stayed resident.
+    pub fn from_spill_parts(
+        head: Option<Vec<Val>>,
+        tail: Vec<Val>,
+        index: CrackerIndex,
+        cursor: usize,
+        accesses: u64,
+    ) -> Self {
+        if let Some(h) = &head {
+            assert_eq!(h.len(), tail.len());
+        }
+        Chunk {
+            head,
+            tail,
+            index,
+            cursor,
+            accesses,
+            last_access: 0,
+        }
+    }
+
     /// Number of tuples.
     pub fn len(&self) -> usize {
         self.tail.len()

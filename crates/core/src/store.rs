@@ -451,6 +451,9 @@ pub struct PartialStore {
     /// from their chunk-map seed (existing sets merge them lazily per
     /// area, §3.5).
     deleted: HashSet<RowId>,
+    /// When set, newly created sets get a disk spill tier writing under
+    /// this directory (tiered eviction: RAM budget → spill → drop).
+    spill_dir: Option<std::path::PathBuf>,
 }
 
 impl PartialStore {
@@ -465,6 +468,45 @@ impl PartialStore {
     /// Register a per-attribute value domain (set-choice estimates).
     pub fn set_domain(&mut self, attr: usize, domain: (Val, Val)) {
         self.domains.insert(attr, domain);
+    }
+
+    /// Enable the disk spill tier: every *future* set evicts into spill
+    /// files under a unique subdirectory of `base_dir` (removed
+    /// best-effort when the sets drop). Existing sets are unaffected.
+    pub fn enable_spill(&mut self, base_dir: std::path::PathBuf) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let unique = format!(
+            "crackdb-spill-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        self.spill_dir = Some(base_dir.join(unique));
+    }
+
+    /// `true` when new sets will be created with a spill tier.
+    pub fn spill_enabled(&self) -> bool {
+        self.spill_dir.is_some()
+    }
+
+    /// The unique spill directory (when enabled) — instrumentation and
+    /// fault-injection tests locate the spill files through this.
+    pub fn spill_dir(&self) -> Option<&std::path::Path> {
+        self.spill_dir.as_deref()
+    }
+
+    /// Tuples currently held on disk across all sets' spill tiers.
+    pub fn spilled_tuples(&self) -> usize {
+        self.sets.values().map(|s| s.spilled_tuples()).sum()
+    }
+
+    /// Aggregate instrumentation counters across all sets.
+    pub fn stats_sum(&self) -> crate::partial::PartialStats {
+        let mut acc = crate::partial::PartialStats::default();
+        for s in self.sets.values() {
+            acc.merge(&s.stats);
+        }
+        acc
     }
 
     /// Set the pivot-choice policy for all *future* partial sets.
@@ -542,8 +584,14 @@ impl PartialStore {
         let hd = self.head_drop_threshold;
         let policy = self.policy;
         let deleted = &self.deleted;
+        let spill_dir = &self.spill_dir;
         let s = self.sets.entry(head_attr).or_insert_with(|| {
             let mut s = PartialSet::with_policy(head_attr, policy);
+            s.set_spill(
+                spill_dir
+                    .as_ref()
+                    .map(|d| crate::partial::SpillTier::new(d.clone(), format!("set{head_attr}"))),
+            );
             // Pre-stage past deletions: the set's chunk-map seed (taken
             // at its first query) subsumes staged deletes by exclusion.
             for &k in deleted {
@@ -564,7 +612,7 @@ impl PartialStore {
         preds: &[(usize, RangePred)],
         projs: &[usize],
         consume: F,
-    ) {
+    ) -> Result<(), crackdb_columnstore::storage::StorageError> {
         let n = base.num_rows();
         let chosen = preds
             .iter()
@@ -582,7 +630,7 @@ impl PartialStore {
             .cloned()
             .collect();
         self.set_mut(base, chosen)
-            .conjunctive_project_with(base, &head_pred, &tails, projs, consume);
+            .conjunctive_project_with(base, &head_pred, &tails, projs, consume)
     }
 
     /// Disjunctive query executed chunk-wise on the *least* selective
@@ -594,7 +642,7 @@ impl PartialStore {
         preds: &[(usize, RangePred)],
         projs: &[usize],
         consume: F,
-    ) {
+    ) -> Result<(), crackdb_columnstore::storage::StorageError> {
         let n = base.num_rows();
         let chosen = preds
             .iter()
@@ -606,7 +654,7 @@ impl PartialStore {
             .expect("non-empty predicates")
             .0;
         self.set_mut(base, chosen)
-            .disjunctive_project_with(base, preds, projs, consume);
+            .disjunctive_project_with(base, preds, projs, consume)
     }
 }
 
@@ -695,21 +743,27 @@ mod tests {
         let mut base = table();
         // Query set 0 first so it exists before the updates.
         let preds0 = vec![(0usize, RangePred::open(10, 30))];
-        store.conjunctive_project_with(&base, &preds0, &[2], |_, _| {});
+        store
+            .conjunctive_project_with(&base, &preds0, &[2], |_, _| {})
+            .unwrap();
         // Insert one row, delete one original row (key 20: a=20, b=79).
         let key = base.append_row(&[25, 60, 999]);
         store.stage_insert(key);
         store.stage_delete(&base, 20);
         // Set 0 (existing) merges lazily.
         let mut out = Vec::new();
-        store.conjunctive_project_with(&base, &preds0, &[2], |_, v| out.push(v));
+        store
+            .conjunctive_project_with(&base, &preds0, &[2], |_, v| out.push(v))
+            .unwrap();
         assert!(out.contains(&999), "staged insert merged on access");
         assert!(!out.contains(&40), "staged delete merged on access");
         // Set 1 is created only now: its seed must exclude the deleted
         // key and include the inserted row.
         let preds1 = vec![(1usize, RangePred::open(55, 80))];
         let mut out = Vec::new();
-        store.conjunctive_project_with(&base, &preds1, &[2], |_, v| out.push(v));
+        store
+            .conjunctive_project_with(&base, &preds1, &[2], |_, v| out.push(v))
+            .unwrap();
         assert!(out.contains(&999), "late set sees the inserted row");
         assert!(!out.contains(&40), "late set excludes the deleted row");
     }
@@ -723,7 +777,9 @@ mod tests {
             (1usize, RangePred::open(94, 100)), // b = 99-row in (94,100) → rows 0..=4
         ];
         let mut out = Vec::new();
-        store.disjunctive_project_with(&base, &preds, &[2], |_, v| out.push(v));
+        store
+            .disjunctive_project_with(&base, &preds, &[2], |_, v| out.push(v))
+            .unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![0, 2, 4, 6, 8]);
     }
@@ -737,7 +793,9 @@ mod tests {
             (1usize, RangePred::open(50, 75)),
         ];
         let mut out = Vec::new();
-        store.conjunctive_project_with(&base, &preds, &[2], |_, v| out.push(v));
+        store
+            .conjunctive_project_with(&base, &preds, &[2], |_, v| out.push(v))
+            .unwrap();
         out.sort_unstable();
         let expected: Vec<Val> = (25..40).map(|r| r * 2).collect();
         assert_eq!(out, expected);

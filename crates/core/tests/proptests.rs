@@ -131,7 +131,8 @@ fn partial_maps_budget_correct() {
             let p = pred(rng.gen_range(0i64..50), rng.gen_range(0i64..25));
             let attr = 1 + rng.gen_range(0usize..3);
             let mut got = Vec::new();
-            set.select_project_with(&t, &p, &[attr], |_, v| got.push(v));
+            set.select_project_with(&t, &p, &[attr], |_, v| got.push(v))
+                .unwrap();
             got.sort_unstable();
             let mut expected: Vec<Val> = (0..n)
                 .filter(|&i| p.matches(a[i]))
@@ -143,6 +144,68 @@ fn partial_maps_budget_correct() {
                 set.usage() <= budget + 3 * n,
                 "usage {} far exceeds budget {}",
                 set.usage(),
+                budget
+            );
+        }
+    });
+}
+
+/// Spill round-trip property: a partial set with a spill tier and a
+/// tiny budget — so chunks constantly serialize to disk, reload and
+/// un-merge — answers bit-for-bit like a never-evicted set and a naive
+/// scan, and `usage() <= budget` holds *exactly* after every query
+/// (spilled tuples are disk-resident and must not count).
+#[test]
+fn spilled_partial_sets_match_never_evicted() {
+    use crackdb_core::SpillTier;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+    cases(0x5B111ED, |rng| {
+        let a = vec_of(rng, 0, 50, 8, 120);
+        let n = a.len();
+        let cols: Vec<Vec<Val>> = (0..4)
+            .map(|c| {
+                if c == 0 {
+                    a.clone()
+                } else {
+                    (0..n as Val).map(|i| i * 13 + 1000 * c as Val).collect()
+                }
+            })
+            .collect();
+        let t = table(cols);
+        let budget = (n / rng.gen_range(3usize..8)).max(8);
+        let dir = std::env::temp_dir().join(format!(
+            "crackdb-prop-spill-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut cold = PartialSet::new(0);
+        cold.budget = Some(budget);
+        cold.set_spill(Some(SpillTier::new(dir, "prop")));
+        let mut hot = PartialSet::new(0);
+        let nq = rng.gen_range(4usize..20);
+        for _ in 0..nq {
+            let p = pred(rng.gen_range(0i64..50), rng.gen_range(0i64..25));
+            let attr = 1 + rng.gen_range(0usize..3);
+            let mut got_cold = Vec::new();
+            cold.select_project_with(&t, &p, &[attr], |_, v| got_cold.push(v))
+                .unwrap();
+            let mut got_hot = Vec::new();
+            hot.select_project_with(&t, &p, &[attr], |_, v| got_hot.push(v))
+                .unwrap();
+            got_cold.sort_unstable();
+            got_hot.sort_unstable();
+            assert_eq!(got_cold, got_hot, "spilled answers drift from in-RAM");
+            let mut expected: Vec<Val> = (0..n)
+                .filter(|&i| p.matches(a[i]))
+                .map(|i| t.column(attr).get(i as u32))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got_cold, expected, "spilled answers drift from scan");
+            assert!(
+                cold.usage() <= budget,
+                "resident usage {} exceeds budget {} exactly after a query",
+                cold.usage(),
                 budget
             );
         }

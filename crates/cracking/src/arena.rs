@@ -1,0 +1,177 @@
+//! A tiny index-based slab arena: contiguous slot storage plus a free
+//! list, shared by the per-column AVL node pools ([`crate::avl`]) and
+//! reusable for any index-linked structure.
+//!
+//! Nodes refer to each other by `u32` slot index instead of `Box`
+//! pointers, so a whole tree is one contiguous allocation: hot lookups
+//! walk within a single cache-friendly buffer, cloning a tree is one
+//! `memcpy`-ish `Vec` clone, and dropping it frees one allocation
+//! instead of a pointer chase. [`Arena::clear`] keeps the allocation so
+//! a recycled index (a revived chunk, a re-cracked column) rebuilds
+//! without reallocating.
+
+/// Slot index inside an [`Arena`].
+pub type SlotId = u32;
+
+/// Sentinel for "no slot" (the arena never hands this id out).
+pub const NO_SLOT: SlotId = u32::MAX;
+
+/// A contiguous slot arena with index-based handles and a free list.
+///
+/// Freed slots keep their old value until reused — the arena is a
+/// *pool*, not an ownership tracker; callers that free slots must not
+/// read them again through stale ids. Structures that only ever grow
+/// and [`clear`](Arena::clear) (the cracker AVL with its lazy deletion)
+/// never touch the free list at all.
+#[derive(Debug, Clone, Default)]
+pub struct Arena<T> {
+    slots: Vec<T>,
+    free: Vec<SlotId>,
+}
+
+impl<T> Arena<T> {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Empty arena with room for `cap` slots before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+        }
+    }
+
+    /// Number of live slots (allocated and not freed).
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// `true` when no slot is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slots the arena can hold before growing.
+    pub fn capacity(&self) -> usize {
+        self.slots.capacity()
+    }
+
+    /// Allocate a slot holding `value`, reusing a freed slot when one
+    /// exists.
+    #[inline]
+    pub fn alloc(&mut self, value: T) -> SlotId {
+        match self.free.pop() {
+            Some(id) => {
+                self.slots[id as usize] = value;
+                id
+            }
+            None => {
+                assert!(
+                    self.slots.len() < NO_SLOT as usize,
+                    "arena overflow: more than u32::MAX slots"
+                );
+                self.slots.push(value);
+                (self.slots.len() - 1) as SlotId
+            }
+        }
+    }
+
+    /// Return a slot to the free list. The value stays in place until
+    /// the slot is reused; the id must not be read through afterwards.
+    pub fn free(&mut self, id: SlotId) {
+        debug_assert!((id as usize) < self.slots.len(), "free of unallocated slot");
+        self.free.push(id);
+    }
+
+    /// Shared access to a slot.
+    #[inline(always)]
+    pub fn get(&self, id: SlotId) -> &T {
+        &self.slots[id as usize]
+    }
+
+    /// Exclusive access to a slot.
+    #[inline(always)]
+    pub fn get_mut(&mut self, id: SlotId) -> &mut T {
+        &mut self.slots[id as usize]
+    }
+
+    /// Every slot ever allocated (freed slots included — see the type
+    /// docs), in allocation order. For whole-pool sweeps by structures
+    /// that never free individual slots.
+    pub fn slots(&self) -> &[T] {
+        &self.slots
+    }
+
+    /// Mutable whole-pool sweep; same caveat as [`Arena::slots`].
+    pub fn slots_mut(&mut self) -> &mut [T] {
+        &mut self.slots
+    }
+
+    /// Drop every slot but keep the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let mut a = Arena::new();
+        let x = a.alloc(10);
+        let y = a.alloc(20);
+        assert_eq!(*a.get(x), 10);
+        assert_eq!(*a.get(y), 20);
+        *a.get_mut(x) += 1;
+        assert_eq!(*a.get(x), 11);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn free_slots_are_reused() {
+        let mut a = Arena::new();
+        let x = a.alloc(1);
+        let _y = a.alloc(2);
+        a.free(x);
+        assert_eq!(a.len(), 1);
+        let z = a.alloc(3);
+        assert_eq!(z, x, "freed slot reused first");
+        assert_eq!(*a.get(z), 3);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut a = Arena::with_capacity(64);
+        for i in 0..50 {
+            a.alloc(i);
+        }
+        let cap = a.capacity();
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.capacity(), cap, "allocation survives clear");
+        let id = a.alloc(7);
+        assert_eq!(id, 0, "ids restart after clear");
+    }
+
+    #[test]
+    fn slots_sweep_sees_allocation_order() {
+        let mut a = Arena::new();
+        for i in 0..5 {
+            a.alloc(i * 10);
+        }
+        assert_eq!(a.slots(), &[0, 10, 20, 30, 40]);
+        for v in a.slots_mut() {
+            *v += 1;
+        }
+        assert_eq!(*a.get(3), 31);
+    }
+}

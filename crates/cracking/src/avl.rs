@@ -14,18 +14,28 @@
 //!   if the chunk is recreated;
 //! * bulk position shifting, needed when ripple updates grow or shrink the
 //!   underlying array.
+//!
+//! Nodes live in a per-column [`Arena`] and link by `u32` slot index, so
+//! each index is one contiguous allocation: lookups walk a single
+//! cache-friendly buffer (no `Box` pointer chasing), and insertion is
+//! iterative over an explicit path stack — no recursion in the hot path.
 
+use crate::arena::{Arena, SlotId, NO_SLOT};
 use std::cmp::Ordering;
 
 /// Index of a node inside the arena.
-type NodeId = u32;
-const NIL: NodeId = u32::MAX;
+type NodeId = SlotId;
+const NIL: NodeId = NO_SLOT;
+
+/// Deepest possible path through the tree: AVL height is below
+/// `1.44 * log2(n)` and node ids are `u32`, so 64 frames always fit.
+const MAX_HEIGHT: usize = 64;
 
 /// An AVL tree mapping ordered keys `K` to a payload position, with lazy
 /// deletion marks.
 #[derive(Debug, Clone)]
 pub struct AvlTree<K: Ord + Copy> {
-    nodes: Vec<Node<K>>,
+    nodes: Arena<Node<K>>,
     root: NodeId,
     live: usize,
 }
@@ -51,7 +61,7 @@ impl<K: Ord + Copy> AvlTree<K> {
     /// Empty tree.
     pub fn new() -> Self {
         AvlTree {
-            nodes: Vec::new(),
+            nodes: Arena::new(),
             root: NIL,
             live: 0,
         }
@@ -69,43 +79,44 @@ impl<K: Ord + Copy> AvlTree<K> {
 
     /// Total nodes including lazily deleted ones.
     pub fn total_nodes(&self) -> usize {
-        self.nodes.len()
+        self.nodes.slots().len()
     }
 
     fn height(&self, n: NodeId) -> i32 {
         if n == NIL {
             0
         } else {
-            self.nodes[n as usize].height
+            self.nodes.get(n).height
         }
     }
 
     fn update_height(&mut self, n: NodeId) {
-        let h = 1 + self
-            .height(self.nodes[n as usize].left)
-            .max(self.height(self.nodes[n as usize].right));
-        self.nodes[n as usize].height = h;
+        let node = self.nodes.get(n);
+        let (l, r) = (node.left, node.right);
+        let h = 1 + self.height(l).max(self.height(r));
+        self.nodes.get_mut(n).height = h;
     }
 
     fn balance_factor(&self, n: NodeId) -> i32 {
-        self.height(self.nodes[n as usize].left) - self.height(self.nodes[n as usize].right)
+        let node = self.nodes.get(n);
+        self.height(node.left) - self.height(node.right)
     }
 
     fn rotate_right(&mut self, y: NodeId) -> NodeId {
-        let x = self.nodes[y as usize].left;
-        let t2 = self.nodes[x as usize].right;
-        self.nodes[x as usize].right = y;
-        self.nodes[y as usize].left = t2;
+        let x = self.nodes.get(y).left;
+        let t2 = self.nodes.get(x).right;
+        self.nodes.get_mut(x).right = y;
+        self.nodes.get_mut(y).left = t2;
         self.update_height(y);
         self.update_height(x);
         x
     }
 
     fn rotate_left(&mut self, x: NodeId) -> NodeId {
-        let y = self.nodes[x as usize].right;
-        let t2 = self.nodes[y as usize].left;
-        self.nodes[y as usize].left = x;
-        self.nodes[x as usize].right = t2;
+        let y = self.nodes.get(x).right;
+        let t2 = self.nodes.get(y).left;
+        self.nodes.get_mut(y).left = x;
+        self.nodes.get_mut(x).right = t2;
         self.update_height(x);
         self.update_height(y);
         y
@@ -115,16 +126,18 @@ impl<K: Ord + Copy> AvlTree<K> {
         self.update_height(n);
         let bf = self.balance_factor(n);
         if bf > 1 {
-            if self.balance_factor(self.nodes[n as usize].left) < 0 {
-                let l = self.nodes[n as usize].left;
-                self.nodes[n as usize].left = self.rotate_left(l);
+            if self.balance_factor(self.nodes.get(n).left) < 0 {
+                let l = self.nodes.get(n).left;
+                let new_l = self.rotate_left(l);
+                self.nodes.get_mut(n).left = new_l;
             }
             return self.rotate_right(n);
         }
         if bf < -1 {
-            if self.balance_factor(self.nodes[n as usize].right) > 0 {
-                let r = self.nodes[n as usize].right;
-                self.nodes[n as usize].right = self.rotate_right(r);
+            if self.balance_factor(self.nodes.get(n).right) > 0 {
+                let r = self.nodes.get(n).right;
+                let new_r = self.rotate_right(r);
+                self.nodes.get_mut(n).right = new_r;
             }
             return self.rotate_left(n);
         }
@@ -133,53 +146,89 @@ impl<K: Ord + Copy> AvlTree<K> {
 
     /// Insert `key` with payload `pos`. If the key exists (even lazily
     /// deleted), it is revived/overwritten with the new position.
+    ///
+    /// Iterative: the descent records the root-to-leaf path in a
+    /// fixed-size stack (AVL height never exceeds [`MAX_HEIGHT`]) and
+    /// the rebalancing walk replays it bottom-up — no recursion, no
+    /// per-level call frames.
     pub fn insert(&mut self, key: K, pos: usize) {
-        let root = self.root;
-        self.root = self.insert_at(root, key, pos);
-    }
-
-    fn insert_at(&mut self, n: NodeId, key: K, pos: usize) -> NodeId {
-        if n == NIL {
-            self.nodes.push(Node {
-                key,
-                pos,
-                deleted: false,
-                left: NIL,
-                right: NIL,
-                height: 1,
-            });
+        let fresh = |key, pos| Node {
+            key,
+            pos,
+            deleted: false,
+            left: NIL,
+            right: NIL,
+            height: 1,
+        };
+        if self.root == NIL {
+            self.root = self.nodes.alloc(fresh(key, pos));
             self.live += 1;
-            return (self.nodes.len() - 1) as NodeId;
+            return;
         }
-        match key.cmp(&self.nodes[n as usize].key) {
-            Ordering::Less => {
-                let l = self.nodes[n as usize].left;
-                let new_l = self.insert_at(l, key, pos);
-                self.nodes[n as usize].left = new_l;
-            }
-            Ordering::Greater => {
-                let r = self.nodes[n as usize].right;
-                let new_r = self.insert_at(r, key, pos);
-                self.nodes[n as usize].right = new_r;
-            }
-            Ordering::Equal => {
-                let node = &mut self.nodes[n as usize];
-                if node.deleted {
-                    node.deleted = false;
-                    self.live += 1;
+        let mut path = [NIL; MAX_HEIGHT];
+        let mut depth = 0usize;
+        let mut n = self.root;
+        loop {
+            path[depth] = n;
+            depth += 1;
+            let node = self.nodes.get(n);
+            match key.cmp(&node.key) {
+                Ordering::Less => {
+                    let l = node.left;
+                    if l == NIL {
+                        let new = self.nodes.alloc(fresh(key, pos));
+                        self.live += 1;
+                        self.nodes.get_mut(n).left = new;
+                        break;
+                    }
+                    n = l;
                 }
-                self.nodes[n as usize].pos = pos;
-                return n;
+                Ordering::Greater => {
+                    let r = node.right;
+                    if r == NIL {
+                        let new = self.nodes.alloc(fresh(key, pos));
+                        self.live += 1;
+                        self.nodes.get_mut(n).right = new;
+                        break;
+                    }
+                    n = r;
+                }
+                Ordering::Equal => {
+                    let node = self.nodes.get_mut(n);
+                    if node.deleted {
+                        node.deleted = false;
+                        self.live += 1;
+                    }
+                    node.pos = pos;
+                    return;
+                }
             }
         }
-        self.rebalance(n)
+        // Bottom-up rebalance along the recorded path, reattaching any
+        // rotated subtree root to its parent (or the tree root).
+        for i in (0..depth).rev() {
+            let at = path[i];
+            let new_at = self.rebalance(at);
+            if new_at != at {
+                if i == 0 {
+                    self.root = new_at;
+                } else {
+                    let parent = self.nodes.get_mut(path[i - 1]);
+                    if parent.left == at {
+                        parent.left = new_at;
+                    } else {
+                        parent.right = new_at;
+                    }
+                }
+            }
+        }
     }
 
     /// Exact lookup of a live key; returns its position.
     pub fn get(&self, key: &K) -> Option<usize> {
         let mut n = self.root;
         while n != NIL {
-            let node = &self.nodes[n as usize];
+            let node = self.nodes.get(n);
             match key.cmp(&node.key) {
                 Ordering::Less => n = node.left,
                 Ordering::Greater => n = node.right,
@@ -196,7 +245,7 @@ impl<K: Ord + Copy> AvlTree<K> {
     pub fn get_any(&self, key: &K) -> Option<(usize, bool)> {
         let mut n = self.root;
         while n != NIL {
-            let node = &self.nodes[n as usize];
+            let node = self.nodes.get(n);
             match key.cmp(&node.key) {
                 Ordering::Less => n = node.left,
                 Ordering::Greater => n = node.right,
@@ -211,7 +260,7 @@ impl<K: Ord + Copy> AvlTree<K> {
         let mut best = None;
         let mut n = self.root;
         while n != NIL {
-            let node = &self.nodes[n as usize];
+            let node = self.nodes.get(n);
             if node.key < *key {
                 if !node.deleted {
                     best = Some((node.key, node.pos));
@@ -243,7 +292,7 @@ impl<K: Ord + Copy> AvlTree<K> {
         let mut best = None;
         let mut n = self.root;
         while n != NIL {
-            let node = &self.nodes[n as usize];
+            let node = self.nodes.get(n);
             if node.key > *key {
                 if !node.deleted {
                     best = Some((node.key, node.pos));
@@ -295,7 +344,7 @@ impl<K: Ord + Copy> AvlTree<K> {
         if n == NIL {
             return;
         }
-        let node = &self.nodes[n as usize];
+        let node = self.nodes.get(n);
         self.walk_live(node.left, f);
         if !node.deleted {
             f(node.key, node.pos);
@@ -315,7 +364,7 @@ impl<K: Ord + Copy> AvlTree<K> {
     pub fn mark_deleted(&mut self, key: &K) -> bool {
         let mut n = self.root;
         while n != NIL {
-            let node = &mut self.nodes[n as usize];
+            let node = self.nodes.get_mut(n);
             match key.cmp(&node.key) {
                 Ordering::Less => n = node.left,
                 Ordering::Greater => n = node.right,
@@ -335,7 +384,7 @@ impl<K: Ord + Copy> AvlTree<K> {
     /// Lazily delete every live key (used when a whole chunk or map is
     /// dropped but its partitioning knowledge should be reusable).
     pub fn mark_all_deleted(&mut self) {
-        for node in &mut self.nodes {
+        for node in self.nodes.slots_mut() {
             node.deleted = true;
         }
         self.live = 0;
@@ -345,7 +394,7 @@ impl<K: Ord + Copy> AvlTree<K> {
     /// position is `>= from` by `delta`. Used by ripple updates that grow
     /// (`delta = 1`) or shrink (`delta = -1`) the cracked array.
     pub fn shift_positions(&mut self, from: usize, delta: isize) {
-        for node in &mut self.nodes {
+        for node in self.nodes.slots_mut() {
             if node.pos >= from {
                 node.pos = (node.pos as isize + delta) as usize;
             }
@@ -366,7 +415,7 @@ impl<K: Ord + Copy> AvlTree<K> {
             if n == NIL {
                 return 0;
             }
-            let node = &t.nodes[n as usize];
+            let node = t.nodes.get(n);
             if let Some(l) = lo {
                 assert!(node.key > l, "BST order violated");
             }

@@ -21,6 +21,7 @@
 //!   against adversarial workloads (sequential sweeps, hot-region
 //!   skew).
 
+pub mod arena;
 pub mod avl;
 pub mod column;
 pub mod crack;
@@ -30,6 +31,7 @@ pub mod kernel;
 pub mod policy;
 pub mod snapshot;
 
+pub use arena::{Arena, SlotId};
 pub use column::CrackerColumn;
 pub use crack::BoundKind;
 pub use cracked::CrackedArray;

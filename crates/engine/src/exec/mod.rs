@@ -34,9 +34,10 @@ pub use service::{Client, Service, ServiceConfig, ServiceError};
 pub use shard::ShardedEngine;
 pub use snapshot::{EngineSnapshot, SnapPlan};
 
-use crate::query::{AggAcc, JoinSide, QueryOutput, SelectQuery};
+use crate::query::{AggAcc, JoinSide, QueryError, QueryOutput, SelectQuery};
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_cracking::{CrackKernel, CrackPolicy};
+use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -189,6 +190,61 @@ pub fn snapshot_reads_from_env() -> bool {
     }
 }
 
+/// Parse a `CRACKDB_SPILL_DIR`-style override value: unset or empty
+/// means "no override" (spill-enabled engines then place their spill
+/// files under the system temp dir); anything else is taken as a
+/// directory path. Purely syntactic — existence is checked by the
+/// strict [`env_spill_dir`], which can see the filesystem.
+fn spill_dir_override(value: Option<&str>) -> Result<Option<PathBuf>, String> {
+    match value.map(str::trim) {
+        None | Some("") => Ok(None),
+        Some(v) => Ok(Some(PathBuf::from(v))),
+    }
+}
+
+/// Validate the `CRACKDB_SPILL_DIR` environment selection, parsed once
+/// per process — the strict entry point [`ServiceConfig`] validation
+/// and the env-validity test CI relies on call, exactly as
+/// [`env_policy`] / [`env_kernel`] are for their variables: a spill
+/// directory that exists but is not a directory must fail loudly at
+/// startup, not as a confusing I/O error inside the first evicting
+/// query. A non-existent path is fine (spill tiers create their own
+/// unique subdirectory on first use).
+pub fn env_spill_dir() -> Result<Option<PathBuf>, String> {
+    static SPILL: OnceLock<Result<Option<PathBuf>, String>> = OnceLock::new();
+    SPILL
+        .get_or_init(|| {
+            let dir = spill_dir_override(std::env::var("CRACKDB_SPILL_DIR").ok().as_deref())?;
+            if let Some(d) = &dir {
+                if d.exists() && !d.is_dir() {
+                    return Err(format!(
+                        "CRACKDB_SPILL_DIR={d:?} exists but is not a directory"
+                    ));
+                }
+            }
+            Ok(dir)
+        })
+        .clone()
+}
+
+/// The spill base directory spill-enabled engine constructors default
+/// to: the validated `CRACKDB_SPILL_DIR` selection when set, the
+/// system temp dir otherwise. *Non-fatal* by design, like
+/// [`policy_from_env`]: an invalid value logs one warning per process
+/// and falls back to the temp dir (and is reported as a proper error
+/// by the strict [`env_spill_dir`] at service startup).
+pub fn spill_dir_from_env() -> PathBuf {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    match env_spill_dir() {
+        Ok(Some(d)) => d,
+        Ok(None) => std::env::temp_dir(),
+        Err(msg) => {
+            WARNED.get_or_init(|| eprintln!("warning: {msg}; spilling to the system temp dir"));
+            std::env::temp_dir()
+        }
+    }
+}
+
 /// Order predicates by the path's selectivity estimates: ascending
 /// (most selective first) for conjunctions, descending for disjunctions.
 ///
@@ -237,9 +293,21 @@ fn order_preds<P: AccessPath + ?Sized>(
     out
 }
 
-/// Execute a single-table query over any access path. This is the one
-/// `select` implementation all five engines share.
+/// Execute a single-table query over any access path, panicking on a
+/// storage-tier failure. In-RAM paths are infallible, so this is the
+/// `select` implementation they share; spill-enabled engines call
+/// [`try_run_select`] and surface the error instead.
 pub fn run_select<P: AccessPath + ?Sized>(path: &mut P, q: &SelectQuery) -> QueryOutput {
+    try_run_select(path, q).unwrap_or_else(|e| panic!("storage failure in infallible select: {e}"))
+}
+
+/// Execute a single-table query over any access path. This is the one
+/// `select` implementation all five engines share; engines with a
+/// storage tier get disk failures back as [`QueryError::Storage`].
+pub fn try_run_select<P: AccessPath + ?Sized>(
+    path: &mut P,
+    q: &SelectQuery,
+) -> Result<QueryOutput, QueryError> {
     let mut out = QueryOutput::default();
 
     // Attributes the reconstruction phase needs, deduplicated, aggregates
@@ -341,7 +409,7 @@ pub fn run_select<P: AccessPath + ?Sized>(path: &mut P, q: &SelectQuery) -> Quer
                     proj_vals[i].push(v);
                 }
             }
-        });
+        })?;
     }
 
     out.aggs = accs.iter().map(|a| a.finish()).collect();
@@ -360,7 +428,7 @@ pub fn run_select<P: AccessPath + ?Sized>(path: &mut P, q: &SelectQuery) -> Quer
     } else {
         out.timings.reconstruct = t1.elapsed();
     }
-    out
+    Ok(out)
 }
 
 /// Aggregate one join side over the matched `(left_key, right_key)`
@@ -431,7 +499,12 @@ mod tests {
             RowSet::keys((0..self.table.num_rows() as RowId).collect(), true)
         }
 
-        fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+        fn fetch(
+            &mut self,
+            rows: &RowSet,
+            attrs: &[usize],
+            consume: &mut dyn FnMut(usize, Val),
+        ) -> Result<(), QueryError> {
             let RowSet::Keys { keys, .. } = rows else {
                 unreachable!()
             };
@@ -441,6 +514,7 @@ mod tests {
                     consume(attr, col.get(k));
                 }
             }
+            Ok(())
         }
 
         fn partial_agg(&mut self, rows: &RowSet, attr: usize) -> Option<PartialAgg> {
@@ -598,7 +672,12 @@ mod tests {
         fn unrestricted(&mut self, ctx: &RestrictCtx) -> RowSet {
             self.inner.unrestricted(ctx)
         }
-        fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+        fn fetch(
+            &mut self,
+            rows: &RowSet,
+            attrs: &[usize],
+            consume: &mut dyn FnMut(usize, Val),
+        ) -> Result<(), QueryError> {
             self.inner.fetch(rows, attrs, consume)
         }
     }
@@ -738,6 +817,39 @@ mod tests {
             v,
             "lenient and strict reads agree"
         );
+    }
+
+    #[test]
+    fn spill_dir_override_parses() {
+        assert_eq!(spill_dir_override(None), Ok(None));
+        assert_eq!(spill_dir_override(Some("")), Ok(None));
+        assert_eq!(spill_dir_override(Some("  ")), Ok(None));
+        assert_eq!(
+            spill_dir_override(Some("/tmp/spills")),
+            Ok(Some(PathBuf::from("/tmp/spills")))
+        );
+        assert_eq!(
+            spill_dir_override(Some(" relative/dir ")),
+            Ok(Some(PathBuf::from("relative/dir")))
+        );
+    }
+
+    /// The CI oom job exports `CRACKDB_SPILL_DIR` for entire test runs;
+    /// a value pointing at a non-directory must fail loudly here instead
+    /// of the lenient default silently spilling to the temp dir while a
+    /// green job reports spill-dir coverage it never ran.
+    #[test]
+    fn env_spill_dir_is_valid() {
+        let d = env_spill_dir()
+            .expect("CRACKDB_SPILL_DIR must be unset or name a (possibly absent) directory");
+        match d {
+            Some(dir) => assert_eq!(spill_dir_from_env(), dir, "lenient and strict reads agree"),
+            None => assert_eq!(
+                spill_dir_from_env(),
+                std::env::temp_dir(),
+                "unset falls back to the temp dir"
+            ),
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! disjunctive combining, aggregation, projection materialization, phase
 //! timing) lives once in [`super::run_select`].
 
+use crate::query::QueryError;
 use crackdb_columnstore::ops::parallel::PartialAgg;
 use crackdb_columnstore::types::{RangePred, Val};
 use crackdb_core::BitVec;
@@ -132,7 +133,14 @@ pub trait AccessPath {
     /// Stream the values of each attribute in `attrs` for the qualifying
     /// rows, as `consume(attr, value)`. Values of one attribute arrive in
     /// row-set order; chunk-wise engines may interleave attributes.
-    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val));
+    /// Engines with a storage tier surface disk failures as
+    /// [`QueryError::Storage`]; in-RAM engines are infallible.
+    fn fetch(
+        &mut self,
+        rows: &RowSet,
+        attrs: &[usize],
+        consume: &mut dyn FnMut(usize, Val),
+    ) -> Result<(), QueryError>;
 
     /// Complete partial aggregate for one attribute over the row set,
     /// when the engine can hand the work to the data-parallel kernels

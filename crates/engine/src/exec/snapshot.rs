@@ -23,6 +23,7 @@
 use crate::query::{AggAcc, QueryOutput, SelectQuery};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
+use crackdb_core::BitVec;
 use crackdb_cracking::{ColumnSnapshot, SnapSpan};
 use std::sync::Arc;
 use std::time::Instant;
@@ -152,20 +153,38 @@ impl EngineSnapshot {
             // Interior pieces qualify wholesale; only the span's edge
             // pieces must test the head predicate per value.
             let edgeish = i == plan.span.first || i + 1 == plan.span.last;
-            'tuple: for (&v, &k) in piece.head.iter().zip(&piece.tail) {
-                if edgeish {
-                    if let Some(p) = head_pred {
-                        if !p.matches(v) {
-                            continue;
-                        }
+            let n = piece.tail.len();
+
+            // Wholesale fast path: every tuple of an interior piece of a
+            // single-predicate plan qualifies — fold without building a
+            // bit vector.
+            if (!edgeish || head_pred.is_none()) && rest.is_empty() {
+                out.rows += n;
+                for (acc, &(attr, _)) in accs.iter_mut().zip(&q.aggs) {
+                    for &k in &piece.tail {
+                        acc.push(self.value_of(attr, k));
                     }
                 }
-                for &(attr, pred) in &rest {
-                    if !pred.matches(self.value_of(attr, k)) {
-                        continue 'tuple;
-                    }
+                for (vals, &attr) in out.proj_values.iter_mut().zip(&q.projs) {
+                    vals.extend(piece.tail.iter().map(|&k| self.value_of(attr, k)));
                 }
-                out.rows += 1;
+                continue;
+            }
+
+            // Vectorized filtering: a word-level qualifying bit vector
+            // per piece — head predicate over the clustered head values,
+            // then one `refine` sweep per residual predicate (each sweep
+            // only probes tuples still set, §3.3's bit-vector operators).
+            let mut bv = match (edgeish, head_pred) {
+                (true, Some(p)) => BitVec::from_fn(n, |j| p.matches(piece.head[j])),
+                _ => BitVec::ones(n),
+            };
+            for &(attr, pred) in &rest {
+                bv.refine(|j| pred.matches(self.value_of(attr, piece.tail[j])));
+            }
+            out.rows += bv.count_ones();
+            for j in bv.iter_ones() {
+                let k = piece.tail[j];
                 for (acc, &(attr, _)) in accs.iter_mut().zip(&q.aggs) {
                     acc.push(self.value_of(attr, k));
                 }

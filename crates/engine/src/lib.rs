@@ -89,6 +89,8 @@ pub use exec::{AccessPath, BatchRunner, RestrictCtx, RowSet, ShardedEngine};
 pub use partial_engine::PartialEngine;
 pub use plain::PlainEngine;
 pub use presorted::PresortedEngine;
-pub use query::{AggAcc, Engine, JoinQuery, JoinSide, QueryOutput, SelectQuery, Timings};
+pub use query::{
+    AggAcc, Engine, JoinQuery, JoinSide, QueryError, QueryOutput, SelectQuery, Timings,
+};
 pub use selcrack::SelCrackEngine;
 pub use sideways::SidewaysEngine;

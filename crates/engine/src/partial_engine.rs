@@ -6,7 +6,7 @@
 //! chunk-wise selection results.
 
 use crate::exec::{self, AccessPath, RestrictCtx, RowSet};
-use crate::query::{Engine, JoinQuery, JoinSide, QueryOutput, SelectQuery, Timings};
+use crate::query::{Engine, JoinQuery, JoinSide, QueryError, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_core::{cracker_join, PartialStore};
@@ -66,6 +66,44 @@ impl PartialEngine {
         }
     }
 
+    /// Single-table engine with the disk spill tier enabled: chunks
+    /// evicted by the budget serialize to per-column spill files under
+    /// the `CRACKDB_SPILL_DIR` base directory (system temp dir when
+    /// unset) and reload on re-access instead of recracking. Use
+    /// [`Engine::try_select`] / [`Engine::try_join`] with a spilled
+    /// engine — spill I/O failures surface as
+    /// [`QueryError::Storage`](crate::query::QueryError::Storage).
+    pub fn with_spill(base: Table, domain: (Val, Val), budget: Option<usize>) -> Self {
+        Self::with_spill_dir(base, domain, budget, exec::spill_dir_from_env())
+    }
+
+    /// [`Self::with_spill`] with an explicit spill base directory (a
+    /// unique per-store subdirectory is created beneath it on first
+    /// eviction and removed when the engine drops).
+    pub fn with_spill_dir(
+        base: Table,
+        domain: (Val, Val),
+        budget: Option<usize>,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Self {
+        Self::with_spill_policy(base, domain, budget, dir, exec::policy_from_env())
+    }
+
+    /// [`Self::with_spill_dir`] with an explicit [`CrackPolicy`] (the
+    /// spill differential suite runs the whole spill surface once per
+    /// policy without going through the environment hook).
+    pub fn with_spill_policy(
+        base: Table,
+        domain: (Val, Val),
+        budget: Option<usize>,
+        dir: impl Into<std::path::PathBuf>,
+        policy: CrackPolicy,
+    ) -> Self {
+        let mut e = PartialEngine::with_policy(base, domain, budget, policy);
+        e.store.enable_spill(dir.into());
+        e
+    }
+
     /// Enable the §4.1 head-dropping policy: chunks whose largest piece is
     /// at most `threshold` tuples shed their head column after use.
     pub fn set_head_drop_threshold(&mut self, threshold: Option<usize>) {
@@ -78,6 +116,10 @@ impl PartialEngine {
     }
 }
 
+/// One reconstructed join side: the join-attribute values plus the
+/// `(attr, column)` pairs needed by the side's aggregates.
+type SideRows = (Vec<Val>, Vec<(usize, Vec<Val>)>);
+
 /// Chunk-wise selection + reconstruction of one join side: the fused
 /// conjunctive pass streams each needed attribute's qualifying values in
 /// a positionally consistent order (same tuples, same order per
@@ -87,7 +129,7 @@ fn side_rows(
     store: &mut PartialStore,
     base: &Table,
     side: &JoinSide,
-) -> (Vec<Val>, Vec<(usize, Vec<Val>)>) {
+) -> Result<SideRows, QueryError> {
     let mut attrs = vec![side.join_attr];
     for &(a, _) in &side.aggs {
         if !attrs.contains(&a) {
@@ -106,14 +148,14 @@ fn side_rows(
                 col.push(v);
             }
         }
-    });
+    })?;
     let join_vals = cols
         .iter()
         .find(|(a, _)| *a == side.join_attr)
         .expect("join attribute collected")
         .1
         .clone();
-    (join_vals, cols)
+    Ok((join_vals, cols))
 }
 
 /// Pre-partition a join input at shared equal-width cut points so
@@ -176,23 +218,29 @@ impl AccessPath for PartialEngine {
         }
     }
 
-    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+    fn fetch(
+        &mut self,
+        rows: &RowSet,
+        attrs: &[usize],
+        consume: &mut dyn FnMut(usize, Val),
+    ) -> Result<(), QueryError> {
         match rows {
             // The fused chunk-wise pass: one traversal merges pending
             // updates, materializes, aligns and cracks the touched chunks
             // of every attribute and streams the qualifying values.
-            RowSet::Deferred { head, residual } => {
-                self.store
-                    .set_mut(&self.base, head.0)
-                    .conjunctive_project_with(&self.base, &head.1, residual, attrs, consume);
-            }
+            RowSet::Deferred { head, residual } => self
+                .store
+                .set_mut(&self.base, head.0)
+                .conjunctive_project_with(&self.base, &head.1, residual, attrs, consume)
+                .map_err(QueryError::from),
             // Union form: all areas of the least selective predicate's
             // set, one OR bit vector per area.
             RowSet::DeferredUnion { preds } => {
                 let head = preds.first().map_or(0, |p| p.0);
                 self.store
                     .set_mut(&self.base, head)
-                    .disjunctive_project_with(&self.base, preds, attrs, consume);
+                    .disjunctive_project_with(&self.base, preds, attrs, consume)
+                    .map_err(QueryError::from)
             }
             _ => unreachable!("partial plans are deferred"),
         }
@@ -212,15 +260,24 @@ impl Engine for PartialEngine {
         exec::run_select(self, q)
     }
 
+    fn try_select(&mut self, q: &SelectQuery) -> Result<QueryOutput, QueryError> {
+        exec::try_run_select(self, q)
+    }
+
     fn join(&mut self, q: &JoinQuery) -> QueryOutput {
+        self.try_join(q)
+            .unwrap_or_else(|e| panic!("storage failure in infallible join: {e}"))
+    }
+
+    fn try_join(&mut self, q: &JoinQuery) -> Result<QueryOutput, QueryError> {
         let second = self.second.as_ref().expect("join needs a second table");
         let mut out = QueryOutput::default();
         let mut timings = Timings::default();
 
         // Selection + pre-join reconstruction, fused chunk-wise per side.
         let t0 = Instant::now();
-        let (lvals, lcols) = side_rows(&mut self.store, &self.base, &q.left);
-        let (rvals, rcols) = side_rows(&mut self.second_store, second, &q.right);
+        let (lvals, lcols) = side_rows(&mut self.store, &self.base, &q.left)?;
+        let (rvals, rcols) = side_rows(&mut self.second_store, second, &q.right)?;
         timings.select = t0.elapsed();
 
         // §3.4 partitioned cracker join: both inputs become cracked
@@ -258,7 +315,7 @@ impl Engine for PartialEngine {
             }));
         timings.post_join = t2.elapsed();
         out.timings = timings;
-        out
+        Ok(out)
     }
 
     fn insert(&mut self, row: &[Val]) {

@@ -2,7 +2,7 @@
 //! order-preserving results, positional in-order tuple reconstruction.
 
 use crate::exec::{self, combine, AccessPath, RestrictCtx, RowSet};
-use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
+use crate::query::{Engine, JoinQuery, QueryError, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
 use crackdb_columnstore::ops::parallel::{self, PartialAgg};
@@ -113,7 +113,12 @@ impl AccessPath for PlainEngine {
         )
     }
 
-    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+    fn fetch(
+        &mut self,
+        rows: &RowSet,
+        attrs: &[usize],
+        consume: &mut dyn FnMut(usize, Val),
+    ) -> Result<(), QueryError> {
         let RowSet::Keys { keys, .. } = rows else {
             unreachable!("plain scans produce key lists")
         };
@@ -125,6 +130,7 @@ impl AccessPath for PlainEngine {
                 consume(attr, col.get(k));
             }
         }
+        Ok(())
     }
 
     fn partial_agg(&mut self, rows: &RowSet, attr: usize) -> Option<PartialAgg> {

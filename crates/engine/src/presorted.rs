@@ -3,7 +3,7 @@
 //! slice-read reconstructions — and a heavy, measured preparation step.
 
 use crate::exec::{self, combine, AccessPath, RestrictCtx, RowSet};
-use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
+use crate::query::{Engine, JoinQuery, QueryError, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
 use crackdb_columnstore::ops::parallel::{self, PartialAgg};
@@ -177,7 +177,12 @@ impl AccessPath for PresortedEngine {
         }
     }
 
-    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+    fn fetch(
+        &mut self,
+        rows: &RowSet,
+        attrs: &[usize],
+        consume: &mut dyn FnMut(usize, Val),
+    ) -> Result<(), QueryError> {
         let RowSet::Area { head, range, bv } = rows else {
             unreachable!("presorted selections produce areas")
         };
@@ -198,6 +203,7 @@ impl AccessPath for PresortedEngine {
                 }
             }
         }
+        Ok(())
     }
 
     fn partial_agg(&mut self, rows: &RowSet, attr: usize) -> Option<PartialAgg> {

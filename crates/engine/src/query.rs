@@ -1,8 +1,42 @@
 //! The query shapes of the paper's experiments, and the common executor
 //! interface every physical design implements.
 
+use crackdb_columnstore::storage::StorageError;
 use crackdb_columnstore::types::{AggFunc, RangePred, RowId, Val};
+use std::fmt;
 use std::time::Duration;
+
+/// A typed query failure. In-RAM engines are infallible; engines with a
+/// storage tier (segmented base columns, chunk spill files) surface disk
+/// trouble here instead of panicking.
+#[derive(Debug)]
+pub enum QueryError {
+    /// A storage-tier read or write failed (I/O error, checksum
+    /// mismatch, truncated file).
+    Storage(StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
 
 /// A single-table query: conjunctive or disjunctive range predicates plus
 /// aggregate and/or raw projections. Covers q1/q3 (§3.6), the `Qi`
@@ -113,6 +147,18 @@ pub trait Engine {
 
     /// Execute a two-table join query.
     fn join(&mut self, q: &JoinQuery) -> QueryOutput;
+
+    /// Fallible select: engines with a storage tier override this to
+    /// surface disk failures as typed errors. The default wraps the
+    /// infallible [`Engine::select`].
+    fn try_select(&mut self, q: &SelectQuery) -> Result<QueryOutput, QueryError> {
+        Ok(self.select(q))
+    }
+
+    /// Fallible join; see [`Engine::try_select`].
+    fn try_join(&mut self, q: &JoinQuery) -> Result<QueryOutput, QueryError> {
+        Ok(self.join(q))
+    }
 
     /// Append a new tuple (values in column order) to the primary table.
     fn insert(&mut self, row: &[Val]);

@@ -4,7 +4,7 @@
 
 use crate::exec::snapshot::EngineSnapshot;
 use crate::exec::{self, combine, AccessPath, RestrictCtx, RowSet};
-use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
+use crate::query::{Engine, JoinQuery, QueryError, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
 use crackdb_columnstore::ops::parallel::{self, PartialAgg};
@@ -216,7 +216,12 @@ impl AccessPath for SelCrackEngine {
         )
     }
 
-    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+    fn fetch(
+        &mut self,
+        rows: &RowSet,
+        attrs: &[usize],
+        consume: &mut dyn FnMut(usize, Val),
+    ) -> Result<(), QueryError> {
         let RowSet::Keys { keys, .. } = rows else {
             unreachable!("cracker selects produce key lists")
         };
@@ -228,6 +233,7 @@ impl AccessPath for SelCrackEngine {
                 consume(attr, col.get(k));
             }
         }
+        Ok(())
     }
 
     fn partial_agg(&mut self, rows: &RowSet, attr: usize) -> Option<PartialAgg> {

@@ -1,7 +1,7 @@
 //! The paper's system: sideways cracking with full maps.
 
 use crate::exec::{self, AccessPath, RestrictCtx, RowSet};
-use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery, Timings};
+use crate::query::{Engine, JoinQuery, QueryError, QueryOutput, SelectQuery, Timings};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::ops::join::hash_join;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
@@ -194,7 +194,12 @@ impl AccessPath for SidewaysEngine {
         }
     }
 
-    fn fetch(&mut self, rows: &RowSet, attrs: &[usize], consume: &mut dyn FnMut(usize, Val)) {
+    fn fetch(
+        &mut self,
+        rows: &RowSet,
+        attrs: &[usize],
+        consume: &mut dyn FnMut(usize, Val),
+    ) -> Result<(), QueryError> {
         let RowSet::Area { head, range, bv } = rows else {
             unreachable!("sideways reconstruction operates on areas")
         };
@@ -221,6 +226,7 @@ impl AccessPath for SidewaysEngine {
                 }
             }
         }
+        Ok(())
     }
 
     fn is_adaptive(&self) -> bool {

@@ -1,0 +1,292 @@
+//! Spill-tier differential testing: a partial engine whose budget forces
+//! chunks through the disk spill tier (serialize → evict → reload on
+//! re-access) must stay bit-for-bit identical to a never-evicted engine
+//! and to the plain-scan baseline — across crack policies, under
+//! interleaved updates (the spilled-chunk cursor is the staged-update
+//! watermark), and with the `usage() <= budget` invariant holding after
+//! every query. Plus the fault-injection regression: a corrupted spill
+//! file fails exactly the queries that read it, loudly and typed, and
+//! leaves the engine fully serviceable.
+
+use crackdb_columnstore::column::{Column, Table};
+use crackdb_columnstore::types::{AggFunc, RangePred, Val};
+use crackdb_engine::{CrackPolicy, Engine, PartialEngine, PlainEngine, QueryError, SelectQuery};
+
+const DOMAIN: (Val, Val) = (0, 1000);
+/// Tiny on purpose: almost every query overflows it, so chunks cycle
+/// through spill and reload constantly.
+const TINY_BUDGET: usize = 120;
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self, m: i64) -> i64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as i64).rem_euclid(m)
+    }
+}
+
+fn random_table(cols: usize, n: usize, seed: u64) -> Table {
+    let mut rng = Lcg(seed);
+    let mut t = Table::new();
+    for c in 0..cols {
+        t.add_column(
+            format!("a{c}"),
+            Column::new((0..n).map(|_| rng.next(DOMAIN.1)).collect()),
+        );
+    }
+    t
+}
+
+fn random_select(rng: &mut Lcg, cols: usize) -> SelectQuery {
+    let npreds = 1 + rng.next(2) as usize;
+    let mut preds = Vec::new();
+    let mut used = Vec::new();
+    for _ in 0..npreds {
+        let attr = rng.next(cols as i64) as usize;
+        if used.contains(&attr) {
+            continue;
+        }
+        used.push(attr);
+        let lo = rng.next(DOMAIN.1 - 1);
+        let hi = lo + 1 + rng.next(DOMAIN.1 - lo);
+        preds.push((attr, RangePred::open(lo, hi)));
+    }
+    let agg_attr = rng.next(cols as i64) as usize;
+    let mut q = SelectQuery::aggregate(
+        preds,
+        vec![
+            (agg_attr, AggFunc::Count),
+            (agg_attr, AggFunc::Max),
+            (agg_attr, AggFunc::Min),
+            (agg_attr, AggFunc::Sum),
+        ],
+    );
+    // Raw projections too: spilled-and-reloaded chunks must reproduce
+    // exact value multisets, not just aggregate summaries.
+    q.projs = vec![rng.next(cols as i64) as usize];
+    q
+}
+
+fn sorted(mut v: Vec<Val>) -> Vec<Val> {
+    v.sort_unstable();
+    v
+}
+
+/// The spill round-trip property: for every crack policy, a seeded
+/// random query/update stream answers identically on (a) the plain
+/// baseline, (b) an unbudgeted in-RAM partial engine, and (c) a
+/// tiny-budget spill engine whose chunks round-trip through disk —
+/// including un-merge (area reverts under eviction pressure) and staged
+/// update replay on reloaded chunks. The budget invariant is asserted
+/// after every single query.
+#[test]
+fn spilled_runs_match_never_evicted_bit_for_bit() {
+    let policies = [
+        CrackPolicy::Standard,
+        CrackPolicy::stochastic(),
+        CrackPolicy::CoarseGranular { min_piece: 16 },
+    ];
+    for policy in policies {
+        let table = random_table(3, 400, 2026);
+        let mut plain = PlainEngine::new(table.clone());
+        let mut ram = PartialEngine::with_policy(table.clone(), DOMAIN, None, policy);
+        let mut spilled = PartialEngine::with_spill_policy(
+            table.clone(),
+            DOMAIN,
+            Some(TINY_BUDGET),
+            std::env::temp_dir(),
+            policy,
+        );
+        assert!(spilled.store().spill_enabled());
+
+        let mut rng = Lcg(31337);
+        let mut live_keys: Vec<u32> = (0..400).collect();
+        let mut next_insert = 0i64;
+        for i in 0..50 {
+            if i % 4 == 3 {
+                let row = [rng.next(DOMAIN.1), 7_000_000 + next_insert, next_insert];
+                next_insert += 1;
+                plain.insert(&row);
+                ram.insert(&row);
+                spilled.insert(&row);
+                live_keys.push(399 + next_insert as u32);
+                let victim = live_keys.swap_remove(rng.next(live_keys.len() as i64) as usize);
+                plain.delete(victim);
+                ram.delete(victim);
+                spilled.delete(victim);
+            }
+            let q = random_select(&mut rng, 3);
+            let expected = plain.select(&q);
+            let r = ram.select(&q);
+            let s = spilled
+                .try_select(&q)
+                .expect("a healthy spill tier never errors");
+            for (name, out) in [("ram", &r), ("spilled", &s)] {
+                assert_eq!(
+                    out.rows,
+                    expected.rows,
+                    "policy {} query {i}: {name} rows",
+                    policy.label()
+                );
+                assert_eq!(
+                    out.aggs,
+                    expected.aggs,
+                    "policy {} query {i}: {name} aggs",
+                    policy.label()
+                );
+                assert_eq!(
+                    sorted(out.proj_values[0].clone()),
+                    sorted(expected.proj_values[0].clone()),
+                    "policy {} query {i}: {name} projection",
+                    policy.label()
+                );
+            }
+            assert!(
+                spilled.store().usage() <= TINY_BUDGET,
+                "policy {} query {i}: usage {} exceeds budget {TINY_BUDGET}",
+                policy.label(),
+                spilled.store().usage()
+            );
+        }
+        let stats = spilled.store().stats_sum();
+        assert!(
+            stats.chunks_spilled > 0,
+            "policy {}: the tiny budget must actually spill",
+            policy.label()
+        );
+        assert!(
+            stats.chunks_reloaded > 0,
+            "policy {}: re-accessed chunks must reload from disk, not recrack",
+            policy.label()
+        );
+    }
+}
+
+/// Un-merge interplay, directly: updates staged while a chunk sits on
+/// disk must surface when it reloads (the spilled cursor is the
+/// watermark), and dropping the last sibling while others are spilled
+/// must NOT revert the area under the cold chunk's feet.
+#[test]
+fn updates_staged_while_spilled_replay_on_reload() {
+    let mut t = Table::new();
+    t.add_column("a", Column::new((0..300).collect()));
+    t.add_column("b", Column::new((0..300).map(|v| v * 3).collect()));
+    t.add_column("c", Column::new((0..300).map(|v| v * 7).collect()));
+    let mut plain = PlainEngine::new(t.clone());
+    let mut e = PartialEngine::with_spill_dir(t, (0, 300), Some(80), std::env::temp_dir());
+
+    let qa = SelectQuery::aggregate(
+        vec![(0, RangePred::open(10, 150))],
+        vec![(1, AggFunc::Count), (1, AggFunc::Sum), (1, AggFunc::Max)],
+    );
+    let qb = SelectQuery::aggregate(
+        vec![(0, RangePred::open(160, 290))],
+        vec![(2, AggFunc::Count), (2, AggFunc::Sum)],
+    );
+    // Crack + fetch area A, then push it to disk by touching area B.
+    assert_eq!(plain.select(&qa).aggs, e.try_select(&qa).unwrap().aggs);
+    plain.select(&qb);
+    e.try_select(&qb).unwrap();
+    assert!(
+        e.store().spilled_tuples() > 0,
+        "the 80-tuple budget must have spilled the first area"
+    );
+    // Stage updates landing inside the spilled area while it is cold.
+    plain.insert(&[100, 9999, 9998]);
+    plain.delete(20);
+    e.insert(&[100, 9999, 9998]);
+    e.delete(20);
+    // Reload: the staged insert and delete must replay into the
+    // reloaded chunk exactly as they would have merged in RAM.
+    let expected = plain.select(&qa);
+    let out = e.try_select(&qa).unwrap();
+    assert_eq!(out.rows, expected.rows);
+    assert_eq!(out.aggs, expected.aggs);
+    assert_eq!(
+        out.aggs[2],
+        Some(9999),
+        "staged insert visible after reload"
+    );
+    assert!(e.store().usage() <= 80, "budget holds after reload");
+}
+
+/// The fault-injection regression (bugfix sweep): corrupting the spill
+/// files makes exactly the reads that touch them fail — as a typed
+/// `QueryError::Storage`, not a panic — and the engine stays fully
+/// serviceable: retries recreate the lost chunks from the base and
+/// return correct answers again.
+#[test]
+fn corrupted_spill_file_fails_loudly_and_engine_recovers() {
+    use std::io::Write;
+
+    let table = random_table(3, 400, 555);
+    let mut plain = PlainEngine::new(table.clone());
+    let mut e =
+        PartialEngine::with_spill_dir(table, DOMAIN, Some(TINY_BUDGET), std::env::temp_dir());
+
+    // Warm a few areas so several chunks are sitting in spill files.
+    let mut rng = Lcg(9);
+    let queries: Vec<SelectQuery> = (0..8).map(|_| random_select(&mut rng, 3)).collect();
+    for q in &queries {
+        e.try_select(q).expect("healthy tier");
+    }
+    assert!(e.store().spilled_tuples() > 0, "chunks must be on disk");
+
+    // Flip every byte of every spill file: all cold chunks are now junk.
+    let dir = e.store().spill_dir().expect("spill enabled").to_path_buf();
+    let mut corrupted_files = 0;
+    for entry in std::fs::read_dir(&dir).expect("spill dir exists") {
+        let path = entry.expect("dir entry").path();
+        let len = std::fs::metadata(&path).expect("metadata").len() as usize;
+        let mut f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .expect("open spill file");
+        f.write_all(&vec![0xFF; len]).expect("overwrite");
+        corrupted_files += 1;
+    }
+    assert!(corrupted_files > 0, "spill files exist on disk");
+
+    // Re-running the workload must hit the corruption at least once and
+    // surface it as a typed storage error — never a panic. Every failed
+    // reload consumes its slot, so retries converge back to health:
+    // lost chunks are recreated from the base and answers are correct.
+    let mut failures = 0;
+    for (i, q) in queries.iter().enumerate() {
+        let expected = plain.select(q);
+        let out = loop {
+            match e.try_select(q) {
+                Ok(out) => break out,
+                Err(err @ QueryError::Storage(_)) => {
+                    failures += 1;
+                    assert!(
+                        err.to_string().contains("storage error"),
+                        "typed error formats its tier context: {err}"
+                    );
+                    assert!(failures < 100, "failed reloads must converge");
+                }
+            }
+        };
+        assert_eq!(out.rows, expected.rows, "query {i} recovers rows");
+        assert_eq!(out.aggs, expected.aggs, "query {i} recovers aggs");
+        assert!(
+            e.store().usage() <= TINY_BUDGET,
+            "budget holds through faults"
+        );
+    }
+    assert!(
+        failures > 0,
+        "at least one query must have read a corrupted record loudly"
+    );
+
+    // And the tier keeps working after the faults: new evictions write
+    // fresh records that reload fine.
+    for q in &queries {
+        let expected = plain.select(q);
+        let out = e.try_select(q).expect("tier healthy again");
+        assert_eq!(out.aggs, expected.aggs);
+    }
+}
