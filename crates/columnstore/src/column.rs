@@ -102,6 +102,9 @@ impl Column {
             ColumnData::Resident(v) => v[key as usize],
             ColumnData::Segmented { .. } => self
                 .try_get(key)
+                // INVARIANT: the documented contract of this infallible
+                // accessor — query paths use `try_get`; a failed segment
+                // read here is unrecoverable corruption, not control flow.
                 .unwrap_or_else(|e| panic!("segmented column read failed: {e}")),
         }
     }
@@ -187,6 +190,8 @@ impl Column {
         match &self.data {
             ColumnData::Resident(v) => v,
             ColumnData::Segmented { .. } => {
+                // INVARIANT: documented panic — slice-requiring operators
+                // are only dispatched on resident columns (see `# Panics`).
                 panic!("values(): segmented column has no resident slice; this operator requires resident storage")
             }
         }

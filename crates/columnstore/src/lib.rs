@@ -38,6 +38,7 @@ pub mod radix;
 pub mod rowstore;
 pub mod shard;
 pub mod storage;
+pub mod sync;
 pub mod types;
 
 pub use column::{Column, Table};
@@ -45,4 +46,5 @@ pub use presorted::PresortedTable;
 pub use rowstore::{PresortedRowTable, RowTable};
 pub use shard::{partition_table, ShardCuts};
 pub use storage::{SegmentWriter, SegmentedColumn, StorageError};
+pub use sync::lock_unpoisoned;
 pub use types::{AggFunc, AggResult, Bound, RangePred, RowId, Val};

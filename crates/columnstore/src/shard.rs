@@ -52,6 +52,8 @@ impl ShardCuts {
 
     /// Total rows covered.
     pub fn total_rows(&self) -> usize {
+        // INVARIANT: the constructor always pushes cut 0 first, so
+        // `cuts` holds at least one element for the whole lifetime.
         *self.cuts.last().expect("cuts are never empty")
     }
 

@@ -23,6 +23,7 @@
 //! source and a human context line; higher layers convert it into a
 //! typed query error instead of panicking.
 
+use crate::sync::lock_unpoisoned;
 use crate::types::{RowId, Val};
 use std::collections::HashMap;
 use std::fmt;
@@ -107,6 +108,7 @@ fn decode_vals(bytes: &[u8], out: &mut Vec<Val>) {
     out.clear();
     out.reserve(bytes.len() / 8);
     for c in bytes.chunks_exact(8) {
+        // INVARIANT: chunks_exact(8) yields exactly-8-byte slices.
         out.push(Val::from_le_bytes(c.try_into().expect("chunks_exact(8)")));
     }
 }
@@ -237,7 +239,10 @@ impl SegmentedColumn {
                 "bad magic (not a crackdb segment file)",
             ));
         }
+        // INVARIANT: fixed subranges of the `[u8; HEADER_LEN]` array
+        // are always exactly 8 bytes; try_into cannot fail.
         let len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")) as usize;
+        // INVARIANT: same fixed-width header subrange as above.
         let segment_len = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes")) as usize;
         if segment_len == 0 {
             return Err(StorageError::corrupt(
@@ -299,13 +304,13 @@ impl SegmentedColumn {
 
     /// `(hits, misses)` of the segment cache so far.
     pub fn cache_stats(&self) -> (u64, u64) {
-        let c = self.cache.lock().expect("segment cache lock");
+        let c = lock_unpoisoned(&self.cache);
         (c.hits, c.misses)
     }
 
     /// Bytes currently resident in the segment cache.
     pub fn resident_bytes(&self) -> usize {
-        let c = self.cache.lock().expect("segment cache lock");
+        let c = lock_unpoisoned(&self.cache);
         c.map.values().map(|(s, _)| s.len() * 8).sum()
     }
 
@@ -350,7 +355,7 @@ impl SegmentedColumn {
     /// evicting) as needed.
     fn load_segment(&self, seg: u32) -> Result<Arc<Vec<Val>>, StorageError> {
         {
-            let mut c = self.cache.lock().expect("segment cache lock");
+            let mut c = lock_unpoisoned(&self.cache);
             c.clock += 1;
             let clock = c.clock;
             if let Some(entry) = c.map.get_mut(&seg) {
@@ -366,7 +371,7 @@ impl SegmentedColumn {
         let mut vals = Vec::new();
         self.read_segment(seg, &mut vals)?;
         let vals = Arc::new(vals);
-        let mut c = self.cache.lock().expect("segment cache lock");
+        let mut c = lock_unpoisoned(&self.cache);
         while c.map.len() >= c.max_segments {
             let coldest = c
                 .map

@@ -1,0 +1,46 @@
+//! The workspace lock idiom.
+//!
+//! `.lock().unwrap()` escalates one panicking lock holder into a
+//! process-wide cascade: every later locker dies on `PoisonError`,
+//! turning a single failed query into unrelated failures across
+//! threads (and in tests, a wall of red that hides the real
+//! assertion). Every mutex in this workspace protects state that a
+//! mid-section panic cannot leave semantically broken — caches,
+//! registries, bounded sample rings, file tables — so the correct
+//! response to poison is to take the guard and keep serving.
+//!
+//! This helper is the one sanctioned way to lock: `crackdb-lint` L005
+//! rejects `.lock().unwrap()` / `.lock().expect(…)` anywhere in the
+//! workspace, and clippy's `disallowed-methods` flags raw
+//! `Mutex::lock` calls in-editor. A new mutex whose invariants could
+//! actually break mid-section must not use this helper — it should
+//! hold a state machine that can represent "broken" explicitly
+//! instead of relying on poisoning.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Lock `m`, recovering the guard if a panicking holder poisoned it.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // The one place raw `lock` is allowed; see the module docs.
+    #[allow(clippy::disallowed_methods)]
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_poisoned_guard() {
+        let m = Mutex::new(7);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = lock_unpoisoned(&m);
+            panic!("poison the mutex");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned(), "precondition: the mutex is poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 7, "the guard is still usable");
+        *lock_unpoisoned(&m) = 8;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+}

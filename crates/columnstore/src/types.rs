@@ -179,6 +179,8 @@ impl AggResult {
     pub fn as_int(&self) -> Option<Val> {
         match self {
             AggResult::Int(v) => *v,
+            // INVARIANT: documented type-mismatch panic — callers match
+            // the AggFunc they passed (only Avg produces Float).
             AggResult::Float(_) => panic!("aggregate is a float"),
         }
     }

@@ -44,12 +44,10 @@ use std::sync::{Arc, Mutex, Weak};
 /// Slot value meaning "this reader is not currently pinned".
 const QUIESCENT: u64 = u64::MAX;
 
-/// Recover a possibly-poisoned mutex guard. Epoch bookkeeping holds
-/// the lock only around `Vec` push/scan, which cannot leave the
-/// registry inconsistent, so continuing after a payload panic is safe.
-fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
-}
+// Epoch bookkeeping holds its locks only around `Vec` push/scan,
+// which cannot leave the registry inconsistent, so the workspace-wide
+// poison-recovering lock idiom applies.
+use crate::lock_unpoisoned;
 
 /// Per-reader pin slot: the epoch this reader entered at, or
 /// [`QUIESCENT`].
@@ -88,7 +86,7 @@ impl EpochDomain {
         let slot = Arc::new(Slot {
             pinned: AtomicU64::new(QUIESCENT),
         });
-        let mut slots = lock_recover(&self.slots);
+        let mut slots = lock_unpoisoned(&self.slots);
         slots.retain(|w| w.strong_count() > 0);
         slots.push(Arc::downgrade(&slot));
         EpochReader { slot }
@@ -115,7 +113,7 @@ impl EpochDomain {
 
     /// Minimum epoch pinned by any live reader ([`QUIESCENT`] if none).
     fn min_pinned(&self) -> u64 {
-        let mut slots = lock_recover(&self.slots);
+        let mut slots = lock_unpoisoned(&self.slots);
         slots.retain(|w| w.strong_count() > 0);
         slots
             .iter()
@@ -154,9 +152,21 @@ pub struct Published<T> {
     limbo: Mutex<Vec<(u64, *mut T)>>,
 }
 
-// The raw pointers are owned boxes of `T`; handing `&T` to other
-// threads is what the cell is for, hence the `T: Send + Sync` bounds.
+// SAFETY: moving the cell to another thread moves ownership of every
+// `Box<T>` behind `ptr` and `limbo` (they are freed exactly once, by
+// `publish`/`collect_locked`/`Drop`, all through `&self`/`&mut self`
+// on whichever thread holds the cell) — sound iff `T: Send`. Readers
+// on *other* threads may still hold `&T` borrowed under an earlier
+// pin, so the values must also tolerate shared cross-thread access —
+// hence the additional `T: Sync` bound.
 unsafe impl<T: Send + Sync> Send for Published<T> {}
+// SAFETY: shared access is the cell's purpose and every `&self`
+// method is thread-safe by construction: `ptr` is only read/swapped
+// atomically, `limbo` is guarded by its mutex, and reclamation of a
+// retired box requires `min_pinned > tag` (the module-level argument
+// proves no live `&T` can still point at it). Handing `&T` to many
+// threads at once requires `T: Sync`; retired values are *dropped* on
+// the publishing thread, which requires `T: Send`.
 unsafe impl<T: Send + Sync> Sync for Published<T> {}
 
 impl<T> Published<T> {
@@ -198,7 +208,7 @@ impl<T> Published<T> {
         if old.is_null() {
             return;
         }
-        let mut limbo = lock_recover(&self.limbo);
+        let mut limbo = lock_unpoisoned(&self.limbo);
         let retired_at = self.domain.epoch.load(SeqCst);
         limbo.push((retired_at, old));
         self.domain.advance();
@@ -209,14 +219,14 @@ impl<T> Published<T> {
     /// Opportunistically free retired values (also runs on every
     /// publish). Useful for tests and idle owners.
     pub fn collect(&self) {
-        let mut limbo = lock_recover(&self.limbo);
+        let mut limbo = lock_unpoisoned(&self.limbo);
         let floor = self.domain.min_pinned();
         Self::collect_locked(&mut limbo, floor);
     }
 
     /// Number of retired-but-not-yet-freed values.
     pub fn limbo_len(&self) -> usize {
-        lock_recover(&self.limbo).len()
+        lock_unpoisoned(&self.limbo).len()
     }
 
     fn collect_locked(limbo: &mut Vec<(u64, *mut T)>, floor: u64) {
@@ -243,7 +253,7 @@ impl<T> Drop for Published<T> {
             // SAFETY: sole owner at drop time.
             drop(unsafe { Box::from_raw(p) });
         }
-        for (_, p) in lock_recover(&self.limbo).drain(..) {
+        for (_, p) in lock_unpoisoned(&self.limbo).drain(..) {
             // SAFETY: retired values are exclusively owned by limbo.
             drop(unsafe { Box::from_raw(p) });
         }

@@ -28,6 +28,7 @@ pub mod store;
 pub mod tape;
 
 pub use bitvec::BitVec;
+pub use crackdb_columnstore::lock_unpoisoned;
 pub use cracker_join::{cracker_join, flat_hash_join};
 pub use epoch::{EpochDomain, EpochReader, Pin, Published};
 pub use map::{CrackerMap, KeyMap};

@@ -378,6 +378,9 @@ impl PartialSet {
         let policy = self.policy;
         let (lo_k, hi_k) = pred_keys(pred);
         for key in [lo_k, hi_k].into_iter().flatten() {
+            // INVARIANT: every public query path calls ensure_chunk_map
+            // before reaching the internal helpers; field access keeps
+            // the borrow disjoint from `areas`/`stats`.
             let cm = self.chunk_map.as_ref().expect("chunk map ensured");
             if cm.index().position_of(key).is_some() {
                 continue;
@@ -391,6 +394,7 @@ impl PartialSet {
                 .map(|(k, _)| *k);
             let fetched = self.areas.get(&id).is_some_and(|a| a.fetched);
             if !fetched {
+                // INVARIANT: same — ensured by every public entry path.
                 let cm = self.chunk_map.as_mut().expect("chunk map ensured");
                 let before = cm.index().len();
                 cm.crack_boundary(key, &policy);
@@ -408,6 +412,9 @@ impl PartialSet {
     /// of an otherwise empty area, and skipping it would lose the merge.
     fn overlapping_areas(&self, base: &Table, pred: &RangePred) -> Vec<AreaRef> {
         let head_col = base.column(self.head_attr);
+        // INVARIANT: ensure_chunk_map runs at every public entry point
+        // before the internal helpers; field access keeps the borrow
+        // disjoint from the sibling fields mutated below.
         let cm = self.chunk_map.as_ref().expect("chunk map ensured");
         let bs = cm.index().boundaries();
         let n = cm.len();
@@ -498,6 +505,9 @@ impl PartialSet {
         if ins.is_empty() && dels.is_empty() {
             return;
         }
+        // INVARIANT: ensure_chunk_map runs at every public entry point
+        // before the internal helpers; field access keeps the borrow
+        // disjoint from the sibling fields mutated below.
         let cm = self.chunk_map.as_ref().expect("chunk map ensured");
         let (heads, keys) = cm.view((area.start, area.end));
         let info = self.areas.entry(area.id).or_default();
@@ -568,6 +578,9 @@ impl PartialSet {
         area: &AreaRef,
     ) -> Result<Chunk, StorageError> {
         let t0 = Instant::now();
+        // INVARIANT: ensure_chunk_map runs at every public entry point
+        // before the internal helpers; field access keeps the borrow
+        // disjoint from the sibling fields mutated below.
         let cm = self.chunk_map.as_ref().expect("chunk map ensured");
         let (heads, keys) = cm.view((area.start, area.end));
         let tail_col = base.column(tail_attr);
@@ -749,6 +762,9 @@ impl PartialSet {
         cursor: usize,
         tape: &[AreaEntry],
     ) -> Result<Vec<Val>, StorageError> {
+        // INVARIANT: ensure_chunk_map runs at every public entry point
+        // before the internal helpers; field access keeps the borrow
+        // disjoint from the sibling fields mutated below.
         let cm = self.chunk_map.as_ref().expect("chunk map ensured");
         let (heads, keys) = cm.view((area.start, area.end));
         let head_col = base.column(self.head_attr);
@@ -759,6 +775,8 @@ impl PartialSet {
         let mut tmp = Chunk::seed(head, tail, None);
         tmp.align_to(tape, cursor, head_col, tail_col, &self.policy);
         self.stats.heads_recovered += 1;
+        // INVARIANT: Chunk::seed is constructed with a head column and
+        // align_to never drops it.
         Ok(tmp.head().expect("fresh chunk has a head").to_vec())
     }
 

@@ -45,6 +45,7 @@
 //! cannot change any result.
 
 use super::Chunk;
+use crackdb_columnstore::lock_unpoisoned;
 use crackdb_columnstore::storage::StorageError;
 use crackdb_columnstore::types::Val;
 use crackdb_cracking::crack::BoundKind;
@@ -142,7 +143,7 @@ impl SpillTier {
         record: &[u8],
         tuples: u32,
     ) -> Result<SpillSlot, StorageError> {
-        let mut files = self.inner.files.lock().expect("spill file lock");
+        let mut files = lock_unpoisoned(&self.inner.files);
         let sf = match files.entry(attr) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
@@ -218,7 +219,7 @@ impl SpillTier {
         slot: SpillSlot,
         buf: &mut Vec<u8>,
     ) -> Result<(), StorageError> {
-        let files = self.inner.files.lock().expect("spill file lock");
+        let files = lock_unpoisoned(&self.inner.files);
         let sf = files.get(&attr).ok_or_else(|| {
             StorageError::corrupt(
                 format!("read spill record for column {attr}"),
@@ -239,7 +240,7 @@ impl SpillTier {
 
     /// Return a slot's bytes to the free list for reuse.
     pub fn release(&self, attr: usize, slot: SpillSlot) {
-        let mut files = self.inner.files.lock().expect("spill file lock");
+        let mut files = lock_unpoisoned(&self.inner.files);
         if let Some(sf) = files.get_mut(&attr) {
             sf.free.push((slot.offset, slot.cap));
         }
@@ -257,6 +258,7 @@ fn spill_checksum(bytes: &[u8]) -> u64 {
     // One xor + multiply per word: multiplication by an odd constant is
     // invertible, so corrupting any single word always changes the sum.
     for w in &mut words {
+        // INVARIANT: chunks_exact(8) yields exactly-8-byte slices.
         let x = u64::from_le_bytes(w.try_into().expect("8-byte word"));
         h = (h ^ x).wrapping_mul(M);
     }
@@ -296,6 +298,7 @@ fn take_vals(r: &mut Reader<'_>, n: usize) -> Result<Vec<Val>, String> {
     let raw = r.take(n * 8)?;
     Ok(raw
         .chunks_exact(8)
+        // INVARIANT: chunks_exact(8) yields exactly-8-byte slices.
         .map(|w| i64::from_le_bytes(w.try_into().expect("8-byte value")))
         .collect())
 }
@@ -321,10 +324,12 @@ impl<'a> Reader<'a> {
     }
 
     fn u64(&mut self) -> Result<u64, String> {
+        // INVARIANT: take(8) returned a slice of exactly 8 bytes.
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
     fn i64(&mut self) -> Result<i64, String> {
+        // INVARIANT: take(8) returned a slice of exactly 8 bytes.
         Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 }
@@ -388,10 +393,12 @@ fn decode_inner(bytes: &[u8]) -> Result<Chunk, String> {
     if bytes[..4] != SPILL_MAGIC {
         return Err("bad record magic".into());
     }
+    // INVARIANT: fixed 4-byte subrange of the length-checked header.
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4"));
     if version != SPILL_VERSION {
         return Err(format!("unsupported record version {version}"));
     }
+    // INVARIANT: fixed 8-byte subrange of the length-checked header.
     let payload_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8")) as usize;
     if bytes.len() != HEADER_LEN + payload_len + 8 {
         return Err(format!(
@@ -404,6 +411,8 @@ fn decode_inner(bytes: &[u8]) -> Result<Chunk, String> {
     let expected = u64::from_le_bytes(
         bytes[HEADER_LEN + payload_len..]
             .try_into()
+            // INVARIANT: the length check above pins the record to
+            // exactly HEADER_LEN + payload_len + 8 bytes: 8-byte tail.
             .expect("8-byte checksum"),
     );
     let actual = spill_checksum(payload);

@@ -77,6 +77,8 @@ impl CrackKernel {
 /// read is lenient while `crackdb-engine::exec::env_kernel` is strict).
 pub fn active_kernel() -> CrackKernel {
     static KERNEL: OnceLock<CrackKernel> = OnceLock::new();
+    // This file is one of the two sanctioned env-registry files (L004).
+    #[allow(clippy::disallowed_methods)]
     *KERNEL.get_or_init(|| match std::env::var("CRACKDB_KERNEL") {
         Err(_) => CrackKernel::Block,
         Ok(v) => CrackKernel::parse(&v).unwrap_or_else(|| {

@@ -229,9 +229,11 @@ impl<T: Copy> SnapshotBuilder<T> {
         self.prev_pending = pending.to_vec();
 
         let mut covered = Vec::with_capacity(npieces + 1);
-        covered.push(0u32);
+        let mut acc = 0u32;
+        covered.push(acc);
         for p in &pieces {
-            covered.push(covered.last().unwrap() + u32::from(p.is_some()));
+            acc += u32::from(p.is_some());
+            covered.push(acc);
         }
         Arc::new(ColumnSnapshot {
             edges,

@@ -125,7 +125,7 @@ mod tests {
     /// drag every subsequent test down in a wall of unrelated
     /// `PoisonError` failures.
     fn global_threads_lock() -> std::sync::MutexGuard<'static, ()> {
-        GLOBAL_THREADS.lock().unwrap_or_else(|e| e.into_inner())
+        crackdb_core::lock_unpoisoned(&GLOBAL_THREADS)
     }
 
     fn table(n: usize) -> Table {
@@ -173,10 +173,10 @@ mod tests {
             panic!("assertion failure while holding the test lock");
         });
         assert!(caught.is_err(), "the panic was caught, lock now poisoned");
-        assert!(
-            GLOBAL_THREADS.lock().is_err(),
-            "precondition: the raw mutex really is poisoned"
-        );
+        // The raw lock here is the point: probing for poison itself.
+        #[allow(clippy::disallowed_methods)]
+        let poisoned = GLOBAL_THREADS.lock().is_err();
+        assert!(poisoned, "precondition: the raw mutex really is poisoned");
         // Later tests (simulated here) still serialize and proceed.
         let _lock = global_threads_lock();
         let runner = BatchRunner::new(PlainEngine::new(table(4)), 2);

@@ -110,7 +110,7 @@ use super::snapshot::EngineSnapshot;
 use crate::query::{Engine, JoinQuery, QueryOutput, SelectQuery};
 use crackdb_columnstore::shard::ShardCuts;
 use crackdb_columnstore::types::{RowId, Val};
-use crackdb_core::{EpochDomain, EpochReader, Published};
+use crackdb_core::{lock_unpoisoned, EpochDomain, EpochReader, Published};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, Weak};
@@ -357,7 +357,7 @@ impl LatencyHub {
             return None;
         }
         let ring = Arc::new(Mutex::new(LatencyRing::new(shared.latency_capacity)));
-        let mut hub = lock_recover(&shared.latencies);
+        let mut hub = lock_unpoisoned(&shared.latencies);
         hub.rings.retain(|w| w.strong_count() > 0);
         hub.rings.push(Arc::downgrade(&ring));
         Some(ring)
@@ -370,18 +370,11 @@ impl LatencyHub {
         self.rings.retain(|w| w.strong_count() > 0);
         for weak in &self.rings {
             if let Some(ring) = weak.upgrade() {
-                samples.extend(lock_recover(&ring).take());
+                samples.extend(lock_unpoisoned(&ring).take());
             }
         }
         samples
     }
-}
-
-/// Lock a mutex, recovering the guard if a panicking holder poisoned
-/// it: the service must keep serving other clients after one crashed
-/// query, and shutdown must still be able to reassemble the engines.
-fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// RAII in-flight slot: released on completion *and* on every error
@@ -560,7 +553,7 @@ impl<E: Engine + Send + 'static> Service<E> {
     /// then every live client's private ring. Feed them to
     /// `bench::harness::Percentiles` for p50/p95/p99 reporting.
     pub fn take_latencies(&self) -> Vec<u64> {
-        lock_recover(&self.shared.latencies).drain()
+        lock_unpoisoned(&self.shared.latencies).drain()
     }
 
     /// Graceful shutdown: stop admitting work, let every accepted
@@ -577,7 +570,7 @@ impl<E: Engine + Send + 'static> Service<E> {
     /// stderr rather than silently dropped.
     pub fn shutdown(self) -> ShardedEngine<E> {
         let (cuts, inserted) = {
-            let mut router = lock_recover(&self.shared.router);
+            let mut router = lock_unpoisoned(&self.shared.router);
             router.closed = true;
             for q in &router.queues {
                 // A dead worker's queue is disconnected; its join below
@@ -635,9 +628,9 @@ impl Clone for Client {
 impl Drop for Client {
     fn drop(&mut self) {
         if let Some(ring) = &self.ring {
-            let samples = lock_recover(ring).take();
+            let samples = lock_unpoisoned(ring).take();
             if !samples.is_empty() {
-                let orphans = &mut lock_recover(&self.shared.latencies).orphans;
+                let orphans = &mut lock_unpoisoned(&self.shared.latencies).orphans;
                 for s in samples {
                     orphans.push(s);
                 }
@@ -808,7 +801,7 @@ impl Client {
         let reader = self.reader.try_lock().ok()?;
         let (seq, plans) = {
             let pin = self.shared.epoch.pin(&reader);
-            let mut router = lock_recover(&self.shared.router);
+            let mut router = lock_unpoisoned(&self.shared.router);
             if router.closed {
                 return None;
             }
@@ -856,7 +849,7 @@ impl Client {
     /// Lock the router for sequencing, rejecting new work after
     /// shutdown began.
     fn lock_router(&self) -> Result<MutexGuard<'_, Router>, ServiceError> {
-        let router = lock_recover(&self.shared.router);
+        let router = lock_unpoisoned(&self.shared.router);
         if router.closed {
             return Err(ServiceError::ShuttingDown);
         }
@@ -898,7 +891,7 @@ impl Client {
     fn record(&self, t0: Instant) {
         let Some(ring) = &self.ring else { return };
         let nanos = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-        lock_recover(ring).push(nanos);
+        lock_unpoisoned(ring).push(nanos);
     }
 }
 

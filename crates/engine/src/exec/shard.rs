@@ -472,10 +472,9 @@ fn interned_name(name: String) -> &'static str {
     use std::collections::HashSet;
     use std::sync::OnceLock;
     static NAMES: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
-    let mut names = NAMES
-        .get_or_init(Default::default)
-        .lock()
-        .expect("name registry poisoned");
+    // Insert-only registry: a panicking holder cannot leave it
+    // inconsistent, so recover rather than cascade the poison.
+    let mut names = crackdb_core::lock_unpoisoned(NAMES.get_or_init(Default::default));
     if let Some(&n) = names.get(name.as_str()) {
         return n;
     }
