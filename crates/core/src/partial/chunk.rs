@@ -50,13 +50,16 @@ impl Chunk {
 
     /// Reassemble a chunk from deserialized spill-record parts. The
     /// cursor is the chunk's staged-update watermark: alignment resumes
-    /// from it exactly as if the chunk had stayed resident.
+    /// from it exactly as if the chunk had stayed resident, and the
+    /// access bookkeeping (`accesses`, `last_access`) survives the
+    /// round-trip so eviction scoring doesn't restart from cold.
     pub fn from_spill_parts(
         head: Option<Vec<Val>>,
         tail: Vec<Val>,
         index: CrackerIndex,
         cursor: usize,
         accesses: u64,
+        last_access: u64,
     ) -> Self {
         if let Some(h) = &head {
             assert_eq!(h.len(), tail.len());
@@ -67,7 +70,7 @@ impl Chunk {
             index,
             cursor,
             accesses,
-            last_access: 0,
+            last_access,
         }
     }
 
@@ -136,6 +139,9 @@ impl Chunk {
     /// # Panics
     /// If the head column was dropped (recover it first).
     fn with_array<R>(&mut self, f: impl FnOnce(&mut CrackedArray<Val>) -> R) -> R {
+        // INVARIANT: every caller that can reach a crack restores a
+        // dropped head first (rebuild_head / restore_head); the panic is
+        // the documented contract for direct misuse.
         let head = self.head.take().expect("cracking requires the head column");
         let tail = std::mem::take(&mut self.tail);
         let index = std::mem::take(&mut self.index);
@@ -148,23 +154,18 @@ impl Chunk {
         r
     }
 
-    /// Apply one area-tape entry. Cracks reorganize under the owning
-    /// set's `policy` — sibling chunks replaying the same tape with the
-    /// same policy stay bit-identical (the policies are pure functions
-    /// of the array state); the §3.5 update entries ripple one tuple in
-    /// or out, reading the inserted tuple's head/tail values from the
-    /// base columns (`head_col`, `tail_col`).
-    pub fn apply(
-        &mut self,
-        entry: &AreaEntry,
-        head_col: &Column,
-        tail_col: &Column,
-        policy: &CrackPolicy,
-    ) {
+    /// Apply one area-tape entry. Cracks reorganize under the entry's
+    /// *logged* policy — sibling chunks replaying the same tape stay
+    /// bit-identical regardless of what the owning set's effective
+    /// policy is today (the policies are pure functions of the array
+    /// state); the §3.5 update entries ripple one tuple in or out,
+    /// reading the inserted tuple's head/tail values from the base
+    /// columns (`head_col`, `tail_col`).
+    pub fn apply(&mut self, entry: &AreaEntry, head_col: &Column, tail_col: &Column) {
         match *entry {
-            AreaEntry::Crack(pred) => {
+            AreaEntry::Crack(pred, policy) => {
                 self.with_array(|a| {
-                    a.crack_range_with(&pred, policy);
+                    a.crack_range_with(&pred, &policy);
                 });
             }
             AreaEntry::Insert(key) => {
@@ -185,12 +186,11 @@ impl Chunk {
         target: usize,
         head_col: &Column,
         tail_col: &Column,
-        policy: &CrackPolicy,
     ) -> usize {
         let mut replayed = 0;
         while self.cursor < target.min(tape.len()) {
             let entry = tape[self.cursor];
-            self.apply(&entry, head_col, tail_col, policy);
+            self.apply(&entry, head_col, tail_col);
             self.cursor += 1;
             replayed += 1;
         }
@@ -208,12 +208,11 @@ impl Chunk {
         needed: &[BoundaryKey],
         head_col: &Column,
         tail_col: &Column,
-        policy: &CrackPolicy,
     ) -> (usize, bool) {
         let mut replayed = 0;
         while !self.has_boundaries(needed) && self.cursor < tape.len() {
             let entry = tape[self.cursor];
-            self.apply(&entry, head_col, tail_col, policy);
+            self.apply(&entry, head_col, tail_col);
             self.cursor += 1;
             replayed += 1;
         }
@@ -281,7 +280,7 @@ mod tests {
     }
 
     fn cracks(preds: &[RangePred]) -> Vec<AreaEntry> {
-        preds.iter().map(|&p| AreaEntry::Crack(p)).collect()
+        preds.iter().map(|&p| AreaEntry::Crack(p, STD)).collect()
     }
 
     #[test]
@@ -300,10 +299,10 @@ mod tests {
         let mut a = chunk();
         let mut b = chunk();
         // a applies entries as queries; b aligns later.
-        a.apply(&tape[0], &nc, &nc, &STD);
-        a.apply(&tape[1], &nc, &nc, &STD);
+        a.apply(&tape[0], &nc, &nc);
+        a.apply(&tape[1], &nc, &nc);
         a.cursor = 2;
-        let replayed = b.align_to(&tape, 2, &nc, &nc, &STD);
+        let replayed = b.align_to(&tape, 2, &nc, &nc);
         assert_eq!(replayed, 2);
         assert_eq!(a.head().unwrap(), b.head().unwrap());
         assert_eq!(a.tail(), b.tail());
@@ -321,7 +320,7 @@ mod tests {
         // Boundary for "A > 8" appears in entry 1; alignment must stop
         // after applying it, leaving entry 2 unapplied.
         let needed = [(8, BoundKind::Le)];
-        let (replayed, missing) = c.align_until_boundaries(&tape, &needed, &nc, &nc, &STD);
+        let (replayed, missing) = c.align_until_boundaries(&tape, &needed, &nc, &nc);
         assert_eq!(replayed, 2);
         assert!(!missing);
         assert_eq!(c.cursor, 2);
@@ -333,7 +332,7 @@ mod tests {
         let nc = no_col();
         let mut c = chunk();
         let needed = [(100, BoundKind::Lt)];
-        let (_, missing) = c.align_until_boundaries(&tape, &needed, &nc, &nc, &STD);
+        let (_, missing) = c.align_until_boundaries(&tape, &needed, &nc, &nc);
         assert!(missing);
         assert_eq!(c.cursor, 1);
     }
@@ -345,7 +344,7 @@ mod tests {
         let head_col = Column::new(vec![0, 0, 0, 0, 0, 0, 0, 6]);
         let tail_col = Column::new(vec![0, 0, 0, 0, 0, 0, 0, 60]);
         let tape = vec![
-            AreaEntry::Crack(RangePred::open(4, 13)),
+            AreaEntry::Crack(RangePred::open(4, 13), STD),
             AreaEntry::Insert(7),
             AreaEntry::Delete {
                 val: 9,
@@ -355,8 +354,8 @@ mod tests {
         ];
         let mut a = chunk();
         let mut b = chunk();
-        a.align_to(&tape, 3, &head_col, &tail_col, &STD);
-        b.align_to(&tape, 3, &head_col, &tail_col, &STD);
+        a.align_to(&tape, 3, &head_col, &tail_col);
+        b.align_to(&tape, 3, &head_col, &tail_col);
         assert_eq!(a.head().unwrap(), b.head().unwrap());
         assert_eq!(a.tail(), b.tail());
         assert_eq!(a.len(), 7); // 7 original + 1 insert - 1 delete

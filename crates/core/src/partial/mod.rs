@@ -53,7 +53,9 @@ use crackdb_columnstore::column::Table;
 use crackdb_columnstore::storage::StorageError;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
 use crackdb_cracking::index::pred_keys;
-use crackdb_cracking::{BoundaryKey, CrackPolicy, CrackedArray, CrackerIndex};
+use crackdb_cracking::{
+    retention_score, BoundaryKey, CrackPolicy, CrackedArray, CrackerIndex, PolicyAdvisor,
+};
 use spill::SpillSlot;
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -70,8 +72,11 @@ type CheckedOutArea = (Vec<(usize, Chunk)>, Vec<AreaEntry>);
 /// chunk of the area replays during alignment (§3.5 applied per chunk).
 #[derive(Debug, Clone, Copy)]
 pub enum AreaEntry {
-    /// A chunk-level crack.
-    Crack(RangePred),
+    /// A chunk-level crack, plus the effective static policy it ran
+    /// under. Replay always uses the logged policy — never the set's
+    /// current one — so sibling chunks and recreations stay bit-aligned
+    /// across adaptive policy switches.
+    Crack(RangePred, CrackPolicy),
     /// Tuple `key` (appended to the base table) ripple-inserted into the
     /// area; replaying chunks read its values from the base columns.
     Insert(RowId),
@@ -93,7 +98,7 @@ pub enum AreaEntry {
 /// update.
 fn update_floor(tape: &[AreaEntry]) -> usize {
     tape.iter()
-        .rposition(|e| !matches!(e, AreaEntry::Crack(_)))
+        .rposition(|e| !matches!(e, AreaEntry::Crack(..)))
         .map_or(0, |i| i + 1)
 }
 
@@ -222,11 +227,14 @@ pub struct PartialSet {
     /// When set, chunks whose largest piece is at most this many tuples
     /// drop their head column after use (§4.1 head dropping).
     pub head_drop_threshold: Option<usize>,
-    /// Pivot-choice policy shared by the chunk map, every chunk and the
-    /// per-area resolvers. Fixed for the set's lifetime: area-tape
-    /// replay must reproduce cracks bit-for-bit across sibling chunks
-    /// and recreations.
-    policy: CrackPolicy,
+    /// Policy selection shared by the chunk map, every chunk and the
+    /// per-area resolvers: the configured [`CrackPolicy`] plus (when
+    /// adaptive) the workload statistics driving per-query re-decisions.
+    /// Replay safety does not depend on it — every area-tape crack
+    /// carries the effective policy it ran under, and alignment replays
+    /// the logged policy, so sibling chunks and recreations crack
+    /// identically no matter what the advisor has decided since.
+    advisor: PolicyAdvisor,
     /// Counters.
     pub stats: PartialStats,
     /// Optional disk tier: evicted chunks spill here and reload on
@@ -260,7 +268,11 @@ impl PartialSet {
             budget: None,
             clock: 0,
             head_drop_threshold: None,
-            policy,
+            // Chunked cracking bounds every crack at the segment size,
+            // but a marching sweep still pays an exact crack per stripe
+            // edge in every chunk it crosses — the advisor's coarse
+            // sweep response applies here like on a plain cracker.
+            advisor: PolicyAdvisor::new(policy),
             stats: PartialStats::default(),
             spill: None,
             tape_scratch: Vec::new(),
@@ -279,9 +291,35 @@ impl PartialSet {
         self.spill.is_some()
     }
 
-    /// The set's pivot-choice policy.
+    /// The set's configured pivot-choice policy (possibly
+    /// [`CrackPolicy::Adaptive`]).
     pub fn policy(&self) -> CrackPolicy {
-        self.policy
+        self.advisor.configured()
+    }
+
+    /// The static policy the next crack will run under (equals
+    /// [`Self::policy`] unless configured adaptive).
+    pub fn effective_policy(&self) -> CrackPolicy {
+        self.advisor.effective()
+    }
+
+    /// How many times the advisor has switched the effective policy.
+    pub fn policy_switches(&self) -> u64 {
+        self.advisor.switches()
+    }
+
+    /// Observe one logical query: feed the predicate to the advisor
+    /// (against the chunk map's shape) and re-decide the effective
+    /// policy. Called once from each public query entry point.
+    fn note_query(&mut self, pred: &RangePred) {
+        if !self.advisor.configured().is_adaptive() {
+            return;
+        }
+        let (boundaries, len) = self
+            .chunk_map
+            .as_ref()
+            .map_or((0, 0), |cm| (cm.index().len(), cm.len()));
+        self.advisor.observe(pred, boundaries, len);
     }
 
     /// Current chunk storage in tuples (the chunk map and the per-area
@@ -375,7 +413,7 @@ impl PartialSet {
     /// declines to split areas at or below its leaf size — the query
     /// then filters inside the chunks.
     fn crack_chunk_map_for(&mut self, pred: &RangePred) {
-        let policy = self.policy;
+        let policy = self.advisor.effective();
         let (lo_k, hi_k) = pred_keys(pred);
         for key in [lo_k, hi_k].into_iter().flatten() {
             // INVARIANT: every public query path calls ensure_chunk_map
@@ -519,11 +557,11 @@ impl PartialSet {
             cursor: 0,
         });
         // Catch the resolver up with cracks logged since the last merge
-        // (replayed under the set's policy, like every sibling chunk).
-        let policy = self.policy;
+        // (each replayed under its logged policy, like every sibling
+        // chunk).
         while resolver.cursor < info.tape.len() {
             match info.tape[resolver.cursor] {
-                AreaEntry::Crack(pred) => {
+                AreaEntry::Crack(pred, policy) => {
                     resolver.arr.crack_range_with(&pred, &policy);
                 }
                 AreaEntry::Insert(key) => {
@@ -602,10 +640,12 @@ impl PartialSet {
     /// Evict cold chunks until `extra` more tuples fit in the budget.
     /// Chunks in `pinned` are untouchable.
     ///
-    /// Victim choice is least-recently-used with access frequency as the
-    /// tiebreak. Pure frequency (no aging) would always evict the chunks
-    /// a workload shift just created — the previous batch's chunks carry
-    /// large counts — and thrash; recency keeps the adaptation property
+    /// Victim choice minimizes [`retention_score`]: recency plus a
+    /// log-frequency grace, so a chunk the workload hammered keeps a
+    /// bounded head start over a once-touched one. Pure frequency (no
+    /// aging) would always evict the chunks a workload shift just
+    /// created — the previous batch's chunks carry large counts — and
+    /// thrash; the recency-dominated score keeps the adaptation property
     /// §4.1 asks of the storage manager ("the system always keeps the
     /// chunks that are really necessary for the workload hot-set").
     fn make_room(
@@ -631,7 +671,9 @@ impl PartialSet {
                 .flat_map(|(&attr, m)| {
                     m.chunks
                         .iter()
-                        .map(move |(&aid, c)| ((attr, aid), (c.last_access, c.accesses)))
+                        .map(move |(&aid, c)| {
+                            ((attr, aid), retention_score(c.accesses, c.last_access))
+                        })
                 })
                 .filter(|(key, _)| !pinned.contains(key))
                 .min_by_key(|&((attr, aid), score)| (score, attr, aid))
@@ -734,7 +776,7 @@ impl PartialSet {
                 match entry {
                     AreaEntry::Insert(key) => self.staged_inserts.push(key),
                     AreaEntry::Delete { val, key, .. } => self.staged_deletes.push((val, key)),
-                    AreaEntry::Crack(_) => {}
+                    AreaEntry::Crack(..) => {}
                 }
             }
         } else {
@@ -773,7 +815,7 @@ impl PartialSet {
         let mut tail: Vec<Val> = Vec::with_capacity(keys.len());
         tail_col.try_gather(keys.iter().copied(), |v| tail.push(v))?;
         let mut tmp = Chunk::seed(head, tail, None);
-        tmp.align_to(tape, cursor, head_col, tail_col, &self.policy);
+        tmp.align_to(tape, cursor, head_col, tail_col);
         self.stats.heads_recovered += 1;
         // INVARIANT: Chunk::seed is constructed with a head column and
         // align_to never drops it.
@@ -808,6 +850,7 @@ impl PartialSet {
             return Ok(());
         }
         self.ensure_chunk_map(base)?;
+        self.note_query(head_pred);
         self.crack_chunk_map_for(head_pred);
         self.clock += 1;
 
@@ -851,7 +894,9 @@ impl PartialSet {
         // Adaptation still happens on the set's own predicate: its cut
         // points refine the chunk map for later conjunctive queries.
         if let Some((_, own)) = preds.iter().find(|(a, _)| *a == self.head_attr) {
-            self.crack_chunk_map_for(own);
+            let own = *own;
+            self.note_query(&own);
+            self.crack_chunk_map_for(&own);
         }
         self.clock += 1;
         let mut attrs: Vec<usize> = Vec::new();
@@ -934,19 +979,19 @@ impl PartialSet {
                 .insert(area.id, chunk);
         }
         self.flush_staged_for_area(base, area);
-        let mut chunks: Vec<(usize, Chunk)> = attrs
-            .iter()
-            .map(|&attr| {
-                let c = self
-                    .maps
-                    .get_mut(&attr)
-                    .expect("map materialized")
-                    .chunks
-                    .remove(&area.id)
-                    .expect("chunk materialized");
-                (attr, c)
-            })
-            .collect();
+        // The loop above materialized (or reloaded) every chunk, so each
+        // take-out succeeds; tolerating an absent entry keeps this path
+        // panic-free without changing behaviour.
+        let mut chunks: Vec<(usize, Chunk)> = Vec::with_capacity(attrs.len());
+        for &attr in attrs {
+            if let Some(c) = self
+                .maps
+                .get_mut(&attr)
+                .and_then(|m| m.chunks.remove(&area.id))
+            {
+                chunks.push((attr, c));
+            }
+        }
         // Snapshot the tape into the recycled scratch buffer (returned to
         // the set by `recycle_tape` once the area is processed).
         let mut tape = std::mem::take(&mut self.tape_scratch);
@@ -961,14 +1006,13 @@ impl PartialSet {
             .max()
             .unwrap_or(0)
             .max(update_floor(&tape));
-        let policy = self.policy;
         for (attr, c) in chunks.iter_mut() {
             if c.cursor < target && c.head_dropped() {
                 let head = self.rebuild_head(base, *attr, area, c.cursor, &tape)?;
                 c.restore_head(head);
             }
             self.stats.entries_replayed +=
-                c.align_to(&tape, target, head_col, base.column(*attr), &policy) as u64;
+                c.align_to(&tape, target, head_col, base.column(*attr)) as u64;
         }
         Ok((chunks, tape))
     }
@@ -1014,10 +1058,11 @@ impl PartialSet {
         let len = chunks.first().map_or(0, |(_, c)| c.len());
         let mut bv = BitVec::zeros(len);
         for (attr, pred) in preds {
-            let (_, c) = chunks
-                .iter()
-                .find(|(a, _)| a == attr)
-                .expect("predicate chunk present");
+            // checkout_area_chunks returns a chunk for every attr in
+            // `attrs`, which includes every predicate attribute.
+            let Some((_, c)) = chunks.iter().find(|(a, _)| a == attr) else {
+                continue;
+            };
             let tails = c.tail();
             for (i, &v) in tails.iter().enumerate() {
                 if pred.matches(v) {
@@ -1027,10 +1072,9 @@ impl PartialSet {
         }
 
         for &p in projs {
-            let (_, c) = chunks
-                .iter()
-                .find(|(a, _)| *a == p)
-                .expect("projection chunk");
+            let Some((_, c)) = chunks.iter().find(|(a, _)| *a == p) else {
+                continue;
+            };
             let tails = c.tail();
             for i in bv.iter_ones() {
                 consume(p, tails[i]);
@@ -1058,11 +1102,12 @@ impl PartialSet {
         let (mut chunks, tape) = self.checkout_area_chunks(base, area, attrs)?;
         let needed = Self::keys_inside(head_pred, area);
         let head_col = base.column(self.head_attr);
-        let policy = self.policy;
+        let policy = self.advisor.effective();
 
         // Boundary handling with monitored alignment: replay further
         //    entries until the needed boundaries appear; crack (under the
-        //    set's policy) only if the tape never provides them.
+        //    query's effective policy, logged on the tape) only if the
+        //    tape never provides them.
         let mut range = (0, chunks.first().map_or(0, |(_, c)| c.len()));
         let mut exact = true;
         if !needed.is_empty() {
@@ -1073,7 +1118,7 @@ impl PartialSet {
                     c.restore_head(head);
                 }
                 let (replayed, m) =
-                    c.align_until_boundaries(&tape, &needed, head_col, base.column(*attr), &policy);
+                    c.align_until_boundaries(&tape, &needed, head_col, base.column(*attr));
                 self.stats.entries_replayed += replayed as u64;
                 missing = m;
             }
@@ -1098,7 +1143,7 @@ impl PartialSet {
                 // repeat of the same query.
                 if changed {
                     let info = self.area_info(area.id);
-                    info.tape.push(AreaEntry::Crack(*head_pred));
+                    info.tape.push(AreaEntry::Crack(*head_pred, policy));
                     let new_len = info.tape.len();
                     for (_, c) in chunks.iter_mut() {
                         c.cursor = new_len;
@@ -1122,6 +1167,9 @@ impl PartialSet {
             let heads = chunks[0]
                 .1
                 .head()
+                // INVARIANT: an inexact range means the missing-crack
+                // path above ran (coarse-granular declined a split), and
+                // that path restores every dropped head before cracking.
                 .expect("head restored for the policy crack");
             let heads = &heads[range.0..range.1];
             Some(BitVec::from_fn(heads.len(), |i| {
@@ -1135,10 +1183,11 @@ impl PartialSet {
         } else {
             let mut bv: Option<BitVec> = head_bv;
             for (attr, pred) in tail_sels {
-                let (_, c) = chunks
-                    .iter()
-                    .find(|(a, _)| a == attr)
-                    .expect("selection chunk present");
+                // `attrs` contains every selection attribute, so the
+                // checkout returned a chunk for each.
+                let Some((_, c)) = chunks.iter().find(|(a, _)| a == attr) else {
+                    continue;
+                };
                 let tails = &c.tail()[range.0..range.1];
                 match &mut bv {
                     None => {
@@ -1152,10 +1201,9 @@ impl PartialSet {
 
         // Stream projections.
         for &p in projs {
-            let (_, c) = chunks
-                .iter()
-                .find(|(a, _)| *a == p)
-                .expect("projection chunk");
+            let Some((_, c)) = chunks.iter().find(|(a, _)| *a == p) else {
+                continue;
+            };
             let tails = &c.tail()[range.0..range.1];
             match &bv {
                 None => {

@@ -18,12 +18,13 @@
 //!
 //! ```text
 //! [ 0.. 4)  magic "CKSP"
-//! [ 4.. 8)  u32 version (1)
+//! [ 4.. 8)  u32 version (2)
 //! [ 8..16)  u64 payload length
 //! [16..  )  payload:
 //!             u64 flags (bit0: head present)
 //!             u64 tape cursor (staged-update watermark)
 //!             u64 LFU access count
+//!             u64 last-access clock (eviction recency; v2)
 //!             u64 n (tuples)
 //!             n × i64 head values     (only when bit0 set)
 //!             n × i64 tail values
@@ -57,7 +58,10 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 const SPILL_MAGIC: [u8; 4] = *b"CKSP";
-const SPILL_VERSION: u32 = 1;
+/// v2 added the last-access clock to the payload so eviction scoring
+/// survives a spill round-trip. Decoding stays strict: a version we did
+/// not write is corruption, not a compatibility case.
+const SPILL_VERSION: u32 = 2;
 const HEADER_LEN: usize = 16;
 
 /// Location of one spilled chunk inside its column's spill file.
@@ -347,7 +351,7 @@ pub fn encode_chunk_into(chunk: &Chunk, out: &mut Vec<u8>) {
     let n = chunk.len();
     let head = chunk.head();
     let bounds = chunk.index().boundaries();
-    let payload_len = 8 * 4 + head.map_or(0, |h| h.len() * 8) + n * 8 + 8 + bounds.len() * 24;
+    let payload_len = 8 * 5 + head.map_or(0, |h| h.len() * 8) + n * 8 + 8 + bounds.len() * 24;
     out.clear();
     out.reserve(HEADER_LEN + payload_len + 8);
     out.extend_from_slice(&SPILL_MAGIC);
@@ -358,6 +362,7 @@ pub fn encode_chunk_into(chunk: &Chunk, out: &mut Vec<u8>) {
     put_u64(out, flags);
     put_u64(out, chunk.cursor as u64);
     put_u64(out, chunk.accesses);
+    put_u64(out, chunk.last_access);
     put_u64(out, n as u64);
     if let Some(h) = head {
         put_vals(out, h);
@@ -428,6 +433,7 @@ fn decode_inner(bytes: &[u8]) -> Result<Chunk, String> {
     let flags = r.u64()?;
     let cursor = r.u64()? as usize;
     let accesses = r.u64()?;
+    let last_access = r.u64()?;
     let n = r.u64()? as usize;
     let head = if flags & 1 != 0 {
         Some(take_vals(&mut r, n)?)
@@ -455,7 +461,14 @@ fn decode_inner(bytes: &[u8]) -> Result<Chunk, String> {
             index.record((val, kind), pos);
         }
     }
-    Ok(Chunk::from_spill_parts(head, tail, index, cursor, accesses))
+    Ok(Chunk::from_spill_parts(
+        head,
+        tail,
+        index,
+        cursor,
+        accesses,
+        last_access,
+    ))
 }
 
 #[cfg(test)]
@@ -472,6 +485,7 @@ mod tests {
         c.crack_range(&RangePred::open(4, 13));
         c.cursor = 3;
         c.accesses = 9;
+        c.last_access = 41;
         c
     }
 
@@ -484,6 +498,7 @@ mod tests {
         assert_eq!(d.tail(), c.tail());
         assert_eq!(d.cursor, 3);
         assert_eq!(d.accesses, 9);
+        assert_eq!(d.last_access, 41);
         assert_eq!(d.index().boundaries(), c.index().boundaries());
         // range_of over the reloaded index matches.
         assert_eq!(

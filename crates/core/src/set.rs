@@ -7,7 +7,7 @@ use crate::map::{CrackerMap, KeyMap};
 use crate::tape::{DeleteBatch, InsertBatch, Tape, TapeEntry};
 use crackdb_columnstore::column::Table;
 use crackdb_columnstore::types::{RangePred, RowId, Val};
-use crackdb_cracking::{CrackPolicy, Span};
+use crackdb_cracking::{CrackPolicy, PolicyAdvisor, Span};
 use std::collections::{HashMap, HashSet};
 
 /// Instrumentation counters for a map set.
@@ -38,10 +38,14 @@ pub struct MapSet {
     /// which keeps late-created maps deterministically aligned.
     initial_len: usize,
     initial_excluded: HashSet<RowId>,
-    /// Pivot-choice policy shared by every map of the set. Fixed for the
-    /// set's lifetime: tape replay must reproduce cracks bit-for-bit,
-    /// so all siblings (and all future recreations) crack identically.
-    policy: CrackPolicy,
+    /// Policy selection shared by every map of the set: the configured
+    /// [`CrackPolicy`] plus (when adaptive) the workload statistics that
+    /// re-decide the effective static policy per query. Replay safety
+    /// does not depend on this — every tape crack entry carries the
+    /// effective policy it ran under, and alignment replays the logged
+    /// policy, so siblings and future recreations crack identically no
+    /// matter what the advisor has decided since.
+    advisor: PolicyAdvisor,
     /// Counters.
     pub stats: SetStats,
 }
@@ -70,14 +74,55 @@ impl MapSet {
             staged_deletes: Vec::new(),
             initial_len,
             initial_excluded: excluded,
-            policy,
+            // Maps crack (head, tail) *pairs*: every tape entry moves
+            // two physical columns and late-created maps re-align by
+            // replaying the tape, so coarse-quantized sweep cracks bury
+            // stripe edges inside leaves that each replayed map then
+            // re-filters. A sweep decision resolves to Standard here —
+            // measured fastest on map sweeps since the block kernels.
+            advisor: PolicyAdvisor::new_sweep_immune(policy),
             stats: SetStats::default(),
         }
     }
 
-    /// The set's pivot-choice policy.
+    /// The set's configured pivot-choice policy (possibly
+    /// [`CrackPolicy::Adaptive`]).
     pub fn policy(&self) -> CrackPolicy {
-        self.policy
+        self.advisor.configured()
+    }
+
+    /// The static policy the next crack will run under (equals
+    /// [`Self::policy`] unless configured adaptive).
+    pub fn effective_policy(&self) -> CrackPolicy {
+        self.advisor.effective()
+    }
+
+    /// How many times the advisor has switched the effective policy.
+    pub fn policy_switches(&self) -> u64 {
+        self.advisor.switches()
+    }
+
+    /// Observe one logical query against this set: feed the predicate to
+    /// the advisor (against the best-aligned structure's shape) and
+    /// re-decide the effective policy. Call once per query, not once per
+    /// sibling map — the store entry points do this — so multi-map plans
+    /// don't double-count the workload signal.
+    pub fn note_query(&mut self, pred: &RangePred) {
+        if !self.advisor.configured().is_adaptive() {
+            return;
+        }
+        let shape = self
+            .maps
+            .values()
+            .map(|m| (self.tape.lag(m.cursor), m.arr.index().len(), m.arr.len()))
+            .chain(
+                self.key_map
+                    .as_ref()
+                    .map(|k| (self.tape.lag(k.cursor), k.arr.index().len(), k.arr.len())),
+            )
+            .min_by_key(|&(lag, _, _)| lag);
+        let (boundaries, len) = shape.map_or((0, self.initial_len), |(_, b, l)| (b, l));
+        self.advisor.observe(pred, boundaries, len);
     }
 
     /// Does a map for `tail_attr` currently exist?
@@ -115,13 +160,9 @@ impl MapSet {
             .iter()
             .min_by_key(|(_, m)| m.accesses)
             .map(|(&a, _)| a);
-        match victim {
-            Some(a) => {
-                let m = self.maps.remove(&a).expect("victim exists");
-                m.tuples()
-            }
-            None => 0,
-        }
+        victim
+            .and_then(|a| self.maps.remove(&a))
+            .map_or(0, |m| m.tuples())
     }
 
     /// Drop a specific map (storage management); returns tuples freed.
@@ -227,10 +268,12 @@ impl MapSet {
             None => self.seed_key_map(base),
         };
         let head_col = base.column(self.head_attr);
-        let policy = self.policy;
         while km.cursor < target {
             match self.tape.entry(km.cursor).clone() {
-                TapeEntry::Crack(pred) => {
+                // Replay under the policy the crack originally ran with,
+                // not the set's current effective policy — the advisor
+                // may have switched since the entry was logged.
+                TapeEntry::Crack(pred, policy) => {
                     km.crack(&pred, &policy);
                 }
                 TapeEntry::Inserts(id) => {
@@ -272,10 +315,9 @@ impl MapSet {
     /// `target` by replaying entries from its cursor.
     fn align_map(&mut self, m: &mut CrackerMap, target: usize, base: &Table) {
         let head_col = base.column(self.head_attr);
-        let policy = self.policy;
         while m.cursor < target {
             match self.tape.entry(m.cursor).clone() {
-                TapeEntry::Crack(pred) => {
+                TapeEntry::Crack(pred, policy) => {
                     m.crack(&pred, &policy);
                 }
                 TapeEntry::Inserts(id) => {
@@ -291,6 +333,10 @@ impl MapSet {
                     let positions = self.tape.delete_batches[id as usize]
                         .resolved
                         .clone()
+                        // INVARIANT: align_key_map_to above crossed this
+                        // entry, and the key map resolves every delete
+                        // batch it crosses, so `resolved` is always
+                        // `Some` here.
                         .expect("key map resolved the batch");
                     for p in positions {
                         m.arr.ripple_delete_at(p);
@@ -331,10 +377,11 @@ impl MapSet {
         };
         let target = self.tape.len();
         self.align_map(&mut m, target, base);
+        let policy = self.advisor.effective();
         let before = m.arr.index().len();
-        let span = m.crack(pred, &self.policy);
+        let span = m.crack(pred, &policy);
         if m.arr.index().len() > before {
-            self.tape.log_crack(*pred);
+            self.tape.log_crack(*pred, policy);
             self.stats.query_cracks += 1;
         }
         m.cursor = self.tape.len();
@@ -365,6 +412,8 @@ impl MapSet {
 
     /// Tail values of a previously selected area.
     pub fn view_tail(&self, tail_attr: usize, range: (usize, usize)) -> &[Val] {
+        // INVARIANT: ranges only come from sideways_select(_filtered),
+        // which materializes the map before returning.
         let m = self.maps.get(&tail_attr).expect("map exists after select");
         m.arr.view(range).1
     }
@@ -377,11 +426,13 @@ impl MapSet {
         self.flush_staged(pred, base);
         let target = self.tape.len();
         self.align_key_map_to(target, base);
+        // INVARIANT: align_key_map_to always leaves `key_map` populated.
         let mut km = self.key_map.take().expect("aligned above");
+        let policy = self.advisor.effective();
         let before = km.arr.index().len();
-        let span = km.crack(pred, &self.policy);
+        let span = km.crack(pred, &policy);
         if km.arr.index().len() > before {
-            self.tape.log_crack(*pred);
+            self.tape.log_crack(*pred, policy);
             self.stats.query_cracks += 1;
         }
         km.cursor = self.tape.len();
@@ -857,6 +908,7 @@ mod tests {
             CrackPolicy::Stochastic { seed: 7 },
             CrackPolicy::CoarseGranular { min_piece: 8 },
             CrackPolicy::CoarseGranular { min_piece: 1 << 20 },
+            CrackPolicy::Adaptive,
         ];
         for policy in policies {
             let mut seed = 99u64;
@@ -887,6 +939,7 @@ mod tests {
                     }
                 }
                 // Alternate which map cracks first; the other aligns.
+                s.note_query(&pred);
                 let (first, second) = if q % 2 == 0 { (1, 2) } else { (2, 1) };
                 let r1 = s.sideways_select(&base, first, &pred);
                 let r2 = s.sideways_select(&base, second, &pred);
@@ -923,6 +976,54 @@ mod tests {
                 }
                 _ => assert_eq!(advisory, 0, "{}: no advisory pivots", policy.label()),
             }
+        }
+    }
+
+    /// An adaptive set that switches policy mid-life must keep sibling
+    /// maps aligned — including a map created *after* the switch, whose
+    /// replay crosses cracks logged under different effective policies.
+    #[test]
+    fn adaptive_switch_keeps_late_created_maps_aligned() {
+        let n = 4000usize;
+        let mut base = Table::new();
+        base.add_column("a", Column::new((0..n as Val).map(|v| (v * 37) % 4000).collect()));
+        base.add_column("b", Column::new((0..n as Val).collect()));
+        base.add_column("c", Column::new((0..n as Val).map(|v| v * 2).collect()));
+        let mut s = MapSet::with_policy(0, n, HashSet::new(), CrackPolicy::Adaptive);
+        // Scattered queries shatter the map until the boundary-density
+        // rule flips the advisor to coarse mid-run. (Map sets are
+        // sweep-immune, so the coarse downgrade is the switch an
+        // adaptive set actually performs in production.)
+        let mut x = 4242u64;
+        for _ in 0..60 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let lo = ((x >> 33) % 3800) as Val;
+            let pred = RangePred::open(lo, lo + 120);
+            s.note_query(&pred);
+            s.sideways_select(&base, 1, &pred);
+        }
+        assert!(
+            s.policy_switches() >= 1,
+            "boundary density should trigger at least one policy switch"
+        );
+        assert_eq!(s.effective_policy(), CrackPolicy::coarse());
+        // Map C is created only now: its alignment replays cracks logged
+        // under Standard *and* under CoarseGranular.
+        let pred = RangePred::open(500, 700);
+        s.note_query(&pred);
+        let rc = s.sideways_select(&base, 2, &pred);
+        let rb = s.sideways_select(&base, 1, &pred);
+        assert_eq!(rb, rc, "areas agree across the policy switch");
+        assert_eq!(
+            s.map(1).unwrap().arr.head(),
+            s.map(2).unwrap().arr.head(),
+            "late-created map replays logged policies bit-for-bit"
+        );
+        s.map(1).unwrap().arr.check_partitioning();
+        let b_vals = s.view_tail(1, rb).to_vec();
+        let c_vals = s.view_tail(2, rc).to_vec();
+        for (b, c) in b_vals.iter().zip(&c_vals) {
+            assert_eq!(*b * 2, *c, "tuple identity preserved positionally");
         }
     }
 

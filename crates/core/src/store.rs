@@ -44,6 +44,10 @@ pub struct SidewaysStore {
     default_domain: (Val, Val),
     /// Pivot-choice policy handed to every map set created by the store.
     policy: CrackPolicy,
+    /// Per-attribute policy overrides (mixed-policy stores): a set for
+    /// attribute `a` is created with `overrides[a]` when present, the
+    /// store default otherwise.
+    overrides: HashMap<usize, CrackPolicy>,
     /// Storage budget in tuples across all maps (`None` = unlimited).
     pub budget: Option<usize>,
     /// Maps dropped by the storage manager (instrumentation).
@@ -73,9 +77,33 @@ impl SidewaysStore {
         self.policy = policy;
     }
 
-    /// The store's pivot-choice policy.
+    /// The store's default pivot-choice policy.
     pub fn policy(&self) -> CrackPolicy {
         self.policy
+    }
+
+    /// Override the policy for one attribute's *future* map set (mixed-
+    /// policy stores).
+    ///
+    /// # Panics
+    /// If that attribute's set already exists — a set's configured
+    /// policy is fixed for its lifetime.
+    pub fn set_policy_for(&mut self, attr: usize, policy: CrackPolicy) {
+        assert!(
+            !self.sets.contains_key(&attr),
+            "crack policy must be chosen before the map set exists"
+        );
+        self.overrides.insert(attr, policy);
+    }
+
+    /// The policy a set for `attr` is (or would be) created with.
+    pub fn policy_for(&self, attr: usize) -> CrackPolicy {
+        self.overrides.get(&attr).copied().unwrap_or(self.policy)
+    }
+
+    /// Total effective-policy switches across all sets' advisors.
+    pub fn policy_switches(&self) -> u64 {
+        self.sets.values().map(|s| s.policy_switches()).sum()
     }
 
     /// Register a per-attribute value domain.
@@ -98,7 +126,7 @@ impl SidewaysStore {
         head_attr: usize,
         excluded: &HashSet<RowId>,
     ) -> &mut MapSet {
-        let policy = self.policy;
+        let policy = self.policy_for(head_attr);
         self.sets.entry(head_attr).or_insert_with(|| {
             MapSet::with_policy(head_attr, base.num_rows(), excluded.clone(), policy)
         })
@@ -155,21 +183,30 @@ impl SidewaysStore {
     }
 
     fn choose_set(&self, base: &Table, preds: &[(usize, RangePred)], largest: bool) -> usize {
-        assert!(!preds.is_empty());
+        self.choose_idx(base, preds, largest)
+            .map_or(0, |i| preds[i].0)
+    }
+
+    /// Index into `preds` of the chosen set's predicate (`None` only for
+    /// an empty slice).
+    fn choose_idx(&self, base: &Table, preds: &[(usize, RangePred)], largest: bool) -> Option<usize> {
         let score =
             |&(attr, pred): &(usize, RangePred)| -> f64 { self.estimate(base, attr, &pred) };
-        let best = preds.iter().enumerate().min_by(|a, b| {
-            let (sa, sb) = (score(a.1), score(b.1));
-            // total_cmp: a NaN estimate (degenerate domain statistics)
-            // must never panic the planner; it just sorts last.
-            let ord = sa.total_cmp(&sb);
-            if largest {
-                ord.reverse()
-            } else {
-                ord
-            }
-        });
-        preds[best.expect("non-empty").0].0
+        preds
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let (sa, sb) = (score(a.1), score(b.1));
+                // total_cmp: a NaN estimate (degenerate domain statistics)
+                // must never panic the planner; it just sorts last.
+                let ord = sa.total_cmp(&sb);
+                if largest {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            })
+            .map(|(i, _)| i)
     }
 
     /// Enforce the full-map budget before `needed` new tuples are
@@ -198,8 +235,12 @@ impl SidewaysStore {
                 .min_by_key(|&((sa, ta), acc)| (acc, sa, ta))
                 .map(|(key, _)| key);
             let Some((sa, ta)) = victim else { return };
-            self.sets.get_mut(&sa).expect("set exists").drop_map(ta);
-            self.maps_dropped += 1;
+            if let Some(s) = self.sets.get_mut(&sa) {
+                s.drop_map(ta);
+                self.maps_dropped += 1;
+            } else {
+                return;
+            }
         }
     }
 
@@ -253,8 +294,8 @@ impl SidewaysStore {
         mut consume: F,
     ) {
         self.reserve(base, sel_attr, projs);
-        self.ensure_set(base, sel_attr, excluded);
-        let s = self.sets.get_mut(&sel_attr).expect("ensured");
+        let s = self.ensure_set(base, sel_attr, excluded);
+        s.note_query(pred);
         for &p in projs {
             let (range, head_bv) = s.sideways_select_filtered(base, p, pred);
             let tails = s.view_tail(p, range);
@@ -284,12 +325,19 @@ impl SidewaysStore {
         extra_attrs: &[usize],
         excluded: &HashSet<RowId>,
     ) -> ConjHandle {
-        let set_attr = self.choose_set_conj(base, preds);
-        let head_pred = preds
-            .iter()
-            .find(|(a, _)| *a == set_attr)
-            .expect("chosen pred present")
-            .1;
+        let chosen = self.choose_idx(base, preds, false).unwrap_or(0);
+        let (set_attr, head_pred) = match preds.get(chosen) {
+            Some(&(a, p)) => (a, p),
+            None => {
+                // Empty predicate list: nothing qualifies.
+                return ConjHandle {
+                    set_attr: 0,
+                    head_pred: RangePred::all(),
+                    range: (0, 0),
+                    bv: None,
+                };
+            }
+        };
         let tails: Vec<(usize, RangePred)> = preds
             .iter()
             .filter(|(a, _)| *a != set_attr)
@@ -302,8 +350,8 @@ impl SidewaysStore {
             }
         }
         self.reserve(base, set_attr, &needed);
-        self.ensure_set(base, set_attr, excluded);
-        let s = self.sets.get_mut(&set_attr).expect("ensured");
+        let s = self.ensure_set(base, set_attr, excluded);
+        s.note_query(&head_pred);
 
         if tails.is_empty() {
             // Pure single-selection: no residual bit vector needed. Run
@@ -357,7 +405,9 @@ impl SidewaysStore {
         tail_attr: usize,
         mut consume: F,
     ) {
-        let s = self.sets.get_mut(&handle.set_attr).expect("set exists");
+        let Some(s) = self.sets.get_mut(&handle.set_attr) else {
+            return; // stale handle: the set was dropped since
+        };
         match &handle.bv {
             Some(bv) => s.reconstruct_with(base, tail_attr, &handle.head_pred, bv, consume),
             None => {
@@ -373,7 +423,9 @@ impl SidewaysStore {
     /// gives positional access for join plans (positions are relative to
     /// `range.0`).
     pub fn tail_slice(&mut self, base: &Table, handle: &ConjHandle, tail_attr: usize) -> &[Val] {
-        let s = self.sets.get_mut(&handle.set_attr).expect("set exists");
+        let Some(s) = self.sets.get_mut(&handle.set_attr) else {
+            return &[]; // stale handle: the set was dropped since
+        };
         let range = s.sideways_select(base, tail_attr, &handle.head_pred);
         debug_assert_eq!(range, handle.range, "aligned maps agree on the area");
         s.view_tail(tail_attr, range)
@@ -390,12 +442,10 @@ impl SidewaysStore {
         excluded: &HashSet<RowId>,
         mut consume: F,
     ) {
-        let set_attr = self.choose_set_disj(base, preds);
-        let head_pred = preds
-            .iter()
-            .find(|(a, _)| *a == set_attr)
-            .expect("chosen pred present")
-            .1;
+        let chosen = self.choose_idx(base, preds, true).unwrap_or(0);
+        let Some(&(set_attr, head_pred)) = preds.get(chosen) else {
+            return; // empty predicate list: nothing qualifies
+        };
         let tails: Vec<(usize, RangePred)> = preds
             .iter()
             .filter(|(a, _)| *a != set_attr)
@@ -408,8 +458,8 @@ impl SidewaysStore {
             }
         }
         self.reserve(base, set_attr, &needed);
-        self.ensure_set(base, set_attr, excluded);
-        let s = self.sets.get_mut(&set_attr).expect("ensured");
+        let s = self.ensure_set(base, set_attr, excluded);
+        s.note_query(&head_pred);
 
         // First map: any needed map (prefer a selection map).
         let first_attr = needed.first().copied().unwrap_or(set_attr);
@@ -445,6 +495,8 @@ pub struct PartialStore {
     /// Pivot-choice policy handed to every partial set created by the
     /// store.
     policy: CrackPolicy,
+    /// Per-attribute policy overrides (mixed-policy stores).
+    overrides: HashMap<usize, CrackPolicy>,
     domains: HashMap<usize, (Val, Val)>,
     default_domain: (Val, Val),
     /// Every key deleted so far: sets created later must exclude them
@@ -522,9 +574,32 @@ impl PartialStore {
         self.policy = policy;
     }
 
-    /// The store's pivot-choice policy.
+    /// The store's default pivot-choice policy.
     pub fn policy(&self) -> CrackPolicy {
         self.policy
+    }
+
+    /// Override the policy for one attribute's *future* partial set.
+    ///
+    /// # Panics
+    /// If that attribute's set already exists — a set's configured
+    /// policy is fixed for its lifetime.
+    pub fn set_policy_for(&mut self, attr: usize, policy: CrackPolicy) {
+        assert!(
+            !self.sets.contains_key(&attr),
+            "crack policy must be chosen before the partial set exists"
+        );
+        self.overrides.insert(attr, policy);
+    }
+
+    /// The policy a set for `attr` is (or would be) created with.
+    pub fn policy_for(&self, attr: usize) -> CrackPolicy {
+        self.overrides.get(&attr).copied().unwrap_or(self.policy)
+    }
+
+    /// Total effective-policy switches across all sets' advisors.
+    pub fn policy_switches(&self) -> u64 {
+        self.sets.values().map(|s| s.policy_switches()).sum()
     }
 
     fn domain(&self, attr: usize) -> (Val, Val) {
@@ -582,7 +657,7 @@ impl PartialStore {
             .sum();
         let budget = self.budget.map(|b| b.saturating_sub(other));
         let hd = self.head_drop_threshold;
-        let policy = self.policy;
+        let policy = self.overrides.get(&head_attr).copied().unwrap_or(self.policy);
         let deleted = &self.deleted;
         let spill_dir = &self.spill_dir;
         let s = self.sets.entry(head_attr).or_insert_with(|| {
@@ -614,16 +689,13 @@ impl PartialStore {
         consume: F,
     ) -> Result<(), crackdb_columnstore::storage::StorageError> {
         let n = base.num_rows();
-        let chosen = preds
-            .iter()
-            .min_by(|a, b| {
-                let sa = uniform_estimate(&a.1, n, self.domain(a.0));
-                let sb = uniform_estimate(&b.1, n, self.domain(b.0));
-                sa.total_cmp(&sb)
-            })
-            .expect("non-empty predicates")
-            .0;
-        let head_pred = preds.iter().find(|(a, _)| *a == chosen).expect("present").1;
+        let Some(&(chosen, head_pred)) = preds.iter().min_by(|a, b| {
+            let sa = uniform_estimate(&a.1, n, self.domain(a.0));
+            let sb = uniform_estimate(&b.1, n, self.domain(b.0));
+            sa.total_cmp(&sb)
+        }) else {
+            return Ok(()); // empty predicate list: nothing qualifies
+        };
         let tails: Vec<(usize, RangePred)> = preds
             .iter()
             .filter(|(a, _)| *a != chosen)
@@ -644,15 +716,13 @@ impl PartialStore {
         consume: F,
     ) -> Result<(), crackdb_columnstore::storage::StorageError> {
         let n = base.num_rows();
-        let chosen = preds
-            .iter()
-            .max_by(|a, b| {
-                let sa = uniform_estimate(&a.1, n, self.domain(a.0));
-                let sb = uniform_estimate(&b.1, n, self.domain(b.0));
-                sa.total_cmp(&sb)
-            })
-            .expect("non-empty predicates")
-            .0;
+        let Some(&(chosen, _)) = preds.iter().max_by(|a, b| {
+            let sa = uniform_estimate(&a.1, n, self.domain(a.0));
+            let sb = uniform_estimate(&b.1, n, self.domain(b.0));
+            sa.total_cmp(&sb)
+        }) else {
+            return Ok(()); // empty predicate list: nothing qualifies
+        };
         self.set_mut(base, chosen)
             .disjunctive_project_with(base, preds, projs, consume)
     }

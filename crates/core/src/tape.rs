@@ -10,14 +10,22 @@
 //! Besides cracks, the tape logs update batches (§3.5): the first time a
 //! set merges pending insertions/deletions, the merged subset is recorded
 //! so every other map replays exactly the same update at the same point.
+//!
+//! Every crack entry records the *effective* [`CrackPolicy`] it ran
+//! under. Replay always uses the logged policy — never the owning set's
+//! current one — so alignment stays bit-identical even when an adaptive
+//! advisor has switched the set's effective policy since the entry was
+//! written.
 
 use crackdb_columnstore::types::{RangePred, RowId, Val};
+use crackdb_cracking::CrackPolicy;
 
 /// One logged reorganization.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TapeEntry {
-    /// A selection predicate that cracked some map of the set.
-    Crack(RangePred),
+    /// A selection predicate that cracked some map of the set, plus the
+    /// effective static policy the crack ran under.
+    Crack(RangePred, CrackPolicy),
     /// Merge of insert batch `id` (index into [`Tape::insert_batches`]).
     Inserts(u32),
     /// Merge of delete batch `id` (index into [`Tape::delete_batches`]).
@@ -77,9 +85,10 @@ impl Tape {
         &self.entries[i]
     }
 
-    /// Log a crack predicate; returns its tape position.
-    pub fn log_crack(&mut self, pred: RangePred) -> usize {
-        self.entries.push(TapeEntry::Crack(pred));
+    /// Log a crack predicate and the effective policy it ran under;
+    /// returns its tape position.
+    pub fn log_crack(&mut self, pred: RangePred, policy: CrackPolicy) -> usize {
+        self.entries.push(TapeEntry::Crack(pred, policy));
         self.entries.len() - 1
     }
 
@@ -115,7 +124,7 @@ mod tests {
     fn logging_and_lag() {
         let mut t = Tape::new();
         assert!(t.is_empty());
-        let p0 = t.log_crack(RangePred::open(1, 5));
+        let p0 = t.log_crack(RangePred::open(1, 5), CrackPolicy::Standard);
         let p1 = t.log_inserts(InsertBatch { keys: vec![7] });
         let p2 = t.log_deletes(DeleteBatch {
             items: vec![(3, 2)],
@@ -131,7 +140,7 @@ mod tests {
     #[test]
     fn entries_are_replayable() {
         let mut t = Tape::new();
-        t.log_crack(RangePred::open(1, 5));
+        t.log_crack(RangePred::open(1, 5), CrackPolicy::stochastic());
         t.log_inserts(InsertBatch { keys: vec![1, 2] });
         match t.entry(1) {
             TapeEntry::Inserts(id) => {

@@ -240,3 +240,65 @@ fn histogram_bounds_hold() {
         assert!(est.estimate <= est.upper as f64 + 1e-9);
     });
 }
+
+/// A spilled chunk round-trips into a replica that replays the rest of
+/// its area tape bit-identically: the spill format preserves everything
+/// replay depends on (cursor, index shell, access bookkeeping), and
+/// every logged crack carries the effective policy it originally ran
+/// under, so mixed-policy tapes (adaptive advisor switching mid-run)
+/// reproduce exactly.
+#[test]
+fn spill_reload_replays_mixed_policy_tapes_bit_identically() {
+    use crackdb_core::partial::spill::{decode_chunk, encode_chunk};
+    use crackdb_core::partial::Chunk;
+    use crackdb_core::AreaEntry;
+    use crackdb_cracking::CrackPolicy;
+
+    cases(0x5B111, |rng| {
+        let head = vec_of(rng, 0, 200, 8, 120);
+        let n = head.len();
+        let tail: Vec<Val> = (0..n as Val).map(|i| i + 5000).collect();
+        let t = table(vec![head.clone(), tail.clone()]);
+        let (head_col, tail_col) = (t.column(0), t.column(1));
+
+        // A tape of cracks logged under a mix of effective policies, as
+        // an adaptive advisor switching mid-run would leave behind.
+        let policies = [
+            CrackPolicy::Standard,
+            CrackPolicy::stochastic(),
+            CrackPolicy::coarse(),
+            CrackPolicy::CoarseGranular { min_piece: 4 },
+        ];
+        let tape: Vec<AreaEntry> = (0..rng.gen_range(2usize..12))
+            .map(|_| {
+                let p = pred(rng.gen_range(0i64..200), rng.gen_range(0i64..80));
+                AreaEntry::Crack(p, policies[rng.gen_range(0usize..policies.len())])
+            })
+            .collect();
+
+        // Replay a prefix, then spill.
+        let mut live = Chunk::seed(head.clone(), tail.clone(), None);
+        let split = rng.gen_range(0usize..=tape.len());
+        live.align_to(&tape, split, head_col, tail_col);
+        live.accesses = rng.gen_range(0u64..50);
+        live.last_access = rng.gen_range(0u64..1000);
+
+        let mut reloaded =
+            decode_chunk(&encode_chunk(&live), "proptest").expect("spill round-trip decodes");
+        assert_eq!(reloaded.cursor, live.cursor, "cursor survives the spill");
+        assert_eq!(reloaded.accesses, live.accesses);
+        assert_eq!(reloaded.last_access, live.last_access);
+        assert_eq!(reloaded.tail(), live.tail());
+
+        // Both finish the tape; a reloaded chunk must be
+        // indistinguishable from one that never left memory.
+        live.align_to(&tape, tape.len(), head_col, tail_col);
+        if reloaded.head_dropped() {
+            reloaded.restore_head(head.clone());
+        }
+        reloaded.align_to(&tape, tape.len(), head_col, tail_col);
+        assert_eq!(reloaded.head(), live.head(), "replayed heads diverged");
+        assert_eq!(reloaded.tail(), live.tail(), "replayed tails diverged");
+        assert_eq!(reloaded.index().len(), live.index().len());
+    });
+}

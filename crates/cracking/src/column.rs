@@ -6,6 +6,7 @@
 //! reorganized, selection results are no longer aligned with base columns
 //! and tuple reconstruction degenerates to random access.
 
+use crate::advisor::PolicyAdvisor;
 use crate::cracked::CrackedArray;
 use crate::policy::{CrackPolicy, Span};
 use crackdb_columnstore::column::Column;
@@ -19,9 +20,10 @@ pub struct CrackerColumn {
     arr: CrackedArray<RowId>,
     pending_inserts: Vec<(Val, RowId)>,
     pending_deletes: Vec<(Val, RowId)>,
-    /// Pivot-choice policy. Fixed for the column's lifetime (replayed
-    /// cracks must stay deterministic).
-    policy: CrackPolicy,
+    /// Policy selection: holds the configured [`CrackPolicy`] and, when
+    /// that is [`CrackPolicy::Adaptive`], the workload statistics that
+    /// re-decide the effective static policy once per query.
+    advisor: PolicyAdvisor,
     /// Cumulative count of crack operations (for instrumentation).
     pub cracks: u64,
 }
@@ -42,14 +44,27 @@ impl CrackerColumn {
             arr: CrackedArray::new(head, tail),
             pending_inserts: Vec::new(),
             pending_deletes: Vec::new(),
-            policy,
+            advisor: PolicyAdvisor::new(policy),
             cracks: 0,
         }
     }
 
-    /// The column's pivot-choice policy.
+    /// The column's configured pivot-choice policy (possibly
+    /// [`CrackPolicy::Adaptive`]).
     pub fn policy(&self) -> CrackPolicy {
-        self.policy
+        self.advisor.configured()
+    }
+
+    /// The static policy the next crack will run under (equals
+    /// [`Self::policy`] unless configured adaptive).
+    pub fn effective_policy(&self) -> CrackPolicy {
+        self.advisor.effective()
+    }
+
+    /// How many times the advisor has switched the effective policy
+    /// (always 0 for a static configuration).
+    pub fn policy_switches(&self) -> u64 {
+        self.advisor.switches()
     }
 
     /// Cumulative tuples touched by the crack kernels (robustness
@@ -91,8 +106,11 @@ impl CrackerColumn {
     /// can see whether the area is exact or needs filtering.
     pub fn crack_select_span(&mut self, pred: &RangePred) -> Span {
         self.merge_pending(pred);
+        let policy = self
+            .advisor
+            .observe(pred, self.arr.index().len(), self.arr.len());
         let before = self.arr.index().len();
-        let span = self.arr.crack_range_with(pred, &self.policy);
+        let span = self.arr.crack_range_with(pred, &policy);
         self.cracks += (self.arr.index().len() - before) as u64;
         span
     }
@@ -240,7 +258,7 @@ mod tests {
     #[test]
     fn select_keys_correct_under_all_policies() {
         let col = base();
-        for policy in crate::policy::CrackPolicy::all() {
+        for policy in crate::policy::CrackPolicy::all_selectable() {
             let mut c = CrackerColumn::with_policy(&col, policy);
             assert_eq!(c.policy(), policy);
             for pred in [

@@ -19,8 +19,13 @@
 //! * [`policy::CrackPolicy`] — pluggable pivot-choice strategies
 //!   (standard / stochastic / coarse-granular) hardening cracking
 //!   against adversarial workloads (sequential sweeps, hot-region
-//!   skew).
+//!   skew);
+//! * [`advisor::PolicyAdvisor`] — per-structure self-tuning: O(1)
+//!   workload statistics ([`advisor::WorkloadStats`]) plus a pure
+//!   decision function that resolves [`policy::CrackPolicy::Adaptive`]
+//!   into one of the static strategies per query.
 
+pub mod advisor;
 pub mod arena;
 pub mod avl;
 pub mod column;
@@ -31,6 +36,7 @@ pub mod kernel;
 pub mod policy;
 pub mod snapshot;
 
+pub use advisor::{retention_score, PolicyAdvisor, WorkloadStats};
 pub use arena::{Arena, SlotId};
 pub use column::CrackerColumn;
 pub use crack::BoundKind;

@@ -25,15 +25,28 @@
 //!   `min_piece` tuples; the query filters inside the leaf piece
 //!   instead, capping AVL growth under skew.
 //!
+//! * [`CrackPolicy::Adaptive`] — let a per-column
+//!   [`PolicyAdvisor`](crate::advisor::PolicyAdvisor) pick one of the
+//!   three static strategies above per query, from O(1) workload
+//!   statistics (sequential-run detection, hot-range skew counters,
+//!   boundary-density caps). The structures that own an advisor resolve
+//!   `Adaptive` to an *effective* static policy before every crack; the
+//!   partition kernels themselves never see it.
+//!
 //! **Determinism contract.** Alignment in sideways and partial sideways
 //! cracking replays tape-logged predicates on sibling structures and
-//! requires bit-identical physical outcomes. Every policy is therefore a
-//! *pure function of the array state and the predicate*: the stochastic
-//! pivot is derived by hashing the enclosing piece's coordinates (plus
-//! the policy seed) into a position and reading the data value there —
-//! no mutable RNG state — so two aligned siblings replaying the same
-//! tape choose identical pivots. For the same reason a structure's
-//! policy must never change mid-life.
+//! requires bit-identical physical outcomes. Every static policy is
+//! therefore a *pure function of the array state and the predicate*:
+//! the stochastic pivot is derived by hashing the enclosing piece's
+//! coordinates (plus the policy seed) into a position and reading the
+//! data value there — no mutable RNG state — so two aligned siblings
+//! replaying the same tape choose identical pivots. A structure's
+//! *effective* policy may change between queries (that is what
+//! `Adaptive` does), but every tape entry records the effective static
+//! policy the original crack ran under, and replay always uses the
+//! logged policy — never the owner's current one — so siblings,
+//! late-created maps and spill-reloaded chunks reproduce each historic
+//! crack bit-for-bit regardless of what the advisor has decided since.
 
 /// How many tuples a piece may hold before [`CrackPolicy::Stochastic`]
 /// stops injecting advisory pivots and cracks exactly.
@@ -76,6 +89,13 @@ pub enum CrackPolicy {
         /// Smallest piece the policy is willing to split.
         min_piece: usize,
     },
+    /// Defer the choice to a per-structure
+    /// [`PolicyAdvisor`](crate::advisor::PolicyAdvisor), which picks one
+    /// of the three static strategies per query from O(1) workload
+    /// statistics. Structures resolve this to an effective static policy
+    /// before cracking; if a kernel ever sees it directly it behaves
+    /// like [`CrackPolicy::Standard`].
+    Adaptive,
 }
 
 impl CrackPolicy {
@@ -99,11 +119,12 @@ impl CrackPolicy {
             CrackPolicy::Standard => "standard",
             CrackPolicy::Stochastic { .. } => "stochastic",
             CrackPolicy::CoarseGranular { .. } => "coarse",
+            CrackPolicy::Adaptive => "adaptive",
         }
     }
 
     /// Parse a policy name: `standard`, `stochastic` (default seed),
-    /// `coarse` (default leaf size) or `coarse:<min_piece>`.
+    /// `coarse` (default leaf size), `coarse:<min_piece>` or `adaptive`.
     ///
     /// This is pure string parsing; the `CRACKDB_POLICY` environment
     /// hook the engine constructors consume lives next to the other env
@@ -116,6 +137,7 @@ impl CrackPolicy {
             "" | "standard" => Some(CrackPolicy::Standard),
             "stochastic" => Some(CrackPolicy::stochastic()),
             "coarse" => Some(CrackPolicy::coarse()),
+            "adaptive" => Some(CrackPolicy::Adaptive),
             _ => {
                 let rest = s.strip_prefix("coarse:")?;
                 let min_piece: usize = rest.parse().ok()?;
@@ -134,17 +156,38 @@ impl CrackPolicy {
     /// aligned siblings prepartition identically.)
     pub fn prepartition_target(&self) -> usize {
         match *self {
-            CrackPolicy::Standard | CrackPolicy::Stochastic { .. } => PREPARTITION_TARGET_PIECE,
+            CrackPolicy::Standard
+            | CrackPolicy::Stochastic { .. }
+            | CrackPolicy::Adaptive => PREPARTITION_TARGET_PIECE,
             CrackPolicy::CoarseGranular { min_piece } => PREPARTITION_TARGET_PIECE.max(min_piece),
         }
     }
 
-    /// All three policy families at their defaults, for sweeps.
+    /// `true` for the self-tuning variant that needs an advisor to
+    /// resolve it into a static policy.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, CrackPolicy::Adaptive)
+    }
+
+    /// The three static policy families at their defaults, for sweeps.
+    /// (`Adaptive` is excluded: it is not a pivot strategy itself, only
+    /// a per-query selector over these three.)
     pub fn all() -> [CrackPolicy; 3] {
         [
             CrackPolicy::Standard,
             CrackPolicy::stochastic(),
             CrackPolicy::coarse(),
+        ]
+    }
+
+    /// Every parseable policy family at its defaults, adaptive included
+    /// — what benchmark sweeps and CI matrices iterate.
+    pub fn all_selectable() -> [CrackPolicy; 4] {
+        [
+            CrackPolicy::Standard,
+            CrackPolicy::stochastic(),
+            CrackPolicy::coarse(),
+            CrackPolicy::Adaptive,
         ]
     }
 }
@@ -209,9 +252,12 @@ mod tests {
 
     #[test]
     fn parse_round_trips_labels() {
-        for p in CrackPolicy::all() {
+        for p in CrackPolicy::all_selectable() {
             assert_eq!(CrackPolicy::parse(p.label()), Some(p));
         }
+        assert_eq!(CrackPolicy::parse("adaptive"), Some(CrackPolicy::Adaptive));
+        assert!(CrackPolicy::Adaptive.is_adaptive());
+        assert!(!CrackPolicy::Standard.is_adaptive());
         assert_eq!(CrackPolicy::parse(""), Some(CrackPolicy::Standard));
         assert_eq!(
             CrackPolicy::parse("coarse:64"),

@@ -69,15 +69,16 @@ fn threads_override(value: Option<&str>) -> Option<usize> {
 
 /// Parse a `CRACKDB_POLICY`-style override value: unset or empty means
 /// the standard policy, anything else must name a crack policy
-/// (`standard | stochastic | coarse | coarse:<min_piece>`). Like
-/// [`threads_override`], separated from the env read for testability.
+/// (`standard | stochastic | coarse | coarse:<min_piece> | adaptive`).
+/// Like [`threads_override`], separated from the env read for
+/// testability.
 fn policy_override(value: Option<&str>) -> Result<CrackPolicy, String> {
     match value {
         None => Ok(CrackPolicy::Standard),
         Some(v) => CrackPolicy::parse(v).ok_or_else(|| {
             format!(
                 "CRACKDB_POLICY={v:?} is not a crack policy \
-                 (expected standard | stochastic | coarse | coarse:<min_piece>)"
+                 (expected standard | stochastic | coarse | coarse:<min_piece> | adaptive)"
             )
         }),
     }
@@ -605,6 +606,7 @@ mod tests {
             policy_override(Some("coarse:64")),
             Ok(CrackPolicy::CoarseGranular { min_piece: 64 })
         );
+        assert_eq!(policy_override(Some("adaptive")), Ok(CrackPolicy::Adaptive));
         let err = policy_override(Some("nonsense")).unwrap_err();
         assert!(err.contains("nonsense"), "error names the bad value");
         assert!(err.contains("coarse:<min_piece>"), "error lists the forms");

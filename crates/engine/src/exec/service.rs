@@ -300,6 +300,10 @@ struct Shared {
     /// differential suite asserts the path actually fired / stayed
     /// cold).
     snapshot_hits: AtomicU64,
+    /// Adaptive-advisor policy switches across all shard engines,
+    /// accumulated per work item by the shard workers (observability:
+    /// 0 forever under a static policy configuration).
+    policy_switches: Arc<AtomicU64>,
 }
 
 /// Bounded ring of the most recent per-call latencies: a long-lived
@@ -405,10 +409,12 @@ fn worker<E: Engine>(
     queue: Receiver<Work>,
     view: Arc<Published<ShardView>>,
     publish: bool,
+    switches: Arc<AtomicU64>,
 ) -> E {
     let mut writes_applied: u64 = 0;
     let mut last: Option<Arc<EngineSnapshot>> = None;
     let mut last_writes = u64::MAX;
+    let mut last_switches: u64 = 0;
     while let Ok(work) = queue.recv() {
         match work {
             Work::Select { q, reply } => {
@@ -428,6 +434,14 @@ fn worker<E: Engine>(
                 let _ = reply.send(());
             }
             Work::Stop => break,
+        }
+        // Publish this shard's advisor switches as a delta: the shared
+        // counter is only ever added to, so per-shard accumulation
+        // stays exact without a subtraction race.
+        let now_switches = engine.policy_switches();
+        if now_switches > last_switches {
+            switches.fetch_add(now_switches - last_switches, Ordering::Relaxed);
+            last_switches = now_switches;
         }
         if !publish {
             continue;
@@ -483,6 +497,7 @@ impl<E: Engine + Send + 'static> Service<E> {
         let (cuts, shards, inserted) = engine.into_parts();
         let nshards = shards.len();
         let epoch = Arc::new(EpochDomain::new());
+        let policy_switches = Arc::new(AtomicU64::new(0));
         let mut queues = Vec::with_capacity(nshards);
         let mut handles = Vec::with_capacity(nshards);
         let mut views = Vec::with_capacity(nshards);
@@ -492,9 +507,10 @@ impl<E: Engine + Send + 'static> Service<E> {
             let view = Arc::new(Published::<ShardView>::new(epoch.clone()));
             views.push(view.clone());
             let publish = config.snapshot_reads;
+            let switches = policy_switches.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("crackdb-shard-{i}"))
-                .spawn(move || worker(i, shard, rx, view, publish))
+                .spawn(move || worker(i, shard, rx, view, publish, switches))
                 .expect("spawn shard worker thread");
             handles.push(handle);
         }
@@ -520,6 +536,7 @@ impl<E: Engine + Send + 'static> Service<E> {
                 views,
                 snapshot_reads: config.snapshot_reads,
                 snapshot_hits: AtomicU64::new(0),
+                policy_switches,
             }),
             handles,
         })
@@ -535,6 +552,13 @@ impl<E: Engine + Send + 'static> Service<E> {
     /// Selects served by the lock-free snapshot path so far.
     pub fn snapshot_hits(&self) -> u64 {
         self.shared.snapshot_hits.load(Ordering::Relaxed)
+    }
+
+    /// Adaptive-advisor policy switches across all shard engines so far
+    /// (0 forever under a static policy configuration). Updated by each
+    /// shard worker after every work item it processes.
+    pub fn policy_switches(&self) -> u64 {
+        self.shared.policy_switches.load(Ordering::Relaxed)
     }
 
     /// Number of shard workers.

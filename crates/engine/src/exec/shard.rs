@@ -450,6 +450,10 @@ impl<E: Engine + Send> Engine for ShardedEngine<E> {
         self.shards.iter().map(E::aux_tuples).sum()
     }
 
+    fn policy_switches(&self) -> u64 {
+        self.shards.iter().map(E::policy_switches).sum()
+    }
+
     fn set_workers(&mut self, workers: usize) {
         self.set_threads(workers);
         for shard in &mut self.shards {

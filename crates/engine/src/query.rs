@@ -171,6 +171,13 @@ pub trait Engine {
         0
     }
 
+    /// Cumulative count of adaptive-advisor policy switches across the
+    /// engine's cracker structures. Always 0 for engines configured with
+    /// a static [`CrackPolicy`](crackdb_cracking::CrackPolicy).
+    fn policy_switches(&self) -> u64 {
+        0
+    }
+
     /// Publishable picture of the engine's converged state for the
     /// lock-free read path (see
     /// [`EngineSnapshot`](crate::exec::snapshot::EngineSnapshot)).

@@ -45,8 +45,11 @@ pub struct SelCrackEngine {
     second: Option<Table>,
     /// Cracker columns per (table, attribute), created on first use.
     crackers: HashMap<(bool, usize), CrackerColumn>,
-    /// Pivot-choice policy for every cracker column.
+    /// Default pivot-choice policy for every cracker column.
     policy: CrackPolicy,
+    /// Per-column policy overrides (mixed-policy engines): consulted when
+    /// a cracker column is created, keyed like `crackers`.
+    overrides: HashMap<(bool, usize), CrackPolicy>,
     /// Value domain for ordering predicates by estimated selectivity
     /// ("all systems evaluate queries starting from the most selective
     /// predicate", §3.6 Exp4).
@@ -70,6 +73,7 @@ impl SelCrackEngine {
             second: None,
             crackers: HashMap::new(),
             policy,
+            overrides: HashMap::new(),
             domain,
             snap: None,
         }
@@ -96,9 +100,32 @@ impl SelCrackEngine {
         }
     }
 
-    /// The engine's pivot-choice policy.
+    /// The engine's default pivot-choice policy.
     pub fn policy(&self) -> CrackPolicy {
         self.policy
+    }
+
+    /// The policy one (table, attribute) cracker column will be created
+    /// with: the per-column override when set, the default otherwise.
+    pub fn policy_for(&self, second: bool, attr: usize) -> CrackPolicy {
+        policy_for(self.policy, &self.overrides, second, attr)
+    }
+
+    /// Override the crack policy of one (table, attribute) cracker
+    /// column. Must run before the column's first use — mixed-policy
+    /// engines (say, an adaptive hot attribute beside static siblings)
+    /// are configured up front, never rewired mid-workload.
+    pub fn set_policy_for(&mut self, second: bool, attr: usize, policy: CrackPolicy) {
+        assert!(
+            !self.crackers.contains_key(&(second, attr)),
+            "column ({second}, {attr}) already cracked; set per-column policies before first use"
+        );
+        self.overrides.insert((second, attr), policy);
+    }
+
+    /// Cumulative adaptive-advisor switches across all cracker columns.
+    pub fn policy_switches(&self) -> u64 {
+        self.crackers.values().map(|c| c.policy_switches()).sum()
     }
 
     fn order_preds(&self, preds: &[(usize, RangePred)], n: usize) -> Vec<(usize, RangePred)> {
@@ -138,13 +165,16 @@ impl SelCrackEngine {
         table: &Table,
         second: bool,
         preds: &[(usize, RangePred)],
-        policy: CrackPolicy,
+        default: CrackPolicy,
+        overrides: &HashMap<(bool, usize), CrackPolicy>,
     ) -> Vec<RowId> {
         if preds.is_empty() {
             // No predicate: still answer through a cracker column so that
             // queued (ripple) insertions and deletions are respected.
+            let policy = policy_for(default, overrides, second, 0);
             return Self::cracker_select(crackers, table, second, 0, &RangePred::all(), policy);
         }
+        let policy = policy_for(default, overrides, second, preds[0].0);
         let mut keys =
             Self::cracker_select(crackers, table, second, preds[0].0, &preds[0].1, policy);
         for (attr, pred) in &preds[1..] {
@@ -153,6 +183,17 @@ impl SelCrackEngine {
         }
         keys
     }
+}
+
+/// Per-column policy resolution (free function: the static helpers split
+/// borrows across `SelCrackEngine` fields).
+fn policy_for(
+    default: CrackPolicy,
+    overrides: &HashMap<(bool, usize), CrackPolicy>,
+    second: bool,
+    attr: usize,
+) -> CrackPolicy {
+    overrides.get(&(second, attr)).copied().unwrap_or(default)
 }
 
 impl AccessPath for SelCrackEngine {
@@ -169,15 +210,9 @@ impl AccessPath for SelCrackEngine {
     }
 
     fn restrict(&mut self, attr: usize, pred: &RangePred, _ctx: &RestrictCtx) -> RowSet {
+        let policy = policy_for(self.policy, &self.overrides, false, attr);
         RowSet::keys(
-            Self::cracker_select(
-                &mut self.crackers,
-                &self.base,
-                false,
-                attr,
-                pred,
-                self.policy,
-            ),
+            Self::cracker_select(&mut self.crackers, &self.base, false, attr, pred, policy),
             false,
         )
     }
@@ -198,20 +233,21 @@ impl AccessPath for SelCrackEngine {
         let RowSet::Keys { keys, .. } = rows else {
             unreachable!("cracker selects produce key lists")
         };
-        let more = Self::cracker_select(
-            &mut self.crackers,
-            &self.base,
-            false,
-            attr,
-            pred,
-            self.policy,
-        );
+        let policy = policy_for(self.policy, &self.overrides, false, attr);
+        let more = Self::cracker_select(&mut self.crackers, &self.base, false, attr, pred, policy);
         combine::union_keys_unordered(keys, more);
     }
 
     fn unrestricted(&mut self, _ctx: &RestrictCtx) -> RowSet {
         RowSet::keys(
-            Self::select_keys(&mut self.crackers, &self.base, false, &[], self.policy),
+            Self::select_keys(
+                &mut self.crackers,
+                &self.base,
+                false,
+                &[],
+                self.policy,
+                &self.overrides,
+            ),
             false,
         )
     }
@@ -270,9 +306,23 @@ impl Engine for SelCrackEngine {
         let t0 = Instant::now();
         let lpreds = self.order_preds(&q.left.preds, n);
         let rpreds = self.order_preds(&q.right.preds, n2);
-        let lkeys = Self::select_keys(&mut self.crackers, &self.base, false, &lpreds, self.policy);
+        let lkeys = Self::select_keys(
+            &mut self.crackers,
+            &self.base,
+            false,
+            &lpreds,
+            self.policy,
+            &self.overrides,
+        );
         let second = self.second.as_ref().expect("checked above");
-        let rkeys = Self::select_keys(&mut self.crackers, second, true, &rpreds, self.policy);
+        let rkeys = Self::select_keys(
+            &mut self.crackers,
+            second,
+            true,
+            &rpreds,
+            self.policy,
+            &self.overrides,
+        );
         timings.select = t0.elapsed();
 
         let t1 = Instant::now();
@@ -314,8 +364,8 @@ impl Engine for SelCrackEngine {
         // cracker column of every attribute, so crackers are created on
         // demand here (from the current base, which still holds the row)
         // and the deletion queued for the Ripple algorithm.
-        let policy = self.policy;
         for attr in 0..self.base.num_columns() {
+            let policy = policy_for(self.policy, &self.overrides, false, attr);
             self.crackers
                 .entry((false, attr))
                 .or_insert_with(|| CrackerColumn::with_policy(self.base.column(attr), policy))
@@ -325,6 +375,10 @@ impl Engine for SelCrackEngine {
 
     fn aux_tuples(&self) -> usize {
         self.crackers.values().map(|c| c.len()).sum()
+    }
+
+    fn policy_switches(&self) -> u64 {
+        SelCrackEngine::policy_switches(self)
     }
 
     /// Publish the converged-piece snapshot: per-attribute catalogs

@@ -2,11 +2,15 @@
 //! # crackdb-workloads
 //!
 //! Workload generators for the paper's experiments: synthetic random /
-//! skewed / batched query streams (§3.6, §4.2) and the TPC-H substrate
-//! (§5) with a dbgen-like data generator and qgen-like parameter streams.
+//! skewed / batched query streams (§3.6, §4.2), the TPC-H substrate
+//! (§5) with a dbgen-like data generator and qgen-like parameter
+//! streams, and IDEBench-style interactive exploration sessions
+//! (drill-down/roll-up, binned histograms, sweeps, think-time traces).
 
+pub mod idebench;
 pub mod synthetic;
 pub mod tpch;
 
+pub use idebench::{ExploreOp, IdeBench, Session};
 pub use synthetic::{random_table, random_table_shards, Pattern, QiGen, QiQuery, RangeGen};
 pub use tpch::{TpchData, TpchParams};
